@@ -1,0 +1,32 @@
+"""Benchmark fixtures.
+
+The evaluation flows are expensive (each interprets the application
+twice); a session-scoped runner executes them once, and the benchmark
+bodies measure well-defined pieces (a full informed flow per app, the
+DSE engines, the harness sweeps) with single-round pedantic timing.
+"""
+
+import pytest
+
+from repro.evalharness.runner import EvaluationRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return EvaluationRunner()
+
+
+@pytest.fixture(scope="session")
+def all_uninformed(runner):
+    return {name: runner.uninformed(name) for name in runner.all_apps()}
+
+
+@pytest.fixture(scope="session")
+def all_informed(runner):
+    return {name: runner.informed(name) for name in runner.all_apps()}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one real execution (flows are far too heavy for rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Bench: the future-work extensions (ML PSA training/inference,
+energy analysis, report generation)."""
+
+from conftest import run_once
+
+from repro.apps import get_app
+from repro.evalharness.energy import run_energy
+from repro.evalharness.report import build_report
+from repro.flow.engine import FlowEngine
+from repro.flow.ml_psa import (
+    MLTargetSelection, label_from_result, train_from_results,
+)
+
+
+def test_ml_psa_training(benchmark, all_uninformed):
+    """Train the CART target-selection tree from the five runs."""
+    results = list(all_uninformed.values())
+    tree = benchmark(train_from_results, results)
+    assert tree.depth() >= 1
+
+
+def test_ml_psa_inference_flow(benchmark, all_uninformed):
+    """Drive one informed flow with the learned strategy at branch A."""
+    tree = train_from_results(list(all_uninformed.values()))
+    engine = FlowEngine(strategy_a=MLTargetSelection(tree))
+    result = run_once(benchmark, engine.run, get_app("adpredictor"),
+                      mode="informed")
+    assert result.selected_target == label_from_result(
+        all_uninformed["adpredictor"])
+
+
+def test_energy_analysis(benchmark, runner):
+    rows = run_once(benchmark, run_energy, runner)
+    by_app = {r.app: r for r in rows}
+    assert by_app["kmeans"].efficiency_differs_from_speed
+
+
+def test_report_generation(benchmark, runner):
+    text = run_once(benchmark, build_report, runner)
+    assert "Decision traces" in text

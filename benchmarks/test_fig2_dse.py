@@ -1,0 +1,66 @@
+"""Bench: the Fig. 2 mechanism -- unroll-until-overmap DSE.
+
+Times the iterative partial-compile loop on a standalone kernel, plus
+the underlying partial compile itself, checking the Fig. 2 invariants
+(doubling factors, stop at the overmap threshold).
+"""
+
+import pytest
+
+from repro.meta.ast_api import Ast
+from repro.toolchains.dpcpp import DpcppToolchain
+from repro.transforms.unroll import set_unroll_pragma
+
+KERNEL = """
+void knl(float* out, const float* x, int n) {
+    for (int i = 0; i < n; i++) {
+        float v = x[i];
+        float a = sqrtf(v + 1.0f);
+        float b = sqrtf(v + 2.0f);
+        out[i] = a * b + v;
+    }
+}
+"""
+
+
+def unroll_until_overmap(ast, device):
+    """The Fig. 2 meta-program, standalone."""
+    tool = DpcppToolchain()
+    factor = 1
+    best = tool.partial_compile(ast, "knl", device)
+    assert best.fitted
+    trail = [(factor, best.utilization)]
+    n = 2
+    while n <= 4096:
+        candidate = ast.clone()
+        for loop in candidate.function("knl").outermost_loops():
+            set_unroll_pragma(loop, n)
+        report = tool.partial_compile(candidate, "knl", device)
+        trail.append((n, report.utilization))
+        if report.overmapped:
+            break
+        factor, best = n, report
+        n *= 2
+    return factor, best, trail
+
+
+@pytest.mark.parametrize("device", ["arria10", "stratix10"])
+def test_unroll_until_overmap_dse(benchmark, device):
+    factor, report, trail = benchmark(unroll_until_overmap, Ast(KERNEL),
+                                      device)
+    # Fig. 2: factors double each iteration; the final design fits
+    factors = [f for f, _ in trail]
+    assert factors[0] == 1
+    assert all(b == 2 * a for a, b in zip(factors[1:], factors[2:]))
+    assert report.fitted and factor >= 2
+    # utilisation grows monotonically with the factor
+    utils = [u for _, u in trail]
+    assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:]))
+
+
+def test_partial_compile_speed(benchmark):
+    """Resource estimation must be fast enough for DSE loops."""
+    ast = Ast(KERNEL)
+    tool = DpcppToolchain()
+    report = benchmark(tool.partial_compile, ast, "knl", "stratix10")
+    assert report.fitted

@@ -1,0 +1,54 @@
+"""Bench: the Fig. 3 mechanism -- branch-point path selection.
+
+Times the target-independent analysis pipeline (the inputs the strategy
+consumes) and the strategy decision itself, asserting the paper's
+routing table.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.apps import get_app
+from repro.apps.registry import PAPER_ORDER
+from repro.evalharness.fig5 import PAPER_SELECTION
+from repro.flow.context import FlowContext
+from repro.flow.graph import Sequence
+from repro.flow.psa import InformedTargetSelection
+from repro.flow.repository import (
+    ArithmeticIntensityAnalysis, DataInOutAnalysis, HotspotLoopExtraction,
+    IdentifyHotspotLoops, LoopDependenceAnalysis, LoopTripCountAnalysis,
+    PointerAnalysis, RemoveArrayPlusEqualsDependency,
+)
+
+ANALYSES = Sequence(
+    IdentifyHotspotLoops(),
+    HotspotLoopExtraction(),
+    PointerAnalysis(),
+    ArithmeticIntensityAnalysis(),
+    DataInOutAnalysis(),
+    LoopDependenceAnalysis(),
+    LoopTripCountAnalysis(),
+    RemoveArrayPlusEqualsDependency(),
+)
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_target_independent_analyses(benchmark, app_name):
+    """Time the full T-INDEP pipeline (incl. the dynamic runs)."""
+    ctx = FlowContext(get_app(app_name))
+    run_once(benchmark, ANALYSES.execute, ctx)
+    assert "intensity" in ctx.facts
+    assert "dependences" in ctx.facts
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_psa_decision(benchmark, app_name):
+    """Time the strategy itself on a fully analysed context."""
+    ctx = FlowContext(get_app(app_name))
+    ANALYSES.execute(ctx)
+    ctx.kernel_profile()       # warm the memoised profile
+    ctx.reference_time()
+    strategy = InformedTargetSelection()
+    decision = benchmark(strategy.select, ctx, "A", ["gpu", "fpga", "omp"])
+    assert decision.selected == [PAPER_SELECTION[app_name]]

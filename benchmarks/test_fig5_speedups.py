@@ -1,0 +1,52 @@
+"""Bench: regenerate Fig. 5 (hotspot speedups of every generated design).
+
+One benchmark per application times the complete informed PSA-flow
+(hotspot timing run, extraction, analyses, branch decision, codegen,
+device DSE, model evaluation); a final benchmark regenerates the whole
+figure and prints it, asserting the paper's shape.
+"""
+
+import pytest
+
+from repro.apps.registry import PAPER_ORDER
+from repro.evalharness.fig5 import PAPER_FIG5, PAPER_SELECTION, render_fig5, run_fig5
+from repro.evalharness.runner import DESIGN_LABELS
+from repro.flow.engine import FlowEngine
+from repro.apps import get_app
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_informed_flow(benchmark, app_name):
+    """Time one end-to-end informed PSA-flow run."""
+    engine = FlowEngine()
+    result = run_once(benchmark, engine.run, get_app(app_name),
+                      mode="informed")
+    assert result.selected_target == PAPER_SELECTION[app_name]
+    assert result.auto_selected is not None
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_uninformed_flow(benchmark, app_name):
+    """Time one uninformed (all-paths) PSA-flow run: five designs."""
+    engine = FlowEngine()
+    result = run_once(benchmark, engine.run, get_app(app_name),
+                      mode="uninformed")
+    assert len(result.designs) == 5
+
+
+def test_fig5_regeneration(benchmark, runner):
+    """Regenerate the full figure from the cached runs and check shape."""
+    rows = run_once(benchmark, run_fig5, runner)
+    print()
+    print(render_fig5(rows))
+    for row in rows:
+        assert row.informed_picks_best, row.app
+        for label in DESIGN_LABELS:
+            want = PAPER_FIG5[row.app][label]
+            got = row.speedups[label]
+            if want is None:
+                assert got is None
+            else:
+                assert want / 2 <= got <= want * 2, (row.app, label)

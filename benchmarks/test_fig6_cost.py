@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 6 (relative FPGA vs GPU execution cost)."""
+
+from conftest import run_once
+
+from repro.evalharness.fig6 import render_fig6, run_fig6
+
+
+def test_fig6_regeneration(benchmark, runner):
+    rows = run_once(benchmark, run_fig6, runner)
+    print()
+    print(render_fig6(rows))
+    by_app = {r.app: r for r in rows}
+    # AdPredictor: FPGA fastest, stays cheaper until priced well above
+    # the GPU (paper: > 3.2x)
+    ad = by_app["adpredictor"]
+    assert ad.crossover > 1.5
+    assert ad.fpga_cheaper_at(1.0) and not ad.fpga_cheaper_at(4.0)
+    # Bezier: GPU faster; FPGA wins only at deep FPGA discounts
+    bz = by_app["bezier"]
+    assert bz.crossover < 1.0
+    assert bz.fpga_cheaper_at(0.25) and not bz.fpga_cheaper_at(1.0)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Table I (added LOC per generated design)."""
+
+from conftest import run_once
+
+from repro.evalharness.runner import DESIGN_LABELS
+from repro.evalharness.table1 import averages, render_table1, run_table1
+
+
+def test_table1_regeneration(benchmark, runner):
+    rows = run_once(benchmark, run_table1, runner)
+    print()
+    print(render_table1(rows))
+    avg = averages(rows)
+    # the paper's column ordering: OMP << HIP < oneAPI A10 < oneAPI S10
+    assert avg["omp"] < avg["hip-1080ti"] < avg["oneapi-a10"] \
+        < avg["oneapi-s10"]
+    # Rush Larsen FPGA designs excluded exactly as in the paper
+    rush = [r for r in rows if r.app == "rush_larsen"][0]
+    assert rush.total_pct is None
+
+
+def test_design_rendering_loc(benchmark, all_uninformed):
+    """Time rendering + LOC accounting over all 25 generated designs."""
+
+    def render_all():
+        total = 0
+        for result in all_uninformed.values():
+            for design in result.designs:
+                total += design.loc
+        return total
+
+    total = benchmark(render_all)
+    assert total > 0

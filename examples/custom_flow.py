@@ -1,0 +1,117 @@
+"""Building a custom PSA-flow (paper §II-B trade-off discussion).
+
+"To construct a design-flow with a predetermined optimization strategy
+tailored to specific application domains or targets, a set of codified
+design-flow tasks must first be orchestrated."
+
+This example composes the repository's codified tasks into a *custom*
+flow that differs from the paper's Fig. 4 flow in three ways:
+
+1. a bespoke PSA strategy at branch A (a GPU-first policy that falls
+   back to OpenMP when occupancy would be register-starved);
+2. the Fig. 3 cost/budget feedback loop wrapped around it;
+3. a custom user task (an extra analysis printed into the trace),
+   showing how "target-specific design-flow tasks can be ... seamlessly
+   plugged in".
+
+    python examples/custom_flow.py
+"""
+
+from repro import FlowEngine, get_app
+from repro.flow import BudgetedStrategy, Sequence, Task, TaskKind
+from repro.flow.dse import BlocksizeDSE, OmpThreadsDSE
+from repro.flow.engine import FinalizeDesign, FlowEngine
+from repro.flow.graph import BranchPoint
+from repro.flow.psa import PSADecision, PSAStrategy
+from repro.flow.repository import (
+    ArithmeticIntensityAnalysis, DataInOutAnalysis, EmployHIPPinnedMemory,
+    EmploySPMathFns, EmploySPNumericLiterals, EmploySpecialisedMathFns,
+    GenerateHIPDesign, HotspotLoopExtraction, IdentifyHotspotLoops,
+    IntroduceSharedMemBuf, LoopDependenceAnalysis, LoopTripCountAnalysis,
+    MultiThreadParallelLoops, PointerAnalysis, SpecialiseForDevice,
+)
+from repro.flow.context import FlowContext
+from repro.toolchains.hipcc import estimate_registers
+
+
+class KernelComplexityReport(Task):
+    """A user-written analysis task plugged into the flow."""
+
+    name = "Kernel Complexity Report"
+    kind = TaskKind.ANALYSIS
+    scope = "CUSTOM"
+
+    def run(self, ctx) -> None:
+        kernel = ctx.ast.function(ctx.kernel_name)
+        regs = estimate_registers(kernel)
+        loops = len(kernel.loops())
+        ctx.facts["custom:regs"] = regs
+        ctx.log(f"    ~{regs} registers/thread, {loops} loop(s)")
+
+
+class GPUFirstStrategy(PSAStrategy):
+    """GPU unless register pressure would starve occupancy."""
+
+    def select(self, ctx, name, paths):
+        regs = ctx.facts.get("custom:regs", 32)
+        profile = ctx.kernel_profile()
+        if not profile.outer_parallel:
+            return PSADecision(name, [], ["outer loop not parallel"])
+        if regs > 128:
+            return PSADecision(name, ["omp"], [
+                f"~{regs} regs/thread would cap GPU occupancy: "
+                "falling back to multi-thread CPU"])
+        return PSADecision(name, ["gpu"],
+                           [f"~{regs} regs/thread: GPU-first policy"])
+
+
+def build_custom_flow():
+    gpu_path = Sequence(
+        GenerateHIPDesign(),
+        EmployHIPPinnedMemory(),
+        EmploySPMathFns("GPU"),
+        EmploySPNumericLiterals("GPU"),
+        IntroduceSharedMemBuf(),
+        EmploySpecialisedMathFns(),
+        # this custom flow only targets the newer card
+        SpecialiseForDevice("rtx2080ti", "hip-2080ti", "GPU-2080"),
+        BlocksizeDSE("rtx2080ti"),
+        FinalizeDesign("GPU-2080"),
+    )
+    omp_path = Sequence(
+        MultiThreadParallelLoops(),
+        OmpThreadsDSE(),
+        FinalizeDesign("CPU-OMP"),
+    )
+    strategy = BudgetedStrategy(GPUFirstStrategy(), budget_per_run=1.0)
+    return Sequence(
+        IdentifyHotspotLoops(),
+        HotspotLoopExtraction(),
+        PointerAnalysis(),
+        ArithmeticIntensityAnalysis(),
+        DataInOutAnalysis(),
+        LoopDependenceAnalysis(),
+        LoopTripCountAnalysis(),
+        KernelComplexityReport(),
+        BranchPoint("A", {"gpu": gpu_path, "omp": omp_path},
+                    strategy=strategy),
+    )
+
+
+def main() -> None:
+    flow = build_custom_flow()
+    print("=== custom flow structure ===")
+    print(flow.describe())
+    print()
+
+    for app_name in ("nbody", "rush_larsen"):
+        ctx = FlowContext(get_app(app_name))
+        ctx.log(f"=== custom flow on {ctx.app.display_name} ===")
+        flow.execute(ctx)
+        print("\n".join(ctx.trace))
+        for design in ctx.designs:
+            print(f"  -> {design.label}: {design.speedup:.1f}x\n")
+
+
+if __name__ == "__main__":
+    main()

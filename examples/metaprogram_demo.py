@@ -1,0 +1,93 @@
+"""The Fig. 2 meta-program, written as a user would write it.
+
+Reproduces the paper's ``unroll_until_overmap`` example end to end on a
+standalone FPGA kernel: query the outermost loops of the kernel
+function, instrument ``#pragma unroll $n``, run a dpcpp partial compile
+to get the high-level design report, double ``n`` until the device
+overmaps, and export the final readable source.
+
+    python examples/metaprogram_demo.py
+"""
+
+from repro import Ast
+from repro.meta.ast_nodes import ForStmt, FunctionDecl
+from repro.meta.instrument import insert_pragma
+from repro.toolchains import DpcppToolchain
+
+SRC = """
+// FIR-style kernel: fixed taps, streaming samples
+void knl(float* out, const float* x, const float* taps, int n) {
+    for (int i = 0; i < n; i++) {
+        float acc = 0.0f;
+        for (int t = 0; t < 16; t++) {
+            acc += x[i + t] * taps[t];
+        }
+        out[i] = acc;
+    }
+}
+"""
+
+
+def unroll_until_overmap(src: str, kernel_name: str, device: str,
+                         mod_src: str) -> None:
+    """NAME: unroll_until_overmap / INPUT: src, kernel_name / OUTPUT:
+    mod_src -- the pseudocode of Fig. 2, in the real API."""
+    ast = Ast(src)                                   # ast <= Ast(src)
+    tool = DpcppToolchain()
+    n = 2
+    design = None                                    # design <= empty
+
+    # loops <= query(for all loop, fn in ast: loop.isForStmt and
+    #                fn.name = kernel_name and fn.encloses(loop) and
+    #                loop.is_outermost)
+    loops = (ast.query()
+             .row("loop", ForStmt)
+             .row("fn", FunctionDecl)
+             .where(lambda loop, fn: fn.name == kernel_name
+                    and fn.encloses(loop)
+                    and loop.is_outermost)
+             .all())
+    print(f"query matched {len(loops)} outermost kernel loop(s)")
+
+    while True:                                      # do ... while
+        candidate = ast.clone()
+        for match in (candidate.query()
+                      .row("loop", ForStmt)
+                      .row("fn", FunctionDecl)
+                      .where(lambda loop, fn: fn.name == kernel_name
+                             and fn.encloses(loop)
+                             and loop.is_outermost)
+                      .all()):
+            # instrument(before, loop, #pragma unroll $n)
+            insert_pragma(match.loop, "unroll $n", {"n": n})
+
+        # report <= exec(ast)  (partial compile -> HLS report)
+        report = tool.partial_compile(candidate, kernel_name, device)
+        overmap = report.overmapped                  # report.LUT >= 0.9
+        print(f"  n={n:<5d} ALM {report.alm_utilization:6.1%}  "
+              f"DSP {report.dsp_utilization:6.1%}  "
+              f"{'OVERMAPPED' if overmap else 'fits'}")
+        if not overmap:
+            design = candidate                       # n <= n*2; keep design
+            n *= 2
+        if overmap or n > 4096:
+            break
+
+    if design is not None:                           # design.export(mod_src)
+        design.export(mod_src)
+        print(f"\nfinal design (unroll {n // 2}) exported to {mod_src}")
+        print("--- kernel ---")
+        from repro.meta.unparse import unparse
+
+        print(unparse(design.function(kernel_name)))
+
+
+def main() -> None:
+    for device in ("arria10", "stratix10"):
+        print(f"\n=== unroll_until_overmap on {device} ===")
+        unroll_until_overmap(SRC, "knl", device,
+                             f"/tmp/fir_{device}.cpp")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro: reproduction of "Auto-Generating Diverse Heterogeneous
+Designs" (Vandebon, Coutinho, Luk -- RAW/IPDPSW 2024).
+
+Public API highlights:
+
+>>> from repro import FlowEngine, get_app
+>>> result = FlowEngine().run(get_app("nbody"), mode="informed")
+>>> result.selected_target
+'gpu'
+>>> [d.label for d in result.designs]           # doctest: +SKIP
+['nbody/gpu-hip/hip-1080ti', 'nbody/gpu-hip/hip-2080ti']
+
+Layers (bottom-up): :mod:`repro.meta` (Artisan-equivalent
+meta-programming over the UHL C/C++ subset), :mod:`repro.lang`
+(profiling interpreter), :mod:`repro.analysis` / :mod:`repro.transforms`
+/ :mod:`repro.codegen` (the codified design-flow tasks),
+:mod:`repro.platforms` / :mod:`repro.toolchains` (simulated hardware and
+compilers), :mod:`repro.flow` (PSA-flows -- the paper's contribution),
+:mod:`repro.apps` (the five benchmarks), and :mod:`repro.evalharness`
+(Fig. 5 / Table I / Fig. 6 regeneration).
+"""
+
+from repro.apps import ALL_APPS, AppSpec, get_app
+from repro.flow import (
+    BranchPoint, BudgetedStrategy, FlowContext, FlowEngine, FlowResult,
+    InformedTargetSelection, PSAStrategy, SelectAll, Sequence, Task,
+    TaskKind, build_default_flow,
+)
+from repro.lang import Workload
+from repro.meta import Ast
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ast",
+    "Workload",
+    "AppSpec",
+    "ALL_APPS",
+    "get_app",
+    "FlowEngine",
+    "FlowResult",
+    "FlowContext",
+    "Task",
+    "TaskKind",
+    "Sequence",
+    "BranchPoint",
+    "PSAStrategy",
+    "InformedTargetSelection",
+    "SelectAll",
+    "BudgetedStrategy",
+    "build_default_flow",
+    "__version__",
+]

@@ -1,0 +1,108 @@
+"""Top-level CLI: drive PSA-flows from the shell.
+
+    python -m repro list
+    python -m repro run <app> [--mode informed|uninformed]
+                             [--export-dir DIR] [--trace]
+    python -m repro eval <fig5|table1|fig6|table2|energy|report|all>
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.flow.engine import FlowEngine
+
+
+def cmd_list(_args) -> int:
+    print(f"{'app':14s} {'display name':14s} {'ref LOC':>7s}  summary")
+    for name in sorted(ALL_APPS):
+        app = ALL_APPS[name]
+        print(f"{name:14s} {app.display_name:14s} "
+              f"{app.reference_loc:7d}  {app.summary}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    app = get_app(args.app)
+    engine = FlowEngine()
+    result = engine.run(app, mode=args.mode)
+    if args.trace:
+        print(result.explain())
+        print()
+    print(f"app: {app.display_name}   mode: {args.mode}")
+    print(f"informed selection: {result.selected_target}")
+    print(f"reference hotspot (1-thread CPU): "
+          f"{result.reference_time_s * 1e3:.3f} ms")
+    for design in result.designs:
+        if design.synthesizable:
+            print(f"  {design.metadata.get('device_label'):12s} "
+                  f"{design.speedup:8.1f}x   "
+                  f"{design.predicted_time_s * 1e3:9.3f} ms   "
+                  f"+{design.loc_delta_pct:.0f}% LOC")
+        else:
+            print(f"  {design.metadata.get('device_label'):12s} "
+                  f"unsynthesizable: {design.failure_reason}")
+    if args.json:
+        from repro.flow.serialize import dump_result
+
+        dump_result(result, args.json)
+        print(f"  result JSON written to {args.json}")
+    if args.export_dir:
+        os.makedirs(args.export_dir, exist_ok=True)
+        for design in result.designs:
+            label = design.metadata.get("device_label", "design")
+            path = os.path.join(args.export_dir,
+                                f"{app.name}_{label}.cpp")
+            design.export(path)
+            print(f"  exported {path}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from repro.evalharness.__main__ import main as eval_main
+
+    return eval_main([args.experiment])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PSA-flows: auto-generate diverse heterogeneous "
+                    "designs from a single high-level source")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark applications") \
+        .set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="run the Fig. 4 PSA-flow on an app")
+    run.add_argument("app", choices=sorted(ALL_APPS))
+    run.add_argument("--mode", choices=("informed", "uninformed"),
+                     default="informed")
+    run.add_argument("--export-dir", default=None,
+                     help="export every generated design here")
+    run.add_argument("--trace", action="store_true",
+                     help="print the full decision trace")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="dump the flow result (designs, decisions, "
+                          "profile) as JSON")
+    run.set_defaults(func=cmd_run)
+
+    ev = sub.add_parser("eval", help="regenerate the paper's experiments")
+    ev.add_argument("experiment",
+                    choices=("fig5", "table1", "fig6", "table2",
+                             "energy", "report", "all"))
+    ev.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

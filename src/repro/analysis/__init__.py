@@ -1,0 +1,51 @@
+"""Target-independent analysis tasks (the ``A`` rows of Fig. 4).
+
+Each module implements one codified analysis meta-program:
+
+- :mod:`hotspot` -- dynamic hotspot loop identification (loop timers);
+- :mod:`trip_count` -- dynamic + static loop trip-count analysis;
+- :mod:`dependence` -- static loop-carried dependence analysis;
+- :mod:`intensity` -- static arithmetic-intensity (FLOPs/B) analysis;
+- :mod:`data_movement` -- dynamic data in/out analysis;
+- :mod:`pointer_alias` -- dynamic pointer alias analysis.
+
+Shared machinery (loop paths, symbol tables, affine subscript forms,
+static expression typing) lives in :mod:`common`.
+"""
+
+from repro.analysis.common import (
+    LoopPath, SymbolTable, affine_form, infer_type, loop_path, resolve_loop,
+)
+from repro.analysis.access_pattern import AccessPatternInfo, analyze_access_pattern
+from repro.analysis.dependence import DependenceInfo, analyze_dependences
+from repro.analysis.data_movement import DataMovementInfo, analyze_data_movement
+from repro.analysis.hotspot import HotspotInfo, identify_hotspot_loops
+from repro.analysis.intensity import IntensityInfo, analyze_intensity
+from repro.analysis.pointer_alias import AliasInfo, analyze_pointer_aliasing
+from repro.analysis.trip_count import (
+    TripCountInfo, analyze_trip_counts, static_trip_count,
+)
+
+__all__ = [
+    "LoopPath",
+    "SymbolTable",
+    "affine_form",
+    "infer_type",
+    "loop_path",
+    "resolve_loop",
+    "HotspotInfo",
+    "identify_hotspot_loops",
+    "AccessPatternInfo",
+    "analyze_access_pattern",
+    "DependenceInfo",
+    "analyze_dependences",
+    "TripCountInfo",
+    "analyze_trip_counts",
+    "static_trip_count",
+    "IntensityInfo",
+    "analyze_intensity",
+    "DataMovementInfo",
+    "analyze_data_movement",
+    "AliasInfo",
+    "analyze_pointer_aliasing",
+]

@@ -1,0 +1,89 @@
+"""Static memory access-pattern analysis.
+
+Classifies each buffer access in a kernel as *streamed* (affine
+subscript: unit/fixed stride, coalescable, prefetchable) or *gather*
+(data-dependent subscript such as ``w[idx[i * F + j]]`` -- AdPredictor's
+weight-table lookups).  The GPU and FPGA models pay reduced bandwidth
+efficiency on the gather share.
+
+Weighted like the arithmetic-intensity analysis: by static trip counts
+of enclosing loops, nominal weight for unknown bounds (the *fraction*
+is insensitive to the nominal value).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.analysis.common import SymbolTable, affine_form, infer_type
+from repro.analysis.intensity import DEFAULT_TRIP_WEIGHT
+from repro.analysis.trip_count import static_trip_count
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    DoWhileStmt, ForStmt, Index, Node, WhileStmt,
+)
+
+
+class AccessPatternInfo(NamedTuple):
+    streamed_bytes: float
+    gather_bytes: float
+    #: buffer names accessed through data-dependent subscripts
+    gather_buffers: frozenset = frozenset()
+
+    @property
+    def total_bytes(self) -> float:
+        return self.streamed_bytes + self.gather_bytes
+
+    @property
+    def gather_fraction(self) -> float:
+        total = self.total_bytes
+        return self.gather_bytes / total if total else 0.0
+
+
+def _walk(node: Node, weight: float, symbols: SymbolTable,
+          acc: list) -> None:
+    if isinstance(node, ForStmt):
+        trips = static_trip_count(node)
+        inner = weight * (trips if trips is not None else DEFAULT_TRIP_WEIGHT)
+        for child in node.children():
+            _walk(child, inner, symbols, acc)
+        return
+    if isinstance(node, (WhileStmt, DoWhileStmt)):
+        inner = weight * DEFAULT_TRIP_WEIGHT
+        for child in node.children():
+            _walk(child, inner, symbols, acc)
+        return
+    if isinstance(node, Index) and not isinstance(node.parent, Index):
+        from repro.meta.ast_nodes import Ident
+
+        base = node.base
+        while isinstance(base, Index):
+            base = base.base
+        name = base.name if isinstance(base, Ident) else None
+        if name is not None and symbols.is_local_array(name):
+            _walk(node.index, weight, symbols, acc)
+            return  # stack arrays never reach DRAM
+        ctype = infer_type(node, symbols)
+        size = ctype.sizeof() if ctype is not None else 8
+        is_gather = affine_form(node.index) is None
+        acc.append((weight * size, is_gather, name))
+        # subscript sub-loads (idx[...] inside w[idx[...]]) are streamed
+        # accesses in their own right; recurse into the subscript only
+        _walk(node.index, weight, symbols, acc)
+        return
+    for child in node.children():
+        _walk(child, weight, symbols, acc)
+
+
+def analyze_access_pattern(ast: Ast, fn_name: str) -> AccessPatternInfo:
+    """Streamed/gather byte split for the kernel ``fn_name``."""
+    fn = ast.function(fn_name)
+    if fn.body is None:
+        raise ValueError(f"{fn_name}() has no body")
+    symbols = SymbolTable(fn, ast.unit)
+    acc: list = []
+    _walk(fn.body, 1.0, symbols, acc)
+    streamed = sum(w for w, gather, _ in acc if not gather)
+    gathered = sum(w for w, gather, _ in acc if gather)
+    names = frozenset(n for _, gather, n in acc if gather and n)
+    return AccessPatternInfo(streamed, gathered, names)

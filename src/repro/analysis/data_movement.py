@@ -1,0 +1,73 @@
+"""Dynamic data in/out analysis ("Data In/Out Analysis", Fig. 4).
+
+Quantifies the transfer requirements of offloading a kernel: which
+buffers must be copied *to* the accelerator before the kernel runs
+(read before written), which must be copied *back* (written), and how
+many bytes each direction moves.  Offload runtimes transfer whole
+buffers, so sizes are buffer extents, matching how the paper compares
+``T_data_trnsfr`` against ``T_CPU`` in the Fig. 3 strategy.
+
+The task executes the program (it is marked dynamic in Fig. 4) and
+reads the per-function array-access records the interpreter collects --
+the equivalent of running the application under a transfer profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Tuple
+
+from repro.lang.interpreter import Workload
+from repro.meta.ast_api import Ast
+
+
+class BufferTraffic(NamedTuple):
+    name: str
+    nbytes: int
+    direction: str  # 'in' | 'out' | 'inout'
+
+
+class DataMovementInfo(NamedTuple):
+    fn_name: str
+    buffers: Tuple[BufferTraffic, ...]
+    kernel_calls: int
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(b.nbytes for b in self.buffers
+                   if b.direction in ("in", "inout"))
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(b.nbytes for b in self.buffers
+                   if b.direction in ("out", "inout"))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+    def buffer(self, name: str) -> BufferTraffic:
+        for buf in self.buffers:
+            if buf.name == name:
+                return buf
+        raise KeyError(name)
+
+
+def analyze_data_movement(ast: Ast, workload: Workload, fn_name: str,
+                          entry: str = "main") -> DataMovementInfo:
+    """Transfer requirements of offloading ``fn_name`` as observed at runtime."""
+    report = ast.execute(workload.fresh(), entry=entry)
+    records = report.arrays_touched_by(fn_name)
+    buffers = []
+    for rec in records.values():
+        if rec.is_input and rec.is_output:
+            direction = "inout"
+        elif rec.is_output:
+            direction = "out"
+        elif rec.is_input:
+            direction = "in"
+        else:
+            continue  # bound but never touched
+        buffers.append(BufferTraffic(rec.name, rec.nbytes, direction))
+    buffers.sort(key=lambda b: b.name)
+    calls = len(report.calls_of(fn_name))
+    return DataMovementInfo(fn_name, tuple(buffers), calls)

@@ -1,0 +1,148 @@
+"""Static arithmetic-intensity analysis ("Arithmetic Intensity Analysis").
+
+Estimates FLOPs per byte of memory traffic for a kernel function without
+executing it, "to indicate if computations are compute- or memory-bound"
+(paper §III).  The Fig. 3 strategy compares the result against a tunable
+threshold ``X``.
+
+Counting walks the kernel body weighting each operation by the product
+of the static trip counts of its enclosing loops; loops with unknown
+bounds contribute a nominal weight (both FLOPs and bytes scale by the
+same factor, so the *ratio* is insensitive to the choice).  Expression
+types come from :func:`repro.analysis.common.infer_type`, which also
+yields the single/double precision split the platform models consume.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.analysis.common import SymbolTable, infer_type
+from repro.analysis.trip_count import static_trip_count
+from repro.lang.builtins import MATH_BUILTINS
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    Assign, BinaryOp, Call, CType, DoWhileStmt, ForStmt, FunctionDecl, Index,
+    Node, UnaryOp, WhileStmt,
+)
+
+#: Nominal trip count assumed for loops whose bounds are not compile-time
+#: constants.  Only the absolute FLOP/byte totals depend on it; the
+#: FLOPs/B ratio the PSA strategy consumes is essentially invariant.
+DEFAULT_TRIP_WEIGHT = 64
+
+#: An FP divide is charged as several multiply-equivalents.
+DIV_FLOPS = 4
+
+
+class IntensityInfo(NamedTuple):
+    flops_sp: float
+    flops_dp: float
+    bytes: float
+
+    @property
+    def flops(self) -> float:
+        return self.flops_sp + self.flops_dp
+
+    @property
+    def flops_per_byte(self) -> float:
+        """The FLOPs/B the Fig. 3 strategy compares against X."""
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+    @property
+    def sp_fraction(self) -> float:
+        """Share of floating work in single precision (0 when no FLOPs)."""
+        return self.flops_sp / self.flops if self.flops else 0.0
+
+    def is_compute_bound(self, threshold: float) -> bool:
+        return self.flops_per_byte > threshold
+
+
+class _Accumulator:
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self.flops_sp = 0.0
+        self.flops_dp = 0.0
+        self.bytes = 0.0
+
+    def _is_float(self, node) -> Optional[bool]:
+        """None = not floating; True = single; False = double."""
+        ctype = infer_type(node, self.symbols)
+        if ctype is None:
+            return False  # unknown: assume double (conservative)
+        if not ctype.is_floating:
+            return None
+        return ctype.base == "float"
+
+    def add_flops(self, count: float, single: bool) -> None:
+        if single:
+            self.flops_sp += count
+        else:
+            self.flops_dp += count
+
+    def visit(self, node: Node, weight: float) -> None:
+        if isinstance(node, ForStmt):
+            trips = static_trip_count(node)
+            inner = weight * (trips if trips is not None else DEFAULT_TRIP_WEIGHT)
+            for child in (node.init, node.cond, node.inc):
+                if child is not None:
+                    self.visit(child, inner)
+            self.visit(node.body, inner)
+            return
+        if isinstance(node, (WhileStmt, DoWhileStmt)):
+            inner = weight * DEFAULT_TRIP_WEIGHT
+            self.visit(node.cond, inner)
+            self.visit(node.body, inner)
+            return
+
+        if isinstance(node, BinaryOp) and node.op in BinaryOp.ARITH:
+            single = self._is_float(node)
+            if single is not None:
+                cost = DIV_FLOPS if node.op == "/" else 1
+                self.add_flops(weight * cost, single)
+        elif isinstance(node, UnaryOp) and node.op == "-" and node.prefix:
+            single = self._is_float(node.operand)
+            if single is not None:
+                self.add_flops(weight, single)
+        elif isinstance(node, Assign) and node.op != "=":
+            single = self._is_float(node.target)
+            if single is not None:
+                cost = DIV_FLOPS if node.op == "/=" else 1
+                self.add_flops(weight * cost, single)
+            if isinstance(node.target, Index):
+                # compound update re-reads the element
+                self._count_access(node.target, weight)
+        elif isinstance(node, Call):
+            spec = MATH_BUILTINS.get(node.name)
+            if spec is not None:
+                self.add_flops(weight * spec.flop_cost, spec.single_precision)
+        elif isinstance(node, Index):
+            parent = node.parent
+            if not isinstance(parent, Index):  # count outermost subscript only
+                self._count_access(node, weight)
+
+        for child in node.children():
+            self.visit(child, weight)
+
+    def _count_access(self, node: Index, weight: float) -> None:
+        base = node.base
+        while isinstance(base, Index):
+            base = base.base
+        from repro.meta.ast_nodes import Ident
+
+        if isinstance(base, Ident) and self.symbols.is_local_array(base.name):
+            return  # stack arrays live in registers/L1, not DRAM
+        ctype = infer_type(node, self.symbols)
+        size = ctype.sizeof() if ctype is not None else 8
+        self.bytes += weight * size
+
+
+def analyze_intensity(ast: Ast, fn_name: str) -> IntensityInfo:
+    """Static FLOPs/B estimate for the kernel function ``fn_name``."""
+    fn = ast.function(fn_name)
+    if fn.body is None:
+        raise ValueError(f"{fn_name}() has no body")
+    symbols = SymbolTable(fn, ast.unit)
+    acc = _Accumulator(symbols)
+    acc.visit(fn.body, 1.0)
+    return IntensityInfo(acc.flops_sp, acc.flops_dp, max(acc.bytes, 1.0))

@@ -1,0 +1,31 @@
+"""The five evaluation applications (paper §IV-A).
+
+"We apply the implemented PSA-flow to five HPC and AI applications,
+namely: N-Body Simulation, K-Means Classification, AdPredictor, Rush
+Larsen ODE Solver, and Bezier Surface Generation."
+
+Each module provides an :class:`~repro.apps.base.AppSpec`: the
+technology-agnostic high-level C++ source (in the UHL subset), a scaled
+workload factory, a numpy oracle for correctness checks of generated
+designs, and the app-level precision-tolerance declaration consumed by
+the SP transform tasks (the asterisk in Fig. 4).
+"""
+
+from repro.apps.base import AppSpec
+from repro.apps.registry import ALL_APPS, get_app
+from repro.apps.nbody import NBODY
+from repro.apps.kmeans import KMEANS
+from repro.apps.adpredictor import ADPREDICTOR
+from repro.apps.rush_larsen import RUSH_LARSEN
+from repro.apps.bezier import BEZIER
+
+__all__ = [
+    "AppSpec",
+    "ALL_APPS",
+    "get_app",
+    "NBODY",
+    "KMEANS",
+    "ADPREDICTOR",
+    "RUSH_LARSEN",
+    "BEZIER",
+]

@@ -1,0 +1,137 @@
+"""K-Means Classification benchmark.
+
+The hotspot is the assignment step: for every point, find the nearest
+of K centroids.  Three FLOPs per sixteen bytes of traffic make it
+memory-bound (FLOPs/B well below the Fig. 3 threshold X), so the
+informed PSA strategy maps it to the multi-thread CPU branch -- where
+it also happens to be the fastest of the five generated designs
+(§IV-B.i).  K and D are compile-time constants (typical for deployed
+classifiers), so the distance loops are fixed-bound and fully
+unrollable on FPGAs; the designs exist but are bandwidth-starved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.lang.interpreter import Workload
+
+K = 8   # centroids
+D = 4   # feature dimensions
+
+SOURCE = f"""\
+// K-Means Classification: nearest-centroid assignment step.
+// Technology-agnostic high-level reference (single thread).
+#include <math.h>
+#include <stdio.h>
+
+int main() {{
+    int n = ws_int("n");
+    double* points = ws_array_double("points", n * {D});
+    double* centroids = ws_array_double("centroids", {K} * {D});
+    int* labels = ws_array_int("labels", n);
+    double* dist = ws_array_double("dist", n);
+    double* counts = ws_array_double("counts", {K});
+    double* sums = ws_array_double("sums", {K} * {D});
+    double* newc = ws_array_double("newc", {K} * {D});
+
+    // hotspot: assign each point to its nearest centroid
+    for (int i = 0; i < n; i++) {{
+        double best = 1.0e30;
+        int bestj = 0;
+        for (int j = 0; j < {K}; j++) {{
+            double s = 0.0;
+            for (int m = 0; m < {D}; m++) {{
+                double t = points[i * {D} + m] - centroids[j * {D} + m];
+                s = s + t * t;
+            }}
+            if (s < best) {{
+                best = s;
+                bestj = j;
+            }}
+        }}
+        labels[i] = bestj;
+        dist[i] = best;
+    }}
+
+    // cluster population histogram (cheap, sequential)
+    for (int i = 0; i < n; i++) {{
+        counts[labels[i]] = counts[labels[i]] + 1.0;
+    }}
+
+    // centroid update step (Lloyd iteration, indirect writes)
+    for (int i = 0; i < n; i++) {{
+        for (int m = 0; m < {D}; m++) {{
+            sums[labels[i] * {D} + m] =
+                sums[labels[i] * {D} + m] + points[i * {D} + m];
+        }}
+    }}
+    for (int j = 0; j < {K}; j++) {{
+        if (counts[j] > 0.0) {{
+            for (int m = 0; m < {D}; m++) {{
+                newc[j * {D} + m] = sums[j * {D} + m] / counts[j];
+            }}
+        }}
+    }}
+
+    // within-cluster inertia (convergence metric)
+    double inertia = 0.0;
+    for (int i = 0; i < n; i++) {{
+        inertia = inertia + dist[i];
+    }}
+    printf("points: %d\\n", n);
+    printf("inertia: %g\\n", inertia);
+    return 0;
+}}
+"""
+
+
+def make_workload(scale: float = 1.0) -> Workload:
+    n = max(64, int(768 * scale))
+    rng = np.random.default_rng(11)
+    # points drawn around K well-separated centres so labels are stable
+    centres = rng.random((K, D)) * 10.0
+    assignment = rng.integers(0, K, size=n)
+    points = centres[assignment] + rng.normal(0.0, 0.3, size=(n, D))
+    centroids = centres + rng.normal(0.0, 0.05, size=(K, D))
+    return Workload(
+        scalars={"n": n},
+        arrays={
+            "points": points.reshape(-1).tolist(),
+            "centroids": centroids.reshape(-1).tolist(),
+        },
+    )
+
+
+def oracle(workload: Workload) -> Dict[str, np.ndarray]:
+    n = int(workload.scalar("n"))
+    points = np.array(workload._initial_arrays["points"],
+                      dtype=float).reshape(n, D)
+    centroids = np.array(workload._initial_arrays["centroids"],
+                         dtype=float).reshape(K, D)
+    diff = points[:, None, :] - centroids[None, :, :]
+    d2 = np.sum(diff * diff, axis=2)
+    labels = np.argmin(d2, axis=1)
+    dist = d2[np.arange(n), labels]
+    counts = np.bincount(labels, minlength=K).astype(float)
+    return {"labels": labels, "dist": dist, "counts": counts}
+
+
+KMEANS = AppSpec(
+    name="kmeans",
+    display_name="K-Means",
+    source=SOURCE,
+    workload_factory=make_workload,
+    oracle=oracle,
+    output_buffers=("labels", "dist", "counts"),
+    sp_tolerant=True,
+    fixed_buffers=("centroids", "counts"),
+    eval_scale=2000.0,
+    hotspot_invocations=2,   # Lloyd iterations re-run assignment with
+                             # device-resident points
+    summary=("Nearest-centroid assignment; memory-bound, parallel outer "
+             "loop, fixed-bound inner distance loops"),
+)

@@ -1,0 +1,180 @@
+"""N-Body Simulation benchmark.
+
+All-pairs gravitational force evaluation followed by a leapfrog
+integration step.  The hotspot is the force loop: a "double outer loop
+nest with bounds unknown at compile time" (§IV-B.ii) -- the outer body
+loop is parallel, the inner accumulation loop carries reductions and
+cannot be fully unrolled, so the informed PSA strategy maps it to the
+CPU+GPU branch.  On FPGAs the variable-bound inner loop limits the
+design to one pipelined pair per cycle, the paper's 1.1x/1.4x result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.lang.interpreter import Workload
+
+SOURCE = """\
+// N-Body Simulation: all-pairs gravity + leapfrog step.
+// Technology-agnostic high-level reference (single thread).
+#include <math.h>
+#include <stdio.h>
+
+double kinetic_energy(const double* vel, const double* mass, int n) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        double vx = vel[i * 3];
+        double vy = vel[i * 3 + 1];
+        double vz = vel[i * 3 + 2];
+        total = total + 0.5 * mass[i] * (vx * vx + vy * vy + vz * vz);
+    }
+    return total;
+}
+
+double total_mass(const double* mass, int n) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        total = total + mass[i];
+    }
+    return total;
+}
+
+void center_of_mass(const double* pos, const double* mass, int n,
+                    double* com) {
+    double mtot = total_mass(mass, n);
+    for (int k = 0; k < 3; k++) {
+        com[k] = 0.0;
+    }
+    for (int i = 0; i < n; i++) {
+        for (int k = 0; k < 3; k++) {
+            com[k] = com[k] + mass[i] * pos[i * 3 + k];
+        }
+    }
+    for (int k = 0; k < 3; k++) {
+        com[k] = com[k] / mtot;
+    }
+}
+
+double bounding_radius(const double* pos, const double* com, int n) {
+    double worst = 0.0;
+    for (int i = 0; i < n; i++) {
+        double dx = pos[i * 3] - com[0];
+        double dy = pos[i * 3 + 1] - com[1];
+        double dz = pos[i * 3 + 2] - com[2];
+        double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 > worst) {
+            worst = r2;
+        }
+    }
+    return sqrt(worst);
+}
+
+int main() {
+    int n = ws_int("n");
+    double dt = ws_double("dt");
+    double soft = ws_double("soft");
+    double* pos = ws_array_double("pos", n * 3);
+    double* vel = ws_array_double("vel", n * 3);
+    double* mass = ws_array_double("mass", n);
+    double* acc = ws_array_double("acc", n * 3);
+
+    // hotspot: all-pairs force accumulation (naive: accumulates
+    // straight into the acc[] buffer every inner iteration)
+    for (int i = 0; i < n; i++) {
+        double px = pos[i * 3];
+        double py = pos[i * 3 + 1];
+        double pz = pos[i * 3 + 2];
+        acc[i * 3] = 0.0;
+        acc[i * 3 + 1] = 0.0;
+        acc[i * 3 + 2] = 0.0;
+        for (int j = 0; j < n; j++) {
+            double dx = pos[j * 3] - px;
+            double dy = pos[j * 3 + 1] - py;
+            double dz = pos[j * 3 + 2] - pz;
+            double r2 = dx * dx + dy * dy + dz * dz + soft;
+            double inv = rsqrt(r2);
+            double inv3 = inv * inv * inv;
+            double f = mass[j] * inv3;
+            acc[i * 3] += f * dx;
+            acc[i * 3 + 1] += f * dy;
+            acc[i * 3 + 2] += f * dz;
+        }
+    }
+
+    // leapfrog integration (cheap, stays on the host)
+    for (int i = 0; i < n; i++) {
+        for (int k = 0; k < 3; k++) {
+            vel[i * 3 + k] = vel[i * 3 + k] + acc[i * 3 + k] * dt;
+            pos[i * 3 + k] = pos[i * 3 + k] + vel[i * 3 + k] * dt;
+        }
+    }
+
+    // step diagnostics
+    double com[3];
+    center_of_mass(pos, mass, n, com);
+    double ek = kinetic_energy(vel, mass, n);
+    double radius = bounding_radius(pos, com, n);
+    printf("bodies: %d\\n", n);
+    printf("kinetic energy: %g\\n", ek);
+    printf("com: %g %g %g\\n", com[0], com[1], com[2]);
+    printf("bounding radius: %g\\n", radius);
+    return 0;
+}
+"""
+
+
+def make_workload(scale: float = 1.0) -> Workload:
+    n = max(16, int(128 * scale))
+    rng = np.random.default_rng(7)
+    pos = (rng.random(n * 3) * 10.0 - 5.0)
+    vel = rng.random(n * 3) * 0.1
+    mass = 1.0 + rng.random(n)
+    return Workload(
+        scalars={"n": n, "dt": 0.01, "soft": 1e-3},
+        arrays={
+            "pos": pos.tolist(),
+            "vel": vel.tolist(),
+            "mass": mass.tolist(),
+        },
+    )
+
+
+def oracle(workload: Workload) -> Dict[str, np.ndarray]:
+    n = int(workload.scalar("n"))
+    dt = float(workload.scalar("dt"))
+    soft = float(workload.scalar("soft"))
+    pos = np.array(workload._initial_arrays["pos"], dtype=float).reshape(n, 3)
+    vel = np.array(workload._initial_arrays["vel"], dtype=float).reshape(n, 3)
+    mass = np.array(workload._initial_arrays["mass"], dtype=float)
+
+    diff = pos[None, :, :] - pos[:, None, :]          # (i, j, 3)
+    r2 = np.sum(diff * diff, axis=2) + soft
+    inv3 = 1.0 / np.sqrt(r2) ** 3
+    f = mass[None, :] * inv3                           # (i, j)
+    acc = np.einsum("ij,ijk->ik", f, diff)
+    vel_out = vel + acc * dt
+    pos_out = pos + vel_out * dt
+    return {
+        "acc": acc.reshape(-1),
+        "vel": vel_out.reshape(-1),
+        "pos": pos_out.reshape(-1),
+    }
+
+
+NBODY = AppSpec(
+    name="nbody",
+    display_name="N-Body",
+    source=SOURCE,
+    workload_factory=make_workload,
+    oracle=oracle,
+    output_buffers=("acc", "vel", "pos"),
+    sp_tolerant=True,
+    eval_scale=4000.0,
+    hotspot_invocations=10,  # simulation timesteps keep bodies resident
+    summary=("All-pairs gravitational forces; compute-bound, parallel "
+             "outer loop, variable-bound inner reduction loop"),
+)

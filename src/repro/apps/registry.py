@@ -1,0 +1,30 @@
+"""Registry of the five evaluation applications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.adpredictor import ADPREDICTOR
+from repro.apps.base import AppSpec
+from repro.apps.bezier import BEZIER
+from repro.apps.kmeans import KMEANS
+from repro.apps.nbody import NBODY
+from repro.apps.rush_larsen import RUSH_LARSEN
+
+ALL_APPS: Dict[str, AppSpec] = {
+    app.name: app
+    for app in (NBODY, KMEANS, ADPREDICTOR, RUSH_LARSEN, BEZIER)
+}
+
+#: the paper's presentation order in Fig. 5 / Table I
+PAPER_ORDER: List[str] = [
+    "rush_larsen", "nbody", "bezier", "adpredictor", "kmeans",
+]
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; known: {sorted(ALL_APPS)}") from None

@@ -1,0 +1,235 @@
+"""Rush Larsen ODE Solver benchmark.
+
+One Rush-Larsen timestep of a Hodgkin-Huxley-style cardiac membrane
+model: for every cell, advance NG gating variables through the
+exponential integrator ``g' = g_inf + (g - g_inf) * exp(-dt/tau)`` with
+voltage-dependent rate functions (two to three ``exp`` evaluations per
+gate), then update the membrane potential from the ionic currents.
+
+Properties that drive the flow (§IV-B.ii/iii):
+
+- "a single outer loop" over cells, parallel, with a large
+  straight-line body and *no* inner loops;
+- the body's ~50 ``exp``/``pow`` evaluations keep ~255 registers per
+  thread live on GPUs -- saturating the GTX 1080 Ti (2048-thread SMs at
+  12.5% occupancy) but not the RTX 2080 Ti (1024-thread SMs at 25%);
+- the same 50 elementary-function pipelines make the FPGA designs
+  exceed the capacity of both devices: they are generated but not
+  synthesisable, exactly the paper's Rush Larsen outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.lang.interpreter import Workload
+
+NG = 14  # gating variables
+
+# Rate-function constants per gate:
+#   alpha = c1 * exp(c2 * (vm + c3))       [1/ms]
+#   beta  = c4 * exp(c5 * (vm + c6))       [1/ms]
+# gates with sigmoid=True use a Boltzmann steady state
+#   inf   = 1 / (1 + exp(-(vm + c7) * c8))
+# instead of alpha/(alpha+beta).
+# Values span physiological ranges (vm in [-85, 40] mV).
+GATES: List[Tuple[float, float, float, float, float, float,
+                  float, float, bool]] = [
+    (0.32, 0.060, 47.13, 0.08, -0.0900, 11.0, 40.0, 0.100, False),
+    (0.135, -0.147, 80.0, 3.56, 0.0790, 0.0, 66.0, -0.120, True),
+    (0.095, -0.010, -5.0, 0.07, -0.0170, 44.0, 10.0, 0.150, False),
+    (0.012, -0.008, 28.0, 0.0065, -0.0200, 30.0, 35.0, 0.080, True),
+    (0.0005, 0.083, 50.0, 0.0013, -0.0600, 20.0, 22.0, 0.090, False),
+    (0.054, 0.028, 35.0, 0.018, -0.0400, 25.0, 52.0, 0.110, True),
+    (0.076, 0.015, 10.0, 0.047, -0.0250, 60.0, 30.0, 0.070, False),
+    (0.021, 0.042, 64.0, 0.029, -0.0330, 15.0, 45.0, 0.130, True),
+    (0.290, -0.052, 22.0, 0.062, 0.0210, 18.0, 28.0, 0.095, False),
+    (0.014, 0.037, 39.0, 0.088, -0.0560, 33.0, 61.0, 0.105, True),
+    (0.067, 0.019, 55.0, 0.041, -0.0440, 27.0, 19.0, 0.085, False),
+    (0.033, -0.061, 72.0, 0.011, 0.0340, 41.0, 37.0, 0.115, True),
+    (0.190, 0.024, 16.0, 0.056, -0.0710, 52.0, 48.0, 0.075, False),
+    (0.008, 0.049, 83.0, 0.073, -0.0180, 9.0, 57.0, 0.125, True),
+]
+
+
+def _gate_block(g: int) -> str:
+    c1, c2, c3, c4, c5, c6, c7, c8, sigmoid = GATES[g]
+    lines = [
+        f"        double a{g} = {c1} * exp({c2} * (vm + {c3}));",
+        f"        double b{g} = {c4} * exp({c5} * (vm + {c6}));",
+        f"        double tau{g} = 1.0 / (a{g} + b{g});",
+    ]
+    if sigmoid:
+        lines.append(
+            f"        double inf{g} = 1.0 / "
+            f"(1.0 + exp(0.0 - (vm + {c7}) * {c8}));")
+    else:
+        lines.append(f"        double inf{g} = a{g} * tau{g};")
+    lines += [
+        f"        double y{g} = inf{g} + (gates[i * {NG} + {g}] - inf{g})"
+        f" * exp(0.0 - dt / tau{g});",
+        f"        gates[i * {NG} + {g}] = y{g};",
+    ]
+    return "\n".join(lines)
+
+
+_GATE_BLOCKS = "\n".join(_gate_block(g) for g in range(NG))
+
+SOURCE = f"""\
+// Rush Larsen ODE Solver: one exponential-integrator timestep of a
+// Hodgkin-Huxley-style cardiac membrane model.
+// Technology-agnostic high-level reference (single thread).
+#include <math.h>
+#include <stdio.h>
+
+// external pacing stimulus (rectangular pulse train)
+double stimulus(double t, double period, double duration,
+                double amplitude) {{
+    double phase = t - floor(t / period) * period;
+    if (phase < duration) {{
+        return amplitude;
+    }}
+    return 0.0;
+}}
+
+// resting-potential estimate: relaxation toward the K reversal
+double resting_potential(double ek, double gk_ratio) {{
+    return ek + 12.0 * (1.0 - gk_ratio);
+}}
+
+// population statistics over the cell array
+double array_mean(const double* values, int n) {{
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {{
+        total = total + values[i];
+    }}
+    return total / (double)n;
+}}
+
+double array_min(const double* values, int n) {{
+    double best = values[0];
+    for (int i = 1; i < n; i++) {{
+        if (values[i] < best) {{
+            best = values[i];
+        }}
+    }}
+    return best;
+}}
+
+double array_max(const double* values, int n) {{
+    double best = values[0];
+    for (int i = 1; i < n; i++) {{
+        if (values[i] > best) {{
+            best = values[i];
+        }}
+    }}
+    return best;
+}}
+
+int main() {{
+    int n = ws_int("n");
+    double dt = ws_double("dt");
+    double* vm_in = ws_array_double("vm_in", n);
+    double* gates = ws_array_double("gates", n * {NG});
+    double* vm_out = ws_array_double("vm_out", n);
+
+    // hotspot: advance all gates and the membrane potential per cell
+    for (int i = 0; i < n; i++) {{
+        double vm = vm_in[i];
+{_GATE_BLOCKS}
+        // ionic currents assembled from the updated gates
+        double ina = 23.0 * y0 * y0 * y0 * y1 * y2 * (vm - 54.4);
+        double ik = 0.282 * pow(y3, 4.0) * (vm + 77.0);
+        double ica = 0.09 * y4 * y5 * (vm - 120.0);
+        double ikp = 0.0183 * pow(y6, 2.0) * (vm + 87.2);
+        double ito = 0.3 * y7 * y8 * pow(y9, 3.0) * (vm + 60.0);
+        double ifunny = 0.025 * (y10 + y11) * (vm + 20.0);
+        double ibg = 0.0392 * y12 * y13 * (vm + 21.0);
+        double itotal = ina + ik + ica + ikp + ito + ifunny + ibg;
+        vm_out[i] = vm - dt * itotal + stimulus(8.0, 500.0, 2.0, 0.0);
+    }}
+
+    // step diagnostics: membrane statistics and gate health checks
+    double vmin = array_min(vm_out, n);
+    double vmax = array_max(vm_out, n);
+    double vmean = array_mean(vm_out, n);
+    printf("cells: %d\\n", n);
+    printf("vm min/mean/max: %g %g %g\\n", vmin, vmean, vmax);
+    printf("resting estimate: %g\\n", resting_potential(0.0 - 77.0, 0.9));
+    int clipped = 0;
+    for (int i = 0; i < n; i++) {{
+        for (int g = 0; g < {NG}; g++) {{
+            double y = gates[i * {NG} + g];
+            if (y < 0.0 || y > 1.0) {{
+                clipped = clipped + 1;
+            }}
+        }}
+    }}
+    printf("gates out of [0,1]: %d\\n", clipped);
+    double depol = 0.0;
+    for (int i = 0; i < n; i++) {{
+        if (vm_out[i] > 0.0 - 40.0) {{
+            depol = depol + 1.0;
+        }}
+    }}
+    printf("depolarised fraction: %g\\n", depol / (double)n);
+    return 0;
+}}
+"""
+
+
+def make_workload(scale: float = 1.0) -> Workload:
+    n = max(32, int(256 * scale))
+    rng = np.random.default_rng(17)
+    vm = rng.random(n) * 100.0 - 80.0          # [-80, 20] mV
+    gates = rng.random(n * NG) * 0.8 + 0.1     # open fractions
+    return Workload(
+        scalars={"n": n, "dt": 0.02},
+        arrays={"vm_in": vm.tolist(), "gates": gates.tolist()},
+    )
+
+
+def oracle(workload: Workload) -> Dict[str, np.ndarray]:
+    n = int(workload.scalar("n"))
+    dt = float(workload.scalar("dt"))
+    vm = np.array(workload._initial_arrays["vm_in"], dtype=float)
+    gates = np.array(workload._initial_arrays["gates"],
+                     dtype=float).reshape(n, NG).copy()
+    y = np.empty((n, NG), dtype=float)
+    for g, (c1, c2, c3, c4, c5, c6, c7, c8, sigmoid) in enumerate(GATES):
+        a = c1 * np.exp(c2 * (vm + c3))
+        b = c4 * np.exp(c5 * (vm + c6))
+        tau = 1.0 / (a + b)
+        if sigmoid:
+            inf = 1.0 / (1.0 + np.exp(-(vm + c7) * c8))
+        else:
+            inf = a * tau
+        y[:, g] = inf + (gates[:, g] - inf) * np.exp(-dt / tau)
+    gates_out = y
+    ina = 23.0 * y[:, 0] * y[:, 0] * y[:, 0] * y[:, 1] * y[:, 2] * (vm - 54.4)
+    ik = 0.282 * y[:, 3] ** 4.0 * (vm + 77.0)
+    ica = 0.09 * y[:, 4] * y[:, 5] * (vm - 120.0)
+    ikp = 0.0183 * y[:, 6] ** 2.0 * (vm + 87.2)
+    ito = 0.3 * y[:, 7] * y[:, 8] * y[:, 9] ** 3.0 * (vm + 60.0)
+    ifunny = 0.025 * (y[:, 10] + y[:, 11]) * (vm + 20.0)
+    ibg = 0.0392 * y[:, 12] * y[:, 13] * (vm + 21.0)
+    itotal = ina + ik + ica + ikp + ito + ifunny + ibg
+    return {"gates": gates_out.reshape(-1), "vm_out": vm - dt * itotal}
+
+
+RUSH_LARSEN = AppSpec(
+    name="rush_larsen",
+    display_name="Rush Larsen",
+    source=SOURCE,
+    workload_factory=make_workload,
+    oracle=oracle,
+    output_buffers=("gates", "vm_out"),
+    sp_tolerant=True,
+    hotspot_invocations=50,  # ODE timesteps keep cell state resident
+    eval_scale=2000.0,
+    summary=("Exponential-integrator cardiac cell update; single "
+             "parallel outer loop, ~50 elementary functions per cell"),
+)

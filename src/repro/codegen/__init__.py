@@ -1,0 +1,26 @@
+"""Code-generation tasks (the ``CG`` rows of Fig. 4) and the Design
+artifact they produce.
+
+"Each path after the branch point comprises target-dependent tasks,
+beginning with generating the framework specific management code
+required for each programming model (HIP, oneAPI, or OpenMP)" (§III).
+
+- :mod:`design` -- the :class:`Design` artifact: kernel AST + generated
+  management code + metadata, rendered to a complete human-readable
+  source file (LOC accounting for Table I);
+- :mod:`openmp` -- OpenMP multi-thread CPU designs;
+- :mod:`hip` -- HIP CPU+GPU designs (__global__ kernel + host wrapper);
+- :mod:`oneapi` -- oneAPI/SYCL CPU+FPGA designs (buffer or USM styles).
+"""
+
+from repro.codegen.design import Design
+from repro.codegen.openmp import generate_openmp_design
+from repro.codegen.hip import generate_hip_design
+from repro.codegen.oneapi import generate_oneapi_design
+
+__all__ = [
+    "Design",
+    "generate_openmp_design",
+    "generate_hip_design",
+    "generate_oneapi_design",
+]

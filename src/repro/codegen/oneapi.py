@@ -1,0 +1,230 @@
+"""oneAPI CPU+FPGA design generation ("Generate oneAPI Design", Fig. 4).
+
+Produces the SYCL management code around the extracted kernel:
+
+- a queue bound to the FPGA selector;
+- either **buffer/accessor** data movement (the default, used on the
+  Arria10, which lacks unified-shared-memory support) or **zero-copy
+  USM host allocations** (the Stratix10 "Zero-Copy Data Transfer" task:
+  "taking advantage of zero-copy host memory with oneAPI is supported
+  on Intel Stratix10 FPGAs ... but not on Arria10s", §III);
+- a ``single_task`` kernel enclosing the hotspot loop with its unroll
+  pragmas (set by "Unroll Fixed Loops" and the per-device
+  "Unroll Until Overmap DSE").
+
+The exported design is a complete translation unit; its added lines are
+what Table I counts for the oneAPI columns (the USM style is the more
+verbose of the two, matching the S10 > A10 LOC deltas).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.data_movement import DataMovementInfo
+from repro.codegen.design import Design
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import CType, FunctionDecl
+from repro.meta.unparse import unparse
+from repro.transforms.extraction import ExtractionResult
+
+_ACCESS_MODE = {
+    "in": "sycl::access::mode::read",
+    "out": "sycl::access::mode::write",
+    "inout": "sycl::access::mode::read_write",
+}
+
+
+def generate_oneapi_design(app_name: str, ast: Ast,
+                           extraction: ExtractionResult,
+                           data_movement: Optional[DataMovementInfo],
+                           reference_loc: int) -> Design:
+    return Design(
+        app_name=app_name,
+        kind="fpga-oneapi",
+        kernel_name=extraction.kernel_name,
+        ast=ast,
+        params=extraction.params,
+        buffers=data_movement.buffers if data_movement else (),
+        reference_loc=reference_loc,
+        metadata={
+            "zero_copy": False,
+            "unroll_factor": 1,
+        },
+    )
+
+
+def _size_macro(name: str) -> str:
+    return f"N_{name.upper()}"
+
+
+def _indent(text: str, spaces: int) -> List[str]:
+    pad = " " * spaces
+    return [pad + line if line else "" for line in text.splitlines()]
+
+
+def _direction(design: Design, name: str) -> str:
+    for buf in design.buffers:
+        if buf.name == name:
+            return buf.direction
+    return "inout"
+
+
+def _render_selector(lines: List[str]) -> None:
+    """Device selection + queue construction shared by both styles."""
+    lines.append("    #if defined(FPGA_EMULATOR)")
+    lines.append("    sycl::ext::intel::fpga_emulator_selector selector;")
+    lines.append("    #else")
+    lines.append("    sycl::ext::intel::fpga_selector selector;")
+    lines.append("    #endif")
+    lines.append("    sycl::property_list props{"
+                 "sycl::property::queue::enable_profiling()};")
+    lines.append("    sycl::queue q(selector, "
+                 "fpga_exception_handler, props);")
+
+
+_EXCEPTION_HANDLER = [
+    "// oneAPI asynchronous exception handler (required for FPGA queues)",
+    "static auto fpga_exception_handler = [](sycl::exception_list elist) {",
+    "    for (std::exception_ptr const& e : elist) {",
+    "        try {",
+    "            std::rethrow_exception(e);",
+    "        } catch (sycl::exception const& exc) {",
+    '            std::cerr << "SYCL async exception: " << exc.what()'
+    " << std::endl;",
+    "            std::terminate();",
+    "        }",
+    "    }",
+    "};",
+]
+
+
+def _render_buffer_style(design: Design, kernel: FunctionDecl) -> List[str]:
+    params = ", ".join(f"{ctype} {name}" for name, ctype in design.params)
+    pointer_params = [(n, t) for n, t in design.params if t.is_pointer]
+
+    lines = list(_EXCEPTION_HANDLER)
+    lines.append("")
+    lines.append(f"void {kernel.name}({params})")
+    lines.append("{")
+    _render_selector(lines)
+    lines.append("    {")
+    for name, _ in pointer_params:
+        lines.append(
+            f"        sycl::range<1> range_{name}({_size_macro(name)});")
+    for name, ctype in pointer_params:
+        lines.append(
+            f"        sycl::buffer<{ctype.base}, 1> buf_{name}"
+            f"((({ctype.base}*){name}), range_{name});")
+    lines.append("        sycl::event evt = q.submit("
+                 "[&](sycl::handler& h) {")
+    for name, ctype in pointer_params:
+        mode = _ACCESS_MODE[_direction(design, name)]
+        lines.append(
+            f"            auto acc_{name} = "
+            f"buf_{name}.get_access<{mode}>(h);")
+    lines.append(
+        f"            h.single_task<class {kernel.name.title()}Kernel>"
+        "([=]() {")
+    body = unparse(kernel.body)
+    lines.extend(_indent(body, 16))
+    lines.append("            });")
+    lines.append("        });")
+    lines.append("        evt.wait();")
+    lines.append("        double t_ns = "
+                 "evt.get_profiling_info<"
+                 "sycl::info::event_profiling::command_end>() -")
+    lines.append("            evt.get_profiling_info<"
+                 "sycl::info::event_profiling::command_start>();")
+    lines.append('        std::cerr << "kernel time (ms): " '
+                 "<< t_ns * 1e-6 << std::endl;")
+    lines.append("    }  // buffers synchronise host data here")
+    lines.append("    q.wait();")
+    lines.append("}")
+    return lines
+
+
+def _render_usm_style(design: Design, kernel: FunctionDecl) -> List[str]:
+    params = ", ".join(f"{ctype} {name}" for name, ctype in design.params)
+    pointer_params = [(n, t) for n, t in design.params if t.is_pointer]
+
+    lines = list(_EXCEPTION_HANDLER)
+    lines.append("")
+    lines.append(f"void {kernel.name}({params})")
+    lines.append("{")
+    _render_selector(lines)
+    lines.append("    // Zero-Copy Data Transfer: the Stratix10 supports")
+    lines.append("    // unified shared memory; the kernel accesses host")
+    lines.append("    // allocations directly, eliminating bulk copies.")
+    lines.append("    if (!q.get_device().has("
+                 "sycl::aspect::usm_host_allocations)) {")
+    lines.append('        std::cerr << "device lacks USM host allocations"'
+                 " << std::endl;")
+    lines.append("        std::terminate();")
+    lines.append("    }")
+    for name, ctype in pointer_params:
+        lines.append(
+            f"    {ctype.base}* usm_{name} = "
+            f"sycl::malloc_host<{ctype.base}>({_size_macro(name)}, q);")
+    for name, _ in pointer_params:
+        lines.append(f"    if (usm_{name} == nullptr) {{")
+        lines.append('        std::cerr << "USM host allocation failed: '
+                     f'{name}" << std::endl;')
+        lines.append("        std::terminate();")
+        lines.append("    }")
+    for name, ctype in pointer_params:
+        if _direction(design, name) in ("in", "inout"):
+            lines.append(
+                f"    memcpy(usm_{name}, {name}, "
+                f"{_size_macro(name)} * sizeof({ctype.base}));")
+    lines.append("    sycl::event evt = q.submit([&](sycl::handler& h) {")
+    lines.append(
+        f"        h.single_task<class {kernel.name.title()}Kernel>([=]() {{")
+    body = unparse(kernel.body)
+    lines.extend(_indent(body, 12))
+    lines.append("        });")
+    lines.append("    });")
+    lines.append("    evt.wait();")
+    for name, ctype in pointer_params:
+        if _direction(design, name) in ("out", "inout"):
+            lines.append(
+                f"    memcpy({name}, usm_{name}, "
+                f"{_size_macro(name)} * sizeof({ctype.base}));")
+    for name, _ in pointer_params:
+        lines.append(f"    sycl::free(usm_{name}, q);")
+    lines.append("}")
+    return lines
+
+
+def render_oneapi_design(design: Design) -> str:
+    kernel = design.ast.function(design.kernel_name)
+    device = design.metadata.get("device_label", design.device or "fpga")
+    zero_copy = design.metadata.get("zero_copy", False)
+    lines = [
+        f"// Auto-generated oneAPI CPU+FPGA design ({design.app_name}, "
+        f"{device})",
+        "#include <sycl/sycl.hpp>",
+        "#include <sycl/ext/intel/fpga_extensions.hpp>",
+        "#include <iostream>",
+        "#include <cstring>",
+        "#include <math.h>",
+        "",
+        "// Buffer extents determined by dynamic Data In/Out Analysis",
+    ]
+    nbytes_of = {buf.name: buf.nbytes for buf in design.buffers}
+    for name, ctype in design.params:
+        if ctype.is_pointer:
+            elem_size = max(1, CType(ctype.base).sizeof())
+            count = nbytes_of.get(name, 0) // elem_size
+            lines.append(f"#define {_size_macro(name)} {count}")
+    lines.append("")
+    if zero_copy:
+        lines.extend(_render_usm_style(design, kernel))
+    else:
+        lines.extend(_render_buffer_style(design, kernel))
+    lines.append("")
+    for decl in design.ast.unit.decls:
+        if isinstance(decl, FunctionDecl) and decl.name == design.kernel_name:
+            continue  # replaced by the SYCL wrapper above
+        lines.append(unparse(decl))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+- :mod:`fig5` -- accelerated hotspot speedups of all generated designs
+  (informed + uninformed PSA-flow runs over the five benchmarks);
+- :mod:`table1` -- added lines of code per generated design;
+- :mod:`fig6` -- relative FPGA-vs-GPU execution cost over price ratios;
+- :mod:`table2` -- the related-work capability matrix (encoded data);
+- :mod:`runner` -- shared flow execution + result caching;
+- :mod:`render` -- ASCII tables and bar charts for terminal output.
+
+Run from the command line::
+
+    python -m repro.evalharness fig5
+    python -m repro.evalharness table1
+    python -m repro.evalharness fig6
+    python -m repro.evalharness table2
+    python -m repro.evalharness all
+"""
+
+from repro.evalharness.runner import EvaluationRunner
+from repro.evalharness.fig5 import PAPER_FIG5, Fig5Row, run_fig5
+from repro.evalharness.table1 import PAPER_TABLE1, Table1Row, run_table1
+from repro.evalharness.fig6 import PAPER_FIG6_CROSSOVERS, run_fig6
+from repro.evalharness.table2 import TABLE2_ROWS, render_table2
+
+__all__ = [
+    "EvaluationRunner",
+    "run_fig5", "Fig5Row", "PAPER_FIG5",
+    "run_table1", "Table1Row", "PAPER_TABLE1",
+    "run_fig6", "PAPER_FIG6_CROSSOVERS",
+    "render_table2", "TABLE2_ROWS",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry: ``python -m repro.evalharness <experiment>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evalharness.energy import render_energy, run_energy
+from repro.evalharness.fig5 import render_fig5, run_fig5
+from repro.evalharness.fig6 import render_fig6, run_fig6
+from repro.evalharness.runner import EvaluationRunner
+from repro.evalharness.table1 import render_table1, run_table1
+from repro.evalharness.report import write_report
+from repro.evalharness.table2 import render_table2
+
+USAGE = """usage: python -m repro.evalharness <experiment>
+
+experiments:
+  fig5     hotspot speedups of all generated designs
+  table1   added LOC per generated design
+  fig6     relative FPGA vs GPU execution cost
+  table2   related-work capability matrix
+  energy   energy per hotspot execution (SS IV-D extension)
+  report   write the full markdown reproduction report
+  all      everything above (flows are run once and shared)
+"""
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    which = argv[0]
+    runner = EvaluationRunner()
+    if which == "fig5":
+        print(render_fig5(run_fig5(runner)))
+    elif which == "table1":
+        print(render_table1(run_table1(runner)))
+    elif which == "fig6":
+        print(render_fig6(run_fig6(runner)))
+    elif which == "table2":
+        print(render_table2())
+    elif which == "energy":
+        print(render_energy(run_energy(runner)))
+    elif which == "report":
+        write_report("reproduction_report.md", runner)
+        print("report written to reproduction_report.md")
+    elif which == "all":
+        print(render_fig5(run_fig5(runner)))
+        print()
+        print(render_table1(run_table1(runner)))
+        print()
+        print(render_fig6(run_fig6(runner)))
+        print()
+        print(render_energy(run_energy(runner)))
+        print()
+        print(render_table2())
+    else:
+        print(USAGE)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

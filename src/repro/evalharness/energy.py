@@ -1,0 +1,91 @@
+"""Energy-efficiency analysis (paper §IV-D extension).
+
+"Similar analysis could be used to identify the most energy efficient
+implementation for a specific application."  For every benchmark and
+every synthesisable design of the uninformed flow, compute the energy
+of one hotspot execution and report the most energy-efficient target
+alongside the fastest -- they frequently differ, which is the point.
+
+    python -m repro.evalharness energy
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.registry import get_app
+from repro.evalharness.render import table
+from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
+from repro.platforms.power import energy_joules
+
+
+@dataclass
+class EnergyRow:
+    app: str
+    display_name: str
+    #: label -> energy in joules per hotspot execution (None = n/a)
+    energy_j: Dict[str, Optional[float]]
+    fastest: str
+    most_efficient: str
+
+    @property
+    def efficiency_differs_from_speed(self) -> bool:
+        return self.fastest != self.most_efficient
+
+
+def run_energy(runner: Optional[EvaluationRunner] = None) -> List[EnergyRow]:
+    runner = runner or EvaluationRunner()
+    rows: List[EnergyRow] = []
+    for app_name in runner.all_apps():
+        result = runner.uninformed(app_name)
+        energy: Dict[str, Optional[float]] = {}
+        for label in DESIGN_LABELS:
+            design = result.design(label)
+            if design is None or not design.synthesizable:
+                energy[label] = None
+                continue
+            energy[label] = energy_joules(
+                design.device, design.predicted_time_s, kind=design.kind)
+        valid = {k: v for k, v in energy.items() if v is not None}
+        most_efficient = min(valid, key=valid.get)
+        fastest_design = max(result.synthesizable_designs,
+                             key=lambda d: d.speedup)
+        rows.append(EnergyRow(
+            app=app_name,
+            display_name=get_app(app_name).display_name,
+            energy_j=energy,
+            fastest=fastest_design.metadata.get("device_label"),
+            most_efficient=most_efficient,
+        ))
+    return rows
+
+
+def render_energy(rows: List[EnergyRow]) -> str:
+    headers = (["Application"] + [f"E({l}) mJ" for l in DESIGN_LABELS]
+               + ["fastest", "most efficient"])
+    body = []
+    for row in rows:
+        cells = [row.display_name]
+        for label in DESIGN_LABELS:
+            value = row.energy_j[label]
+            cells.append("n/a" if value is None else f"{value * 1e3:.2f}")
+        cells += [row.fastest, row.most_efficient
+                  + (" *" if row.efficiency_differs_from_speed else "")]
+        body.append(cells)
+    notes = ["", "* most energy-efficient target differs from the fastest",
+             "energy = board power(utilisation) x hotspot time, one "
+             "execution"]
+    return table(headers, body,
+                 title="Energy per hotspot execution (SS IV-D extension)") \
+        + "\n" + "\n".join(notes)
+
+
+def main() -> str:
+    text = render_energy(run_energy())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

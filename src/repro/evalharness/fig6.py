@@ -1,0 +1,113 @@
+"""Fig. 6: relative cost of FPGA vs GPU execution over resource prices.
+
+"Fig. 6 shows the relative cost of FPGA and GPU execution for three
+applications based on the Stratix10 and 2080 Ti results from Fig. 5":
+
+- AdPredictor executes fastest on the Stratix10, yet "if the FPGA price
+  per unit time is > 3.2 times the GPU price, it is more cost effective
+  to execute on the CPU+GPU 2080 Ti platform";
+- "if the GPU price is > 2.5 times the FPGA price, it is more cost
+  effective to execute Bezier on the Stratix10 CPU+FPGA platform,
+  despite being slower".
+
+The harness sweeps the FPGA/GPU price ratio over the figure's 1/4..4
+range, computes cost(FPGA)/cost(GPU) per application from the measured
+hotspot times, and reports each crossover (the price ratio at which the
+two platforms cost the same = t_gpu / t_fpga).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import get_app
+from repro.evalharness.render import table
+from repro.evalharness.runner import EvaluationRunner
+from repro.flow.cost import CostEvaluator
+
+#: apps shown in the paper's Fig. 6
+FIG6_APPS = ("adpredictor", "bezier", "kmeans")
+
+#: crossover price ratios the paper quotes (FPGA price / GPU price)
+PAPER_FIG6_CROSSOVERS: Dict[str, float] = {
+    "adpredictor": 3.2,   # FPGA 3.2x faster: stays cheaper until 3.2
+    "bezier": 1 / 2.5,    # GPU 2.5x faster: FPGA cheaper below 1/2.5
+}
+
+#: the Fig. 6 x-axis
+PRICE_RATIOS = (0.25, 1 / 3, 0.5, 1.0, 2.0, 3.0, 4.0)
+
+FPGA_LABEL = "oneapi-s10"
+GPU_LABEL = "hip-2080ti"
+
+
+@dataclass
+class Fig6Row:
+    app: str
+    display_name: str
+    t_fpga_s: float
+    t_gpu_s: float
+    #: cost(FPGA)/cost(GPU) per swept price ratio
+    relative_costs: Dict[float, float]
+    #: FPGA/GPU price ratio at which costs are equal
+    crossover: float
+
+    def fpga_cheaper_at(self, price_ratio: float) -> bool:
+        return self.relative_costs[price_ratio] < 1.0
+
+
+def run_fig6(runner: Optional[EvaluationRunner] = None) -> List[Fig6Row]:
+    runner = runner or EvaluationRunner()
+    evaluator = CostEvaluator()
+    rows: List[Fig6Row] = []
+    for app_name in FIG6_APPS:
+        t_fpga = runner.hotspot_time(app_name, FPGA_LABEL)
+        t_gpu = runner.hotspot_time(app_name, GPU_LABEL)
+        if t_fpga is None or t_gpu is None:
+            continue
+        relative = {}
+        for ratio in PRICE_RATIOS:
+            # price ratio = p_fpga / p_gpu; absolute scale cancels
+            cost_fpga = t_fpga * ratio
+            cost_gpu = t_gpu * 1.0
+            relative[ratio] = cost_fpga / cost_gpu
+        crossover = evaluator.crossover_price_ratio(t_fpga, t_gpu)
+        rows.append(Fig6Row(app_name, get_app(app_name).display_name,
+                            t_fpga, t_gpu, relative, crossover))
+    return rows
+
+
+def render_fig6(rows: List[Fig6Row]) -> str:
+    headers = (["App", "t_S10", "t_2080Ti"]
+               + [f"p={r:.2f}" for r in PRICE_RATIOS]
+               + ["crossover", "paper"])
+    body = []
+    for row in rows:
+        paper = PAPER_FIG6_CROSSOVERS.get(row.app)
+        body.append(
+            [row.display_name,
+             f"{row.t_fpga_s * 1e3:.2f} ms",
+             f"{row.t_gpu_s * 1e3:.2f} ms"]
+            + [f"{row.relative_costs[r]:.2f}" for r in PRICE_RATIOS]
+            + [f"{row.crossover:.2f}",
+               f"{paper:.2f}" if paper is not None else "-"])
+    notes = [
+        "",
+        "cells: cost(Stratix10) / cost(2080 Ti) at FPGA/GPU price ratio p",
+        "cell < 1 -> FPGA is more cost effective at that price ratio",
+        "crossover: price ratio p at which both platforms cost the same",
+    ]
+    return table(headers, body,
+                 title="Fig. 6 -- relative FPGA vs GPU execution cost") \
+        + "\n" + "\n".join(notes)
+
+
+def main() -> str:
+    text = render_fig6(run_fig6())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

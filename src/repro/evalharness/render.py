@@ -1,0 +1,61 @@
+"""Terminal rendering: ASCII tables and horizontal bar charts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+          title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+
+    def line(cells):
+        return " | ".join(str(c).rjust(widths[i]) if i else
+                          str(c).ljust(widths[i])
+                          for i, c in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def bars(labels: Sequence[str], values: Sequence[Optional[float]],
+         title: str = "", width: int = 50, unit: str = "x") -> str:
+    """Horizontal bar chart; None values render as 'n/a'."""
+    out = [title] if title else []
+    numeric = [v for v in values if v is not None]
+    peak = max(numeric) if numeric else 1.0
+    label_width = max(len(l) for l in labels) if labels else 0
+    for label, value in zip(labels, values):
+        if value is None:
+            out.append(f"  {label.ljust(label_width)} |  n/a "
+                       "(not synthesizable)")
+            continue
+        length = max(1, int(round(width * value / peak)))
+        out.append(f"  {label.ljust(label_width)} |{'#' * length} "
+                   f"{value:.1f}{unit}")
+    return "\n".join(out)
+
+
+def format_speedup(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    if value >= 100:
+        return f"{value:.0f}x"
+    return f"{value:.1f}x"
+
+
+def format_pct(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    return f"+{value:.0f}%"

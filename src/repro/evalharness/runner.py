@@ -1,0 +1,56 @@
+"""Shared flow execution with caching.
+
+Every experiment needs the same uninformed + informed flow runs over the
+five benchmarks; the runner executes each (app, mode) pair once and
+caches the :class:`FlowResult` so Fig. 5, Table I and Fig. 6 can be
+regenerated from one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import ALL_APPS, PAPER_ORDER, get_app
+from repro.flow.engine import FlowEngine, FlowResult
+
+#: Fig. 5 column order (after the Auto-Selected bar)
+DESIGN_LABELS = ("omp", "hip-1080ti", "hip-2080ti",
+                 "oneapi-a10", "oneapi-s10")
+
+
+class EvaluationRunner:
+    """Runs and caches PSA-flow executions for the evaluation."""
+
+    def __init__(self, engine: Optional[FlowEngine] = None):
+        self.engine = engine or FlowEngine()
+        self._cache: Dict[Tuple[str, str], FlowResult] = {}
+
+    def run(self, app_name: str, mode: str) -> FlowResult:
+        key = (app_name, mode)
+        result = self._cache.get(key)
+        if result is None:
+            result = self.engine.run(get_app(app_name), mode=mode)
+            self._cache[key] = result
+        return result
+
+    def uninformed(self, app_name: str) -> FlowResult:
+        return self.run(app_name, "uninformed")
+
+    def informed(self, app_name: str) -> FlowResult:
+        return self.run(app_name, "informed")
+
+    def all_apps(self) -> List[str]:
+        return list(PAPER_ORDER)
+
+    def speedup(self, app_name: str, label: str) -> Optional[float]:
+        """Speedup of one design of the uninformed run (None = n/a)."""
+        design = self.uninformed(app_name).design(label)
+        if design is None or not design.synthesizable:
+            return None
+        return design.speedup
+
+    def hotspot_time(self, app_name: str, label: str) -> Optional[float]:
+        design = self.uninformed(app_name).design(label)
+        if design is None or not design.synthesizable:
+            return None
+        return design.predicted_time_s

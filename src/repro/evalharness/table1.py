@@ -1,0 +1,121 @@
+"""Table I: added lines of code per generated design.
+
+"The generation of five new implementations for a single application
+requires, on average, an additional 212% of the reference source-code
+LOC."  The harness renders every design of the uninformed flow, counts
+its non-blank non-comment lines, and reports the delta against the
+reference high-level source -- excluding, as the paper does, the
+unsynthesisable Rush Larsen FPGA designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.registry import get_app
+from repro.evalharness.render import format_pct, table
+from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
+
+#: the paper's Table I (percent added LOC; None = excluded/unavailable)
+PAPER_TABLE1: Dict[str, Dict[str, Optional[float]]] = {
+    "rush_larsen": {"omp": 0.4, "hip-1080ti": 6, "hip-2080ti": 6,
+                    "oneapi-a10": None, "oneapi-s10": None, "total": None},
+    "nbody": {"omp": 2, "hip-1080ti": 37, "hip-2080ti": 37,
+              "oneapi-a10": 52, "oneapi-s10": 69, "total": 197},
+    "bezier": {"omp": 2, "hip-1080ti": 26, "hip-2080ti": 26,
+               "oneapi-a10": 34, "oneapi-s10": 42, "total": 130},
+    "adpredictor": {"omp": 2, "hip-1080ti": 31, "hip-2080ti": 31,
+                    "oneapi-a10": 42, "oneapi-s10": 63, "total": 169},
+    "kmeans": {"omp": 4, "hip-1080ti": 81, "hip-2080ti": 81,
+               "oneapi-a10": 101, "oneapi-s10": 147, "total": 414},
+}
+
+PAPER_AVERAGE = {"omp": 2, "hip-1080ti": 36, "hip-2080ti": 36,
+                 "oneapi-a10": 57, "oneapi-s10": 81, "total": 212}
+
+
+@dataclass
+class Table1Row:
+    app: str
+    display_name: str
+    reference_loc: int
+    deltas_pct: Dict[str, Optional[float]]
+
+    @property
+    def total_pct(self) -> Optional[float]:
+        """Sum over the five designs (None when any is excluded)."""
+        values = [self.deltas_pct[l] for l in DESIGN_LABELS]
+        if any(v is None for v in values):
+            return None
+        return sum(values)
+
+
+def run_table1(runner: Optional[EvaluationRunner] = None) -> List[Table1Row]:
+    runner = runner or EvaluationRunner()
+    rows: List[Table1Row] = []
+    for app_name in runner.all_apps():
+        app = get_app(app_name)
+        result = runner.uninformed(app_name)
+        deltas: Dict[str, Optional[float]] = {}
+        for label in DESIGN_LABELS:
+            design = result.design(label)
+            if design is None or not design.synthesizable:
+                # "the generated CPU+FPGA designs for Rush Larsen are
+                # not synthesizable ... excluded from our LOC evaluation"
+                deltas[label] = None
+            else:
+                deltas[label] = design.loc_delta_pct
+        rows.append(Table1Row(app_name, app.display_name,
+                              app.reference_loc, deltas))
+    return rows
+
+
+def averages(rows: List[Table1Row]) -> Dict[str, float]:
+    """Column means over the apps that have a value (paper's last row)."""
+    out: Dict[str, float] = {}
+    for label in DESIGN_LABELS:
+        values = [r.deltas_pct[label] for r in rows
+                  if r.deltas_pct[label] is not None]
+        out[label] = sum(values) / len(values) if values else float("nan")
+    totals = [r.total_pct for r in rows if r.total_pct is not None]
+    out["total"] = sum(totals) / len(totals) if totals else float("nan")
+    return out
+
+
+def render_table1(rows: List[Table1Row], show_paper: bool = True) -> str:
+    headers = (["Application", "ref LOC"] + list(DESIGN_LABELS)
+               + ["Total (5)"])
+    body = []
+    for row in rows:
+        body.append(
+            [row.display_name, str(row.reference_loc)]
+            + [format_pct(row.deltas_pct[l]) for l in DESIGN_LABELS]
+            + [format_pct(row.total_pct)])
+        if show_paper:
+            paper = PAPER_TABLE1[row.app]
+            body.append(
+                ["  (paper)", ""]
+                + [format_pct(paper[l]) for l in DESIGN_LABELS]
+                + [format_pct(paper["total"])])
+    avg = averages(rows)
+    body.append(["Average", ""]
+                + [format_pct(avg[l]) for l in DESIGN_LABELS]
+                + [format_pct(avg["total"])])
+    if show_paper:
+        body.append(["  (paper)", ""]
+                    + [format_pct(PAPER_AVERAGE[l]) for l in DESIGN_LABELS]
+                    + [format_pct(PAPER_AVERAGE["total"])])
+    return table(headers, body,
+                 title="Table I -- added LOC per generated design "
+                       "(measured vs paper)")
+
+
+def main() -> str:
+    text = render_table1(run_table1())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Table II: comparison of design approaches (related work).
+
+A qualitative capability matrix; encoded as data with a renderer so the
+repository regenerates every table of the paper.  P = partitioning,
+M = mapping, O = optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.evalharness.render import table
+
+
+class ApproachRow(NamedTuple):
+    approach: str
+    partition: bool
+    mapping: bool
+    optimise: bool
+    multiple_targets: bool
+    scope: str
+
+
+TABLE2_ROWS: List[ApproachRow] = [
+    ApproachRow("Cross-Platform Frameworks [1]-[3]",
+                False, False, False, True, "Full App."),
+    ApproachRow("HeteroCL [10]", False, False, True, False, "Kernel"),
+    ApproachRow("Halide [11]", False, False, True, False, "Kernel"),
+    ApproachRow("Delite [12]", False, False, True, True, "Full App."),
+    ApproachRow("MLIR [13]", False, False, True, True, "Full App."),
+    ApproachRow("HLS DSE [14]-[16], [19]", False, False, True, False,
+                "Kernel"),
+    ApproachRow("StreamBlocks [20]", True, False, False, False,
+                "Full App."),
+    ApproachRow("GenMat [21]", False, True, True, True, "Kernel"),
+    ApproachRow("Design-Flow Patterns [5]", True, False, True, False,
+                "Full App."),
+    ApproachRow("This Work", True, True, True, True, "Full App."),
+]
+
+
+def _check(flag: bool) -> str:
+    return "Y" if flag else ""
+
+
+def render_table2() -> str:
+    headers = ["Approach", "P", "M", "O", "Multi-Target", "Scope"]
+    body = [[row.approach, _check(row.partition), _check(row.mapping),
+             _check(row.optimise), _check(row.multiple_targets), row.scope]
+            for row in TABLE2_ROWS]
+    return table(headers, body,
+                 title="Table II -- design approaches that partition (P), "
+                       "map (M) and/or optimise (O)")
+
+
+def main() -> str:
+    text = render_table2()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

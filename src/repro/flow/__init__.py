@@ -1,0 +1,46 @@
+"""PSA-flows: the paper's primary contribution.
+
+Programmatic, customizable, reusable design-flows built from codified
+tasks (:mod:`repository`), composed into graphs with branch points
+(:mod:`graph`), steered by Path Selection Automation strategies
+(:mod:`psa`) with analytical cost evaluation (:mod:`cost`) and
+design-space exploration engines (:mod:`dse`), and executed by the
+:class:`~repro.flow.engine.FlowEngine` over a shared analysis context
+(:mod:`context`).
+
+``FlowEngine().run(app, mode="informed")`` reproduces the paper's
+Fig. 4 flow end to end: target-independent analysis, the Fig. 3 branch
+decision at A, target- and device-specific specialisation at B/C, and
+one evaluated Design per generated implementation.
+"""
+
+from repro.flow.task import Task, TaskKind, FlowError
+from repro.flow.context import FlowContext
+from repro.flow.graph import BranchPoint, FlowNode, Sequence, TaskNode
+from repro.flow.psa import (
+    InformedTargetSelection, PSADecision, PSAStrategy, SelectAll,
+    SelectNamed,
+)
+from repro.flow.cost import BudgetedStrategy, CloudPriceTable, CostEvaluator
+from repro.flow.dse import (
+    BlocksizeDSE, OmpThreadsDSE, UnrollUntilOvermapDSE,
+)
+from repro.flow.ml_psa import (
+    DecisionTree, MLTargetSelection, extract_features, train_from_results,
+)
+from repro.flow.engine import FlowEngine, FlowResult, build_default_flow
+from repro.flow.serialize import dump_result, dumps_result, result_to_dict
+
+__all__ = [
+    "Task", "TaskKind", "FlowError",
+    "FlowContext",
+    "FlowNode", "TaskNode", "Sequence", "BranchPoint",
+    "PSAStrategy", "PSADecision", "InformedTargetSelection", "SelectAll",
+    "SelectNamed",
+    "CostEvaluator", "CloudPriceTable", "BudgetedStrategy",
+    "UnrollUntilOvermapDSE", "BlocksizeDSE", "OmpThreadsDSE",
+    "FlowEngine", "FlowResult", "build_default_flow",
+    "DecisionTree", "MLTargetSelection", "extract_features",
+    "train_from_results",
+    "result_to_dict", "dump_result", "dumps_result",
+]

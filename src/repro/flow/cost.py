@@ -1,0 +1,149 @@
+"""Analytical cost evaluation and budget feedback (Fig. 3 bottom, §IV-D).
+
+Two roles:
+
+- during a flow, :class:`BudgetedStrategy` wraps a PSA strategy with
+  the Fig. 3 cost loop: "IF cost > budget: revise design" -- when the
+  chosen branch's estimated execution cost exceeds the user's budget,
+  the decision is revised toward cheaper branches before the flow
+  continues;
+- for the Fig. 6 analysis, :class:`CostEvaluator` computes the relative
+  cost of executing an application on differently-priced cloud
+  resources ("Cloud resources are typically priced based on the time
+  for which they are provisioned").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.flow.psa import PSADecision, PSAStrategy
+
+if TYPE_CHECKING:
+    from repro.flow.context import FlowContext
+
+
+@dataclass
+class CloudPriceTable:
+    """$/hour for provisioning each resource (EC2-style on-demand)."""
+
+    prices_per_hour: Dict[str, float] = field(default_factory=lambda: {
+        # representative on-demand rates for instances carrying each
+        # device class (the absolute values only matter through ratios)
+        "epyc7543": 1.2,
+        "gtx1080ti": 1.8,
+        "rtx2080ti": 2.4,
+        "arria10": 2.9,
+        "stratix10": 5.8,
+    })
+
+    def price(self, device: str) -> float:
+        try:
+            return self.prices_per_hour[device]
+        except KeyError:
+            raise KeyError(f"no price for device {device!r}") from None
+
+    def with_price(self, device: str, per_hour: float) -> "CloudPriceTable":
+        prices = dict(self.prices_per_hour)
+        prices[device] = per_hour
+        return CloudPriceTable(prices)
+
+
+@dataclass
+class CostEvaluator:
+    """Execution cost = provisioned time x resource price."""
+
+    prices: CloudPriceTable = field(default_factory=CloudPriceTable)
+
+    def execution_cost(self, time_s: float, device: str) -> float:
+        """$ for one hotspot execution on ``device``."""
+        return time_s / 3600.0 * self.prices.price(device)
+
+    def relative_cost(self, time_a: float, device_a: str,
+                      time_b: float, device_b: str) -> float:
+        """Cost(A)/Cost(B) under the current price table (Fig. 6 y-axis)."""
+        return (self.execution_cost(time_a, device_a)
+                / self.execution_cost(time_b, device_b))
+
+    def crossover_price_ratio(self, time_a: float, time_b: float) -> float:
+        """Price ratio p_A/p_B at which A and B cost the same.
+
+        A is cheaper while p_A/p_B < time_b/time_a; e.g. with the
+        paper's AdPredictor (FPGA 3.2x faster than GPU), FPGA execution
+        stays cheaper until FPGA time is priced above 3.2x the GPU.
+        """
+        if time_a <= 0:
+            return float("inf")
+        return time_b / time_a
+
+
+#: branch preference order used when the budget forces a revision:
+#: accelerators first (performance), host OpenMP as the cheap fallback
+_REVISION_ORDER = ("omp",)
+
+
+class BudgetedStrategy(PSAStrategy):
+    """Wrap a strategy with the Fig. 3 cost-evaluation feedback loop.
+
+    After the inner strategy selects a branch, the estimated cost of
+    executing the hotspot on that branch's device class is compared
+    with ``budget_per_run``.  Over budget -> the decision is *revised*:
+    cheaper branches are tried in order, and if nothing fits the
+    cheapest option is taken with a warning (matching "revise design"
+    rather than failing the flow).
+    """
+
+    #: coarse per-branch speedup guesses used only for pre-design cost
+    #: screening (the real model runs after code generation)
+    _SCREEN_SPEEDUP = {"gpu": 50.0, "fpga": 15.0, "omp": 25.0}
+    _SCREEN_DEVICE = {"gpu": "rtx2080ti", "fpga": "stratix10",
+                      "omp": "epyc7543"}
+
+    def __init__(self, inner: PSAStrategy, budget_per_run: float,
+                 evaluator: Optional[CostEvaluator] = None):
+        self.inner = inner
+        self.budget = budget_per_run
+        self.evaluator = evaluator or CostEvaluator()
+
+    def _estimate(self, ctx: "FlowContext", path: str) -> float:
+        t_ref = ctx.reference_time()
+        speedup = self._SCREEN_SPEEDUP.get(path, 1.0)
+        device = self._SCREEN_DEVICE.get(path, "epyc7543")
+        return self.evaluator.execution_cost(t_ref / speedup, device)
+
+    def select(self, ctx: "FlowContext", name: str,
+               paths: List[str]) -> PSADecision:
+        decision = self.inner.select(ctx, name, paths)
+        if not decision.selected:
+            return decision
+        revised: List[str] = []
+        for path in decision.selected:
+            cost = self._estimate(ctx, path)
+            if cost <= self.budget:
+                decision.reasons.append(
+                    f"cost evaluation: {path} ~ ${cost:.2e}/run within "
+                    f"budget ${self.budget:.2e}")
+                revised.append(path)
+                continue
+            decision.reasons.append(
+                f"cost evaluation: {path} ~ ${cost:.2e}/run EXCEEDS "
+                f"budget ${self.budget:.2e}: revising design")
+            replacement = None
+            for fallback in _REVISION_ORDER:
+                if fallback in paths and fallback != path:
+                    fb_cost = self._estimate(ctx, fallback)
+                    if fb_cost <= self.budget:
+                        replacement = fallback
+                        decision.reasons.append(
+                            f"revised to {fallback} "
+                            f"(~${fb_cost:.2e}/run)")
+                        break
+            if replacement is None:
+                decision.reasons.append(
+                    "no branch fits the budget; keeping the original "
+                    "selection with a warning")
+                replacement = path
+            revised.append(replacement)
+        decision.selected = list(dict.fromkeys(revised))
+        return decision

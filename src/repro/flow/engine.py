@@ -1,0 +1,263 @@
+"""FlowEngine: builds and executes the paper's Fig. 4 PSA-flow.
+
+The default flow is the implemented PSA-flow of §III:
+
+- target-independent tasks (partitioning + analyses + Remove Array +=);
+- branch point **A** over {gpu, fpga, omp} -- Fig. 3 strategy in
+  *informed* mode, select-all in *uninformed* mode;
+- target-specific tasks per branch (code generation + optimisations);
+- device branch points **B** (GTX 1080 Ti / RTX 2080 Ti) and **C**
+  (Arria10 / Stratix10), both select-all ("the current implementation
+  automatically selects both paths at B and C");
+- device-specific DSE and a finalisation step that evaluates each
+  design on its platform model and records predicted time + speedup
+  against the single-thread reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.base import AppSpec
+from repro.codegen.design import Design
+from repro.flow.context import FlowContext
+from repro.flow.dse import BlocksizeDSE, OmpThreadsDSE, UnrollUntilOvermapDSE
+from repro.flow.graph import BranchPoint, FlowNode, Sequence
+from repro.flow.psa import InformedTargetSelection, PSAStrategy, SelectAll
+from repro.flow.repository import (
+    ArithmeticIntensityAnalysis, DataInOutAnalysis, EmployHIPPinnedMemory,
+    EmploySPMathFns, EmploySPNumericLiterals, EmploySpecialisedMathFns,
+    GenerateHIPDesign, GenerateOneAPIDesign, HotspotLoopExtraction,
+    IdentifyHotspotLoops, IntroduceSharedMemBuf, LoopDependenceAnalysis,
+    LoopTripCountAnalysis, MultiThreadParallelLoops, PointerAnalysis,
+    RemoveArrayPlusEqualsDependency, SpecialiseForDevice, UnrollFixedLoops,
+    ZeroCopyDataTransfer,
+)
+from repro.flow.task import FlowError, Task, TaskKind
+from repro.lang.interpreter import Workload
+from repro.platforms.cpu import CPUModel
+from repro.platforms.fpga import FPGADesignPoint, FPGAModel
+from repro.platforms.gpu import GPUDesignPoint, GPUModel
+from repro.platforms.registry import get_platform
+
+
+class FinalizeDesign(Task):
+    """Evaluate the in-flight design on its platform model and record it."""
+
+    kind = TaskKind.ANALYSIS
+    name = "Finalize Design"
+
+    def __init__(self, scope: str):
+        self.scope = scope
+
+    # -- per-target evaluation -------------------------------------------
+    def _evaluate(self, ctx: FlowContext, design: Design) -> float:
+        profile = ctx.profile_for(design)
+        if design.kind == "cpu-omp":
+            model: CPUModel = get_platform(design.device or "epyc7543")
+            threads = design.metadata.get("num_threads",
+                                          model.spec.cores)
+            return model.omp_time(profile, threads)
+        if design.kind == "gpu-hip":
+            model_gpu: GPUModel = get_platform(design.device)
+            point = GPUDesignPoint(
+                blocksize=design.metadata.get("blocksize", 256),
+                registers_per_thread=design.metadata.get(
+                    "registers_per_thread", 32),
+                shared_mem_per_block=design.metadata.get("shared_bytes", 0),
+                pinned_memory=design.metadata.get("pinned_memory", False),
+                uses_shared_buffering=design.metadata.get(
+                    "shared_buffering", False),
+                uses_intrinsics=design.metadata.get("intrinsics", False),
+                spilled=design.metadata.get("register_spill", False),
+            )
+            return model_gpu.design_time(profile, point)
+        if design.kind == "fpga-oneapi":
+            model_fpga: FPGAModel = get_platform(design.device)
+            report = design.metadata.get("hls_report")
+            variable_trips = 0.0
+            if report is not None and report.variable_inner_loop:
+                variable_trips = self._variable_inner_trips(ctx)
+            point = FPGADesignPoint(
+                unroll_factor=design.metadata.get("unroll_factor", 1),
+                ii=report.ii if report is not None else 1.0,
+                variable_inner_trips=variable_trips,
+                zero_copy=design.metadata.get("zero_copy", False),
+            )
+            return model_fpga.design_time(profile, point)
+        raise FlowError(f"cannot evaluate design kind {design.kind!r}")
+
+    def _variable_inner_trips(self, ctx: FlowContext) -> float:
+        trips = ctx.facts.get("trip_counts", {})
+        kernel = ctx.kernel_name
+        values = [info.avg_trips for path, info in trips.items()
+                  if path.fn_name == kernel and info.static_trips is None
+                  and path.index > 0]
+        return max(values) if values else 0.0
+
+    def run(self, ctx: FlowContext) -> None:
+        design = ctx.design
+        if design is None:
+            raise FlowError("no design to finalise")
+        if design.synthesizable:
+            time = self._evaluate(ctx, design)
+            design.predicted_time_s = time
+            design.speedup = ctx.reference_time() / time if time > 0 else 0.0
+            ctx.log(f"    {design.label}: {time * 1e3:.3f} ms "
+                    f"({design.speedup:.1f}x vs 1-thread CPU), "
+                    f"LOC +{design.loc_delta_pct:.0f}%")
+        else:
+            ctx.log(f"    {design.label}: NOT SYNTHESIZABLE "
+                    f"({design.failure_reason})")
+        ctx.designs.append(design)
+
+
+@dataclass
+class FlowResult:
+    """Everything one PSA-flow run produced."""
+
+    app: AppSpec
+    mode: str
+    designs: List[Design]
+    trace: List[str]
+    facts: Dict
+    reference_time_s: float
+
+    def design(self, device_label: str) -> Optional[Design]:
+        for design in self.designs:
+            if design.metadata.get("device_label") == device_label:
+                return design
+        return None
+
+    @property
+    def synthesizable_designs(self) -> List[Design]:
+        return [d for d in self.designs if d.synthesizable
+                and d.speedup is not None]
+
+    @property
+    def auto_selected(self) -> Optional[Design]:
+        """Fastest generated design -- the paper's 'Auto-Selected' bar.
+
+        In informed mode this is the fastest of the (1 or 2) designs the
+        Fig. 3 strategy produced.
+        """
+        candidates = self.synthesizable_designs
+        if not candidates:
+            return None
+        return max(candidates, key=lambda d: d.speedup)
+
+    @property
+    def selected_target(self) -> Optional[str]:
+        decision = self.facts.get("psa:A")
+        if decision is None or not decision.selected:
+            return None
+        return decision.selected[0]
+
+    def explain(self) -> str:
+        return "\n".join(self.trace)
+
+
+def build_default_flow(strategy_a: PSAStrategy) -> FlowNode:
+    """The Fig. 4 PSA-flow with the given strategy at branch point A."""
+    gpu_path = Sequence(
+        GenerateHIPDesign(),
+        EmployHIPPinnedMemory(),
+        EmploySPMathFns("GPU"),
+        EmploySPNumericLiterals("GPU"),
+        IntroduceSharedMemBuf(),
+        EmploySpecialisedMathFns(),
+        BranchPoint("B", {
+            "gtx1080ti": Sequence(
+                SpecialiseForDevice("gtx1080ti", "hip-1080ti", "GPU-1080"),
+                BlocksizeDSE("gtx1080ti"),
+                FinalizeDesign("GPU-1080"),
+            ),
+            "rtx2080ti": Sequence(
+                SpecialiseForDevice("rtx2080ti", "hip-2080ti", "GPU-2080"),
+                BlocksizeDSE("rtx2080ti"),
+                FinalizeDesign("GPU-2080"),
+            ),
+        }),
+    )
+    fpga_path = Sequence(
+        GenerateOneAPIDesign(),
+        UnrollFixedLoops(),
+        EmploySPMathFns("FPGA"),
+        EmploySPNumericLiterals("FPGA"),
+        BranchPoint("C", {
+            "arria10": Sequence(
+                SpecialiseForDevice("arria10", "oneapi-a10", "FPGA-A10"),
+                UnrollUntilOvermapDSE("arria10"),
+                FinalizeDesign("FPGA-A10"),
+            ),
+            "stratix10": Sequence(
+                SpecialiseForDevice("stratix10", "oneapi-s10", "FPGA-S10"),
+                ZeroCopyDataTransfer(),
+                UnrollUntilOvermapDSE("stratix10"),
+                FinalizeDesign("FPGA-S10"),
+            ),
+        }),
+    )
+    omp_path = Sequence(
+        MultiThreadParallelLoops(),
+        OmpThreadsDSE(),
+        FinalizeDesign("CPU-OMP"),
+    )
+    return Sequence(
+        IdentifyHotspotLoops(),
+        HotspotLoopExtraction(),
+        PointerAnalysis(),
+        ArithmeticIntensityAnalysis(),
+        DataInOutAnalysis(),
+        LoopDependenceAnalysis(),
+        LoopTripCountAnalysis(),
+        RemoveArrayPlusEqualsDependency(),
+        BranchPoint("A", {
+            "gpu": gpu_path,
+            "fpga": fpga_path,
+            "omp": omp_path,
+        }, strategy=strategy_a),
+    )
+
+
+class FlowEngine:
+    """Runs PSA-flows over applications.
+
+    ``mode``:
+
+    - ``"informed"`` -- the Fig. 3 strategy decides branch point A;
+    - ``"uninformed"`` -- branch point A selects all paths, generating
+      all five designs (§IV-B: "modify branch point A to automatically
+      select all paths").
+    """
+
+    def __init__(self, intensity_threshold: float = 0.25,
+                 strategy_a: Optional[PSAStrategy] = None):
+        self.intensity_threshold = intensity_threshold
+        self._strategy_override = strategy_a
+
+    def strategy_for(self, mode: str) -> PSAStrategy:
+        if self._strategy_override is not None:
+            return self._strategy_override
+        if mode == "informed":
+            return InformedTargetSelection(self.intensity_threshold)
+        if mode == "uninformed":
+            return SelectAll()
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def run(self, app: AppSpec, mode: str = "informed",
+            workload: Optional[Workload] = None,
+            scale: float = 1.0) -> FlowResult:
+        ctx = FlowContext(app, workload=workload, scale=scale)
+        ctx.log(f"=== PSA-flow for {app.display_name} (mode={mode}) ===")
+        flow = build_default_flow(self.strategy_for(mode))
+        flow.execute(ctx)
+        return FlowResult(
+            app=app,
+            mode=mode,
+            designs=ctx.designs,
+            trace=ctx.trace,
+            facts=ctx.facts,
+            reference_time_s=ctx.reference_time(),
+        )

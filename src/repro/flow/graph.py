@@ -1,0 +1,97 @@
+"""Design-flow graphs: task sequences and branch points.
+
+The paper's PSA-flow architecture (Fig. 1): "codified design-flow
+tasks" composed into sequences, with "design-flow branch points"
+introducing divergence; each branch point carries a PSA strategy that
+selects which path(s) to take.  A selected path executes on a *forked*
+context so divergent branches specialise independent designs while
+sharing the accrued analysis facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence as Seq, Union
+
+from repro.flow.context import FlowContext
+from repro.flow.psa import PSADecision, PSAStrategy, SelectAll
+from repro.flow.task import Task
+
+
+class FlowNode:
+    """Base of the flow-graph node hierarchy."""
+
+    def execute(self, ctx: FlowContext) -> None:
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+class TaskNode(FlowNode):
+    def __init__(self, task: Task):
+        self.task = task
+
+    def execute(self, ctx: FlowContext) -> None:
+        self.task(ctx)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        dyn = "*" if self.task.dynamic else ""
+        return f"{pad}{self.task.name} [{self.task.kind.value}{dyn}]"
+
+
+class Sequence(FlowNode):
+    def __init__(self, *nodes: Union[FlowNode, Task]):
+        self.nodes: List[FlowNode] = [
+            node if isinstance(node, FlowNode) else TaskNode(node)
+            for node in nodes]
+
+    def execute(self, ctx: FlowContext) -> None:
+        for node in self.nodes:
+            node.execute(ctx)
+
+    def describe(self, indent: int = 0) -> str:
+        return "\n".join(node.describe(indent) for node in self.nodes)
+
+    def then(self, node: Union[FlowNode, Task]) -> "Sequence":
+        self.nodes.append(node if isinstance(node, FlowNode)
+                          else TaskNode(node))
+        return self
+
+
+class BranchPoint(FlowNode):
+    """A divergence point with Path Selection Automation.
+
+    ``paths`` maps path names to sub-flows; ``strategy`` decides which
+    to take (defaults to select-all, as at the paper's device branches
+    B and C).  Every selected path runs on a fork of the context.
+    """
+
+    def __init__(self, name: str,
+                 paths: Dict[str, Union[FlowNode, Task]],
+                 strategy: Optional[PSAStrategy] = None):
+        self.name = name
+        self.paths: Dict[str, FlowNode] = {
+            key: (node if isinstance(node, FlowNode) else TaskNode(node))
+            for key, node in paths.items()}
+        self.strategy: PSAStrategy = strategy or SelectAll()
+
+    def execute(self, ctx: FlowContext) -> None:
+        decision = self.strategy.select(ctx, self.name, list(self.paths))
+        ctx.facts[f"psa:{self.name}"] = decision
+        ctx.log(f"[PSA] {decision.explain()}")
+        for path_name in decision.selected:
+            branch_ctx = ctx.fork(path_name)
+            # the branch inherits the in-flight design (device branches
+            # specialise a target design; target branches start fresh)
+            branch_ctx.design = ctx.design
+            self.paths[path_name].execute(branch_ctx)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}<branch {self.name} "
+                 f"({type(self.strategy).__name__})>"]
+        for name, node in self.paths.items():
+            lines.append(f"{pad}  [{name}]")
+            lines.append(node.describe(indent + 2))
+        return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""ML-based Path Selection Automation (the paper's future work).
+
+"There is considerable opportunity for sophisticated PSA strategies
+incorporating, for example, machine-learning (ML) techniques to make
+intelligent decisions, which we are considering for future work"
+(§II-B); "developing sophisticated ML-based PSA strategies" (§VI).
+
+This module implements that extension end to end, self-contained (no
+external ML dependency):
+
+- :func:`extract_features` -- a fixed feature vector from the accrued
+  analysis facts (the same facts the hand-written Fig. 3 strategy
+  reads);
+- :class:`DecisionTree` -- a small CART classifier (Gini impurity,
+  axis-aligned splits) built from scratch;
+- :class:`MLTargetSelection` -- a PSA strategy backed by a trained
+  tree, with a human-readable decision path in its reasons;
+- :func:`train_from_results` -- supervised labels straight from
+  *uninformed* flow runs: the target whose best design won is the
+  label, exactly the data a team running the paper's uninformed mode
+  accumulates for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.flow.psa import PSADecision, PSAStrategy
+from repro.platforms.interconnect import TransferModel
+
+if TYPE_CHECKING:
+    from repro.flow.context import FlowContext
+    from repro.flow.engine import FlowResult
+
+#: feature vector layout (order is part of the model contract)
+FEATURE_NAMES: Tuple[str, ...] = (
+    "flops_per_byte",          # static arithmetic intensity
+    "log_outer_iterations",    # parallel work available
+    "outer_parallel",          # 0/1
+    "dependent_inner_loops",   # 0/1
+    "inner_fully_unrollable",  # 0/1
+    "log_inner_nest_size",     # unrolled size of the dependent nest
+    "gather_fraction",         # data-dependent access share
+    "transfer_over_cpu",       # T_data_trnsfr / T_cpu (amortised)
+    "log_math_calls",          # elementary-function pressure
+    "log_local_scalars",       # register pressure proxy
+)
+
+TARGETS = ("gpu", "fpga", "omp")
+
+
+def extract_features(ctx: "FlowContext") -> List[float]:
+    """Feature vector from a fully analysed flow context."""
+    profile = ctx.kernel_profile()
+    intensity = ctx.facts["intensity"]
+    transfer = TransferModel().pageable_time(
+        profile.transfer_bytes, max(1, profile.kernel_calls))
+    transfer /= max(1, profile.transfer_amortization)
+    t_cpu = ctx.reference_time()
+    return [
+        float(intensity.flops_per_byte),
+        math.log1p(profile.outer_iterations),
+        1.0 if profile.outer_parallel else 0.0,
+        1.0 if profile.dependent_inner_loops else 0.0,
+        1.0 if profile.inner_fully_unrollable else 0.0,
+        math.log1p(profile.inner_fixed_product),
+        float(profile.gather_fraction),
+        transfer / t_cpu if t_cpu > 0 else 1.0,
+        math.log1p(profile.math_calls),
+        math.log1p(profile.local_scalars),
+    ]
+
+
+# =====================================================================
+# CART decision tree, from scratch
+# =====================================================================
+
+@dataclass
+class _Node:
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    label: Optional[str] = None      # leaves only
+    counts: Optional[Dict[str, int]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+
+def _gini(labels: Sequence[str]) -> float:
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    impurity = 1.0
+    for target in set(labels):
+        p = labels.count(target) / total
+        impurity -= p * p
+    return impurity
+
+
+def _majority(labels: Sequence[str]) -> str:
+    return max(set(labels), key=labels.count)
+
+
+class DecisionTree:
+    """Axis-aligned Gini CART classifier (tiny data, tiny depth)."""
+
+    def __init__(self, max_depth: int = 3, min_samples: int = 1):
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.root: Optional[_Node] = None
+
+    # -- training -----------------------------------------------------
+    def fit(self, X: Sequence[Sequence[float]],
+            y: Sequence[str]) -> "DecisionTree":
+        if len(X) != len(y) or not X:
+            raise ValueError("need equal, non-empty X and y")
+        self.root = self._build(list(X), list(y), depth=0)
+        return self
+
+    def _build(self, X, y, depth) -> _Node:
+        counts = {label: y.count(label) for label in set(y)}
+        if depth >= self.max_depth or len(set(y)) == 1 \
+                or len(y) <= self.min_samples:
+            return _Node(label=_majority(y), counts=counts)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(label=_majority(y), counts=counts)
+        feature, threshold = split
+        left_idx = [i for i, row in enumerate(X) if row[feature] <= threshold]
+        right_idx = [i for i in range(len(X)) if i not in set(left_idx)]
+        if not left_idx or not right_idx:
+            return _Node(label=_majority(y), counts=counts)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            counts=counts,
+            left=self._build([X[i] for i in left_idx],
+                             [y[i] for i in left_idx], depth + 1),
+            right=self._build([X[i] for i in right_idx],
+                              [y[i] for i in right_idx], depth + 1),
+        )
+
+    def _best_split(self, X, y) -> Optional[Tuple[int, float]]:
+        best = None
+        best_score = _gini(y)
+        n_features = len(X[0])
+        for feature in range(n_features):
+            values = sorted(set(row[feature] for row in X))
+            for lo, hi in zip(values, values[1:]):
+                threshold = (lo + hi) / 2.0
+                left = [y[i] for i, row in enumerate(X)
+                        if row[feature] <= threshold]
+                right = [y[i] for i, row in enumerate(X)
+                         if row[feature] > threshold]
+                score = (len(left) * _gini(left)
+                         + len(right) * _gini(right)) / len(y)
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, threshold)
+        return best
+
+    # -- inference ------------------------------------------------------
+    def predict(self, x: Sequence[float]) -> str:
+        label, _ = self.predict_with_path(x)
+        return label
+
+    def predict_with_path(self, x: Sequence[float]
+                          ) -> Tuple[str, List[str]]:
+        """Label plus the human-readable decision path."""
+        if self.root is None:
+            raise ValueError("tree is not fitted")
+        node = self.root
+        path: List[str] = []
+        while not node.is_leaf:
+            name = FEATURE_NAMES[node.feature]
+            value = x[node.feature]
+            if value <= node.threshold:
+                path.append(f"{name}={value:.3g} <= {node.threshold:.3g}")
+                node = node.left
+            else:
+                path.append(f"{name}={value:.3g} > {node.threshold:.3g}")
+                node = node.right
+        path.append(f"leaf -> {node.label} (train counts {node.counts})")
+        return node.label, path
+
+    def depth(self) -> int:
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+
+# =====================================================================
+# Training data from uninformed flow runs
+# =====================================================================
+
+def label_from_result(result: "FlowResult") -> str:
+    """The winning target of an uninformed run (the supervision signal)."""
+    best = result.auto_selected
+    if best is None:
+        return "omp"
+    return {"cpu-omp": "omp", "gpu-hip": "gpu",
+            "fpga-oneapi": "fpga"}[best.kind]
+
+
+def training_row(result: "FlowResult") -> Tuple[List[float], str]:
+    """(features, label) from one uninformed FlowResult.
+
+    The features are recomputed from the facts the run accrued, so a
+    stored result is a complete training example.
+    """
+    profile = result.facts["kernel_profile"]
+    intensity = result.facts["intensity"]
+    transfer = TransferModel().pageable_time(
+        profile.transfer_bytes, max(1, profile.kernel_calls))
+    transfer /= max(1, profile.transfer_amortization)
+    t_cpu = result.reference_time_s
+    features = [
+        float(intensity.flops_per_byte),
+        math.log1p(profile.outer_iterations),
+        1.0 if profile.outer_parallel else 0.0,
+        1.0 if profile.dependent_inner_loops else 0.0,
+        1.0 if profile.inner_fully_unrollable else 0.0,
+        math.log1p(profile.inner_fixed_product),
+        float(profile.gather_fraction),
+        transfer / t_cpu if t_cpu > 0 else 1.0,
+        math.log1p(profile.math_calls),
+        math.log1p(profile.local_scalars),
+    ]
+    return features, label_from_result(result)
+
+
+def train_from_results(results: Sequence["FlowResult"],
+                       max_depth: int = 3) -> DecisionTree:
+    """Fit a target-selection tree from uninformed flow runs."""
+    rows = [training_row(result) for result in results]
+    X = [features for features, _ in rows]
+    y = [label for _, label in rows]
+    return DecisionTree(max_depth=max_depth).fit(X, y)
+
+
+class MLTargetSelection(PSAStrategy):
+    """A learned strategy for branch point A.
+
+    Drop-in replacement for the hand-written Fig. 3 strategy:
+    ``FlowEngine(strategy_a=MLTargetSelection(tree)).run(app)``.
+    """
+
+    def __init__(self, tree: DecisionTree):
+        self.tree = tree
+
+    def select(self, ctx: "FlowContext", name: str,
+               paths: List[str]) -> PSADecision:
+        features = extract_features(ctx)
+        label, path = self.tree.predict_with_path(features)
+        reasons = ["ML strategy (CART over analysis facts):"] + [
+            f"  {step}" for step in path]
+        if label not in paths:
+            reasons.append(f"predicted {label!r} unavailable at this "
+                           "branch; falling back to first path")
+            label = paths[0]
+        return PSADecision(name, [label], reasons)

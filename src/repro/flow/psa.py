@@ -1,0 +1,169 @@
+"""Path Selection Automation strategies.
+
+A PSA strategy decides which paths to take at a branch point, "using
+information accrued from target-independent analysis tasks" (§II-B).
+Three strategies cover the paper's experiments:
+
+- :class:`InformedTargetSelection` -- the Fig. 3 strategy for branch
+  point A (transfer-vs-CPU test, FLOPs/B threshold X, parallel outer
+  loop, fully-unrollable dependent inner loops);
+- :class:`SelectAll` -- the *uninformed* mode of §IV-B ("modify branch
+  point A to automatically select all paths") and the default at the
+  device branches B and C ("the current implementation automatically
+  selects both paths at B and C");
+- :class:`SelectNamed` -- fixed selection, for custom flows and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.platforms.interconnect import TransferModel
+
+if TYPE_CHECKING:
+    from repro.flow.context import FlowContext
+
+
+@dataclass
+class PSADecision:
+    """A recorded branch decision (kept in ``ctx.facts['psa:<branch>']``)."""
+
+    branch: str
+    selected: List[str]
+    reasons: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        lines = [f"branch {self.branch} -> {', '.join(self.selected)}"]
+        lines += [f"  - {reason}" for reason in self.reasons]
+        return "\n".join(lines)
+
+
+class PSAStrategy:
+    """Base: decide which of ``paths`` to take at branch ``name``."""
+
+    def select(self, ctx: "FlowContext", name: str,
+               paths: List[str]) -> PSADecision:
+        raise NotImplementedError
+
+
+class SelectAll(PSAStrategy):
+    """Take every path (uninformed mode / device branches B and C)."""
+
+    def select(self, ctx, name, paths):
+        return PSADecision(name, list(paths),
+                           ["select-all policy (uninformed / device fan-out)"])
+
+
+class SelectNamed(PSAStrategy):
+    """Always take a fixed subset of paths."""
+
+    def __init__(self, *names: str):
+        self.names = list(names)
+
+    def select(self, ctx, name, paths):
+        missing = [n for n in self.names if n not in paths]
+        if missing:
+            raise KeyError(f"branch {name} has no paths {missing}; "
+                           f"available: {paths}")
+        return PSADecision(name, list(self.names), ["fixed selection"])
+
+
+class InformedTargetSelection(PSAStrategy):
+    """The Fig. 3 strategy for branch point A.
+
+    Decision procedure (quoted tests from the paper):
+
+    1. "Tdata_trnsfr < Tcpu and FLOPs/B > X?" -- offloading must beat
+       the transfer cost and the hotspot must be compute-bound.  If
+       not: "parallel outer loop?" -> multi-thread CPU, else terminate.
+    2. Offload-worthy + "parallel outer loop?":
+       - "inner loops w/ deps?" NO -> CPU+GPU;
+       - YES -> "can fully unroll?" YES -> CPU+FPGA, NO -> CPU+GPU.
+    3. Offload-worthy, outer loop not parallel -> CPU+FPGA (pipelined).
+
+    Aliasing kernel pointer arguments disable offloading entirely (the
+    generated accelerator code assumes disjoint buffers).
+    """
+
+    #: path names this strategy knows how to choose between
+    GPU = "gpu"
+    FPGA = "fpga"
+    OMP = "omp"
+
+    def __init__(self, intensity_threshold: float = 0.25,
+                 transfer_model: Optional[TransferModel] = None):
+        #: the tunable X of Fig. 3
+        self.intensity_threshold = intensity_threshold
+        self.transfer = transfer_model or TransferModel()
+
+    # ------------------------------------------------------------------
+    def select(self, ctx: "FlowContext", name: str,
+               paths: List[str]) -> PSADecision:
+        reasons: List[str] = []
+        profile = ctx.kernel_profile()
+        intensity = ctx.facts["intensity"]
+        alias = ctx.facts.get("alias")
+
+        t_cpu = ctx.reference_time()
+        t_xfer = self.transfer.pageable_time(
+            profile.transfer_bytes, max(1, profile.kernel_calls))
+        t_xfer /= max(1, profile.transfer_amortization)
+        flops_per_byte = intensity.flops_per_byte
+
+        reasons.append(
+            f"T_data_trnsfr={t_xfer * 1e3:.3f} ms vs T_cpu={t_cpu * 1e3:.3f} ms")
+        reasons.append(
+            f"FLOPs/B={flops_per_byte:.3f} vs X={self.intensity_threshold}")
+
+        aliasing_ok = alias is None or alias.no_aliasing
+        if not aliasing_ok:
+            reasons.append("kernel pointer arguments alias: offloading "
+                           "disabled")
+
+        offload_worthy = (aliasing_ok and t_xfer < t_cpu
+                          and flops_per_byte > self.intensity_threshold)
+
+        if not offload_worthy:
+            if not aliasing_ok:
+                reasons.append("falling back to host execution")
+            elif t_xfer >= t_cpu:
+                reasons.append("data transfer would exceed CPU execution "
+                               "time: no benefit to offloading")
+            else:
+                reasons.append("hotspot is memory bound: no benefit to "
+                               "offloading")
+            if profile.outer_parallel:
+                reasons.append("parallel outer loop -> multi-thread CPU")
+                return self._decision(name, self.OMP, paths, reasons)
+            reasons.append("outer loop not parallel: flow terminates "
+                           "without modifying the reference")
+            return PSADecision(name, [], reasons)
+
+        if profile.outer_parallel:
+            reasons.append("outer hotspot loop is parallel")
+            if profile.dependent_inner_loops:
+                reasons.append("inner loops carry dependences")
+                if profile.inner_fully_unrollable:
+                    reasons.append(
+                        f"dependent inner nest of {profile.inner_fixed_product}"
+                        " iterations is fully unrollable -> CPU+FPGA "
+                        "(pipelined, II=1)")
+                    return self._decision(name, self.FPGA, paths, reasons)
+                reasons.append("dependent inner loops cannot be fully "
+                               "unrolled -> CPU+GPU")
+                return self._decision(name, self.GPU, paths, reasons)
+            reasons.append("no dependent inner loops: data-parallel "
+                           "execution -> CPU+GPU")
+            return self._decision(name, self.GPU, paths, reasons)
+
+        reasons.append("outer hotspot loop is not parallel -> CPU+FPGA "
+                       "(pipelining exploits intra-iteration parallelism)")
+        return self._decision(name, self.FPGA, paths, reasons)
+
+    def _decision(self, branch: str, path: str, paths: List[str],
+                  reasons: List[str]) -> PSADecision:
+        if path not in paths:
+            raise KeyError(f"strategy chose {path!r} but branch {branch} "
+                           f"only offers {paths}")
+        return PSADecision(branch, [path], reasons)

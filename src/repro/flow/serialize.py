@@ -1,0 +1,118 @@
+"""JSON serialization of flow results.
+
+Dashboards, CI checks and the runtime mapping services of §IV-D consume
+flow outcomes programmatically; this module renders a
+:class:`FlowResult` (designs, metadata, PSA decisions, analysis
+summary) as plain JSON-compatible data and back to disk.
+
+Only data flows out -- sources are included as text, HLS reports as
+dictionaries; nothing here is needed to re-run a flow.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.codegen.design import Design
+from repro.flow.engine import FlowResult
+from repro.flow.psa import PSADecision
+from repro.toolchains.reports import HLSReport
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, HLSReport):
+        return {
+            "device": value.device,
+            "alm_utilization": value.alm_utilization,
+            "dsp_utilization": value.dsp_utilization,
+            "ii": value.ii,
+            "fmax_mhz": value.fmax_mhz,
+            "unroll_factor": value.unroll_factor,
+            "variable_inner_loop": value.variable_inner_loop,
+            "fitted": value.fitted,
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def design_to_dict(design: Design, include_source: bool = False
+                   ) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "label": design.label,
+        "app": design.app_name,
+        "kind": design.kind,
+        "device": design.device,
+        "kernel": design.kernel_name,
+        "synthesizable": design.synthesizable,
+        "failure_reason": design.failure_reason,
+        "predicted_time_s": design.predicted_time_s,
+        "speedup": design.speedup,
+        "loc": design.loc,
+        "reference_loc": design.reference_loc,
+        "loc_delta_pct": design.loc_delta_pct,
+        "metadata": _jsonable(design.metadata),
+        "buffers": [
+            {"name": b.name, "nbytes": b.nbytes, "direction": b.direction}
+            for b in design.buffers],
+    }
+    if include_source:
+        out["source"] = design.render()
+    return out
+
+
+def decision_to_dict(decision: PSADecision) -> Dict[str, Any]:
+    return {"branch": decision.branch,
+            "selected": list(decision.selected),
+            "reasons": list(decision.reasons)}
+
+
+def result_to_dict(result: FlowResult,
+                   include_sources: bool = False) -> Dict[str, Any]:
+    """JSON-compatible view of a complete flow run."""
+    decisions = {key: decision_to_dict(value)
+                 for key, value in result.facts.items()
+                 if isinstance(value, PSADecision)}
+    profile = result.facts.get("kernel_profile")
+    profile_dict: Optional[Dict[str, Any]] = None
+    if profile is not None:
+        profile_dict = {
+            "flops": profile.total_flops,
+            "mem_bytes": profile.mem_bytes,
+            "outer_iterations": profile.outer_iterations,
+            "bytes_in": profile.bytes_in,
+            "bytes_out": profile.bytes_out,
+            "sp_fraction": profile.sp_fraction,
+            "gather_fraction": profile.gather_fraction,
+            "outer_parallel": profile.outer_parallel,
+            "dependent_inner_loops": profile.dependent_inner_loops,
+            "inner_fully_unrollable": profile.inner_fully_unrollable,
+        }
+    return {
+        "app": result.app.name,
+        "mode": result.mode,
+        "selected_target": result.selected_target,
+        "reference_time_s": result.reference_time_s,
+        "designs": [design_to_dict(d, include_sources)
+                    for d in result.designs],
+        "decisions": decisions,
+        "kernel_profile": profile_dict,
+        "trace": list(result.trace),
+    }
+
+
+def dump_result(result: FlowResult, path: str,
+                include_sources: bool = False) -> None:
+    """Write the flow result to ``path`` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result, include_sources), fh, indent=2)
+
+
+def dumps_result(result: FlowResult,
+                 include_sources: bool = False) -> str:
+    return json.dumps(result_to_dict(result, include_sources), indent=2)

@@ -1,0 +1,53 @@
+"""Design-flow task base classes.
+
+The Fig. 4 repository classifies each codified task as Analysis (A),
+Transform (T), Code-Generation (CG) or Optimisation (O), and marks the
+tasks that require program execution as *dynamic*.  Tasks are
+meta-programs: they receive the shared :class:`FlowContext` and operate
+on its AST / current design / accrued facts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.flow.context import FlowContext
+
+
+class FlowError(Exception):
+    """A design-flow could not proceed (bad mapping, missing facts...)."""
+
+
+class TaskKind(enum.Enum):
+    ANALYSIS = "A"
+    TRANSFORM = "T"
+    CODEGEN = "CG"
+    OPTIMISATION = "O"
+
+
+class Task:
+    """One codified design-flow task.
+
+    Subclasses set ``name``, ``kind``, ``scope`` (the Fig. 4 grouping:
+    ``T-INDEP``, ``FPGA``, ``FPGA-S10``, ``GPU``, ``GPU-1080``,
+    ``CPU-OMP``, ...) and ``dynamic`` (requires program execution), and
+    implement :meth:`run`.
+    """
+
+    name: str = "task"
+    kind: TaskKind = TaskKind.TRANSFORM
+    scope: str = "T-INDEP"
+    dynamic: bool = False
+
+    def run(self, ctx: "FlowContext") -> None:
+        raise NotImplementedError
+
+    def __call__(self, ctx: "FlowContext") -> None:
+        ctx.log(f"[{self.scope}] {self.name} ({self.kind.value}"
+                f"{'*' if self.dynamic else ''})")
+        self.run(ctx)
+
+    def __repr__(self):
+        return f"<Task {self.name} kind={self.kind.value} scope={self.scope}>"

@@ -1,0 +1,25 @@
+"""Execution substrate for UHL programs.
+
+The paper's dynamic design-flow tasks (hotspot detection, trip-count
+analysis, data-movement analysis, pointer alias analysis -- the rows
+flagged with the "requires program execution" marker in Fig. 3/4) run
+instrumented native binaries.  Here those tasks run the application
+under a tree-walking interpreter with a virtual clock and hardware-
+independent event counters; the emitted :class:`ExecReport` carries the
+same facts a timer/counter-instrumented native run would produce.
+"""
+
+from repro.lang.interpreter import ExecLimitExceeded, Interpreter, RuntimeFault, Workload
+from repro.lang.profiler import ExecReport, LoopProfile
+from repro.lang.values import ArrayValue, PointerValue
+
+__all__ = [
+    "Interpreter",
+    "Workload",
+    "ExecReport",
+    "LoopProfile",
+    "ArrayValue",
+    "PointerValue",
+    "RuntimeFault",
+    "ExecLimitExceeded",
+]

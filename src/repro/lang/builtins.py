@@ -1,0 +1,156 @@
+"""Builtin functions available to UHL programs.
+
+Three groups:
+
+- **libm** -- the math functions benchmarks call (``sqrt``/``sqrtf``,
+  ``exp``/``expf``, ``erfc`` ...).  Each carries a FLOP cost charged to
+  the virtual clock; single-precision variants are cheaper, which is
+  what makes the "Employ SP Math Fns" transform observable in the
+  models.
+- **workload** -- ``ws_int``/``ws_double`` scalars and
+  ``ws_array_*(name, size)`` buffers supplied by the experiment
+  harness.  This mirrors reading problem sizes/input files in the
+  paper's benchmarks while keeping runs deterministic.
+- **instrumentation** -- ``timer_start``/``timer_stop`` (inserted by the
+  hotspot-detection meta-program, exactly the "loop timers" of Fig. 3),
+  ``printf``, and a deterministic ``rand01``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, NamedTuple, Optional
+
+from repro.meta.ast_nodes import CType
+
+
+class BuiltinSpec(NamedTuple):
+    """Descriptor of one builtin: python impl + virtual-clock FLOP cost."""
+
+    fn: Callable
+    flop_cost: int          # charged per call to the virtual clock
+    single_precision: bool  # True for the 'f'-suffixed SP variants
+
+
+def _erfc(x: float) -> float:
+    return math.erfc(x)
+
+
+def _safe(fn: Callable[[float], float]) -> Callable[[float], float]:
+    """Clamp domain errors to IEEE-style results instead of raising."""
+
+    def wrapped(x: float) -> float:
+        try:
+            return fn(x)
+        except ValueError:
+            return float("nan")
+        except OverflowError:
+            return float("inf") if x > 0 else 0.0
+
+    return wrapped
+
+
+# FLOP costs approximate instruction-level costs of libm implementations
+# (SP variants cheaper; used by the virtual clock and, more importantly,
+# scaled by the platform models' special-function throughput).
+MATH_BUILTINS: Dict[str, BuiltinSpec] = {
+    "sqrt": BuiltinSpec(_safe(math.sqrt), 8, False),
+    "sqrtf": BuiltinSpec(_safe(math.sqrt), 4, True),
+    "rsqrt": BuiltinSpec(_safe(lambda x: 1.0 / math.sqrt(x)), 8, False),
+    "rsqrtf": BuiltinSpec(_safe(lambda x: 1.0 / math.sqrt(x)), 2, True),
+    "exp": BuiltinSpec(_safe(math.exp), 16, False),
+    "expf": BuiltinSpec(_safe(math.exp), 8, True),
+    "log": BuiltinSpec(_safe(math.log), 16, False),
+    "logf": BuiltinSpec(_safe(math.log), 8, True),
+    "pow": BuiltinSpec(lambda x, y: math.pow(x, y), 24, False),
+    "powf": BuiltinSpec(lambda x, y: math.pow(x, y), 12, True),
+    "sin": BuiltinSpec(_safe(math.sin), 12, False),
+    "sinf": BuiltinSpec(_safe(math.sin), 6, True),
+    "cos": BuiltinSpec(_safe(math.cos), 12, False),
+    "cosf": BuiltinSpec(_safe(math.cos), 6, True),
+    "tanh": BuiltinSpec(_safe(math.tanh), 16, False),
+    "tanhf": BuiltinSpec(_safe(math.tanh), 8, True),
+    "erfc": BuiltinSpec(_safe(_erfc), 32, False),
+    "erfcf": BuiltinSpec(_safe(_erfc), 16, True),
+    "fabs": BuiltinSpec(abs, 1, False),
+    "fabsf": BuiltinSpec(abs, 1, True),
+    "floor": BuiltinSpec(_safe(math.floor), 1, False),
+    "floorf": BuiltinSpec(_safe(math.floor), 1, True),
+    "fmin": BuiltinSpec(min, 1, False),
+    "fminf": BuiltinSpec(min, 1, True),
+    "fmax": BuiltinSpec(max, 1, False),
+    "fmaxf": BuiltinSpec(max, 1, True),
+}
+
+# SP<->DP name pairs consumed by the "Employ SP Math Fns" transform and
+# its inverse; a name maps to its single-precision spelling.
+SP_VARIANT: Dict[str, str] = {
+    name: name + "f" for name in
+    ("sqrt", "rsqrt", "exp", "log", "pow", "sin", "cos", "tanh", "erfc",
+     "fabs", "floor", "fmin", "fmax")
+}
+
+# GPU "Employ Specialised Math Fns" rewrites (hardware intrinsics):
+# cheaper, device-only spellings of common SP functions.
+GPU_INTRINSIC: Dict[str, str] = {
+    "sqrtf": "__fsqrt_rn",
+    "expf": "__expf",
+    "logf": "__logf",
+    "sinf": "__sinf",
+    "cosf": "__cosf",
+    "powf": "__powf",
+}
+
+# Intrinsics execute on the interpreter like their SP sources but carry
+# reduced costs (special-function-unit throughput).
+for _src, _dst in GPU_INTRINSIC.items():
+    _spec = MATH_BUILTINS[_src]
+    MATH_BUILTINS[_dst] = BuiltinSpec(_spec.fn, max(1, _spec.flop_cost // 2), True)
+
+
+class LCG:
+    """Deterministic 64-bit linear congruential generator for rand01()."""
+
+    MULT = 6364136223846793005
+    INC = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int = 42):
+        self.state = (seed ^ 0x9E3779B97F4A7C15) & self.MASK
+
+    def next01(self) -> float:
+        self.state = (self.state * self.MULT + self.INC) & self.MASK
+        return (self.state >> 11) / float(1 << 53)
+
+
+_INT = CType("int")
+_FLOAT = CType("float")
+_DOUBLE = CType("double")
+
+ARRAY_BUILTIN_TYPES: Dict[str, CType] = {
+    "ws_array_int": _INT,
+    "ws_array_float": _FLOAT,
+    "ws_array_double": _DOUBLE,
+}
+
+SCALAR_WS_BUILTINS = ("ws_int", "ws_double", "ws_float")
+
+INSTRUMENTATION_BUILTINS = ("timer_start", "timer_stop", "printf", "rand01")
+
+
+def is_builtin(name: str) -> bool:
+    return (name in MATH_BUILTINS
+            or name in ARRAY_BUILTIN_TYPES
+            or name in SCALAR_WS_BUILTINS
+            or name in INSTRUMENTATION_BUILTINS)
+
+
+def builtin_flop_cost(name: str) -> int:
+    """Static FLOP cost of a call to ``name`` (0 for non-math builtins)."""
+    spec = MATH_BUILTINS.get(name)
+    return spec.flop_cost if spec else 0
+
+
+def builtin_is_single(name: str) -> Optional[bool]:
+    spec = MATH_BUILTINS.get(name)
+    return spec.single_precision if spec else None

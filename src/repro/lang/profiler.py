@@ -1,0 +1,200 @@
+"""Execution profiles: the virtual clock and event counters.
+
+A native run of a timer-instrumented binary yields wall-clock times,
+hardware counters and transfer sizes.  The interpreter instead advances
+a *virtual clock* in abstract cycles -- each arithmetic operation,
+memory access and builtin call has a fixed cycle weight -- and
+attributes events to the loop structure being executed.  Every dynamic
+design-flow task consumes this :class:`ExecReport`:
+
+- hotspot detection reads per-timer virtual times;
+- trip-count analysis reads per-loop entry/iteration records;
+- data-movement analysis reads per-function array access records;
+- pointer-alias analysis reads per-call pointer argument logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+# Cycle weights of the virtual clock.  Only ratios matter: they rank
+# loops for hotspot detection and provide the reference "1-thread CPU"
+# baseline shape.  (Absolute times come from the platform models.)
+CYCLES_FLOP = 1.0
+CYCLES_INT_OP = 0.5
+CYCLES_MEM_ACCESS = 1.0      # per scalar load/store (cache-resident cost)
+CYCLES_PER_BYTE = 0.0        # bandwidth effects modelled by platforms
+CYCLES_BRANCH = 0.5
+CYCLES_CALL = 2.0
+
+
+class Counter:
+    """A bundle of additive event counts."""
+
+    __slots__ = ("flops", "int_ops", "mem_reads", "mem_writes",
+                 "bytes_read", "bytes_written", "branches", "calls",
+                 "builtin_flops")
+
+    def __init__(self):
+        self.flops = 0
+        self.int_ops = 0
+        self.mem_reads = 0
+        self.mem_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.branches = 0
+        self.calls = 0
+        self.builtin_flops = 0
+
+    def add(self, other: "Counter") -> None:
+        self.flops += other.flops
+        self.int_ops += other.int_ops
+        self.mem_reads += other.mem_reads
+        self.mem_writes += other.mem_writes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.branches += other.branches
+        self.calls += other.calls
+        self.builtin_flops += other.builtin_flops
+
+    @property
+    def total_flops(self) -> int:
+        """Arithmetic plus builtin (math-function) floating operations."""
+        return self.flops + self.builtin_flops
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def cycles(self) -> float:
+        """Virtual cycles represented by these counts."""
+        return (self.total_flops * CYCLES_FLOP
+                + self.int_ops * CYCLES_INT_OP
+                + (self.mem_reads + self.mem_writes) * CYCLES_MEM_ACCESS
+                + self.total_bytes * CYCLES_PER_BYTE
+                + self.branches * CYCLES_BRANCH
+                + self.calls * CYCLES_CALL)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (f"Counter(flops={self.total_flops}, int={self.int_ops}, "
+                f"bytes={self.total_bytes})")
+
+
+class LoopProfile:
+    """Per-loop dynamic record (inclusive of nested loops and callees)."""
+
+    def __init__(self, loop_id: int):
+        self.loop_id = loop_id
+        self.entries = 0                  # times the loop was entered
+        self.trip_counts: List[int] = []  # iterations per entry
+        self.inclusive = Counter()
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.trip_counts)
+
+    @property
+    def min_trips(self) -> int:
+        return min(self.trip_counts) if self.trip_counts else 0
+
+    @property
+    def max_trips(self) -> int:
+        return max(self.trip_counts) if self.trip_counts else 0
+
+    @property
+    def avg_trips(self) -> float:
+        if not self.trip_counts:
+            return 0.0
+        return sum(self.trip_counts) / len(self.trip_counts)
+
+    @property
+    def constant_trips(self) -> bool:
+        """True when every dynamic entry ran the same iteration count."""
+        return len(set(self.trip_counts)) <= 1 and bool(self.trip_counts)
+
+    def cycles(self) -> float:
+        return self.inclusive.cycles()
+
+    def __repr__(self):
+        return (f"<LoopProfile loop={self.loop_id} entries={self.entries} "
+                f"iters={self.total_iterations} cycles={self.cycles():.0f}>")
+
+
+class ArrayAccessRecord:
+    """Per-function, per-buffer access summary for data-movement analysis."""
+
+    __slots__ = ("name", "nbytes", "elem_size", "reads", "writes",
+                 "read_before_write")
+
+    def __init__(self, name: str, nbytes: int, elem_size: int):
+        self.name = name
+        self.nbytes = nbytes
+        self.elem_size = elem_size
+        self.reads = 0
+        self.writes = 0
+        self.read_before_write = False
+
+    @property
+    def is_input(self) -> bool:
+        """Buffer must be copied *to* the accelerator."""
+        return self.reads > 0 and (self.read_before_write or self.writes == 0)
+
+    @property
+    def is_output(self) -> bool:
+        """Buffer must be copied *back* from the accelerator."""
+        return self.writes > 0
+
+
+class PointerArgEvent:
+    """Pointer arguments observed at one dynamic call of a function."""
+
+    __slots__ = ("fn_name", "args")
+
+    def __init__(self, fn_name: str, args: List[Tuple[str, int, int, int]]):
+        # args: (param_name, array_id, offset, reachable_elements)
+        self.fn_name = fn_name
+        self.args = args
+
+
+class ExecReport:
+    """Everything a dynamic design-flow task can observe from one run."""
+
+    def __init__(self):
+        self.global_counter = Counter()
+        self.loop_profiles: Dict[int, LoopProfile] = {}
+        self.timers: Dict[str, float] = {}          # timer id -> virtual cycles
+        self.fn_array_access: Dict[str, Dict[str, ArrayAccessRecord]] = {}
+        self.pointer_events: List[PointerArgEvent] = []
+        self.stdout: List[str] = []
+        self.return_value = None
+        self.steps = 0
+
+    # -- accessors used by analyses -----------------------------------------
+    def loop(self, loop_id: int) -> LoopProfile:
+        prof = self.loop_profiles.get(loop_id)
+        if prof is None:
+            prof = LoopProfile(loop_id)
+            self.loop_profiles[loop_id] = prof
+        return prof
+
+    def total_cycles(self) -> float:
+        return self.global_counter.cycles()
+
+    def timer(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def arrays_touched_by(self, fn_name: str) -> Dict[str, ArrayAccessRecord]:
+        return self.fn_array_access.get(fn_name, {})
+
+    def calls_of(self, fn_name: str) -> List[PointerArgEvent]:
+        return [e for e in self.pointer_events if e.fn_name == fn_name]
+
+    def output_text(self) -> str:
+        return "".join(self.stdout)
+
+    def __repr__(self):
+        return (f"<ExecReport cycles={self.total_cycles():.0f} "
+                f"loops={len(self.loop_profiles)} timers={len(self.timers)}>")

@@ -1,0 +1,114 @@
+"""The ``Ast(src)`` façade of Fig. 2.
+
+Wraps a parsed translation unit with the operations meta-programs use:
+query, instrument (via :mod:`repro.meta.instrument` on the nodes),
+execution against a workload (``report = exec(ast)`` in Fig. 2 -- here
+backed by the :mod:`repro.lang` interpreter), cloning for DSE
+candidates, and export to readable source.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.meta.ast_nodes import ForStmt, FunctionDecl, TranslationUnit
+from repro.meta.parser import parse
+from repro.meta.query import Match, Query
+from repro.meta.unparse import count_loc, unparse
+
+
+class Ast:
+    """A queryable, instrumentable, executable program representation."""
+
+    def __init__(self, source: str, name: str = "app.cpp"):
+        """Parse ``source`` (UHL C/C++ subset). ``name`` labels exports."""
+        self.name = name
+        self.unit: TranslationUnit = parse(source)
+
+    # -- alternative constructors ------------------------------------------
+    @classmethod
+    def from_file(cls, path: str) -> "Ast":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls(fh.read(), name=os.path.basename(path))
+
+    @classmethod
+    def from_unit(cls, unit: TranslationUnit, name: str = "app.cpp") -> "Ast":
+        ast = cls.__new__(cls)
+        ast.name = name
+        ast.unit = unit
+        return ast
+
+    # -- query ------------------------------------------------------------
+    def query(self) -> Query:
+        """Start a fluent query over the whole unit."""
+        return Query(self.unit)
+
+    def functions(self) -> List[FunctionDecl]:
+        return self.unit.functions()
+
+    def function(self, name: str) -> FunctionDecl:
+        return self.unit.function(name)
+
+    def has_function(self, name: str) -> bool:
+        return self.unit.has_function(name)
+
+    def loops(self, fn_name: Optional[str] = None) -> List[ForStmt]:
+        root = self.unit.function(fn_name) if fn_name else self.unit
+        return [n for n in root.walk() if isinstance(n, ForStmt)]
+
+    def outermost_loops(self, fn_name: str) -> List[ForStmt]:
+        """The Fig. 2 query: outermost for-loops enclosed in a function."""
+        matches = (self.query()
+                   .row("loop", ForStmt)
+                   .row("fn", FunctionDecl)
+                   .where(lambda loop, fn: fn.name == fn_name
+                          and fn.encloses(loop)
+                          and loop.is_outermost)
+                   .all())
+        return [m.loop for m in matches]
+
+    # -- execution (dynamic tasks) ------------------------------------------
+    def execute(self, workload=None, entry: str = "main",
+                max_steps: Optional[int] = None):
+        """Run the program under the interpreter; returns an ExecReport.
+
+        ``workload`` is a :class:`repro.lang.interpreter.Workload`-like
+        mapping of external buffers/scalars made visible to the program
+        through its builtin environment.  Dynamic analysis tasks (hotspot
+        detection, trip counts, data movement) call this -- it is the
+        ``exec(ast)`` of Fig. 2.
+        """
+        from repro.lang.interpreter import Interpreter
+
+        interp = Interpreter(self.unit, workload=workload)
+        return interp.run(entry=entry, max_steps=max_steps)
+
+    # -- output --------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        """Current (possibly instrumented/transformed) source text."""
+        return unparse(self.unit)
+
+    @property
+    def loc(self) -> int:
+        """Lines of code of the current source (Table I metric)."""
+        return count_loc(self.source)
+
+    def export(self, path: str) -> str:
+        """Write the current source to ``path``; returns the text written."""
+        text = self.source
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return text
+
+    def clone(self, name: Optional[str] = None) -> "Ast":
+        """Deep copy (DSE candidates mutate clones, not the reference)."""
+        dup = Ast.__new__(Ast)
+        dup.name = name or self.name
+        dup.unit = self.unit.clone()  # type: ignore[assignment]
+        return dup
+
+    def __repr__(self):
+        fns = ", ".join(f.name for f in self.functions())
+        return f"<Ast {self.name!r} functions=[{fns}]>"

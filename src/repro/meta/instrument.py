@@ -1,0 +1,167 @@
+"""Instrumentation primitives.
+
+Reproduces Artisan's ``instrument(before, loop, "#pragma unroll $n")``
+mechanism (Fig. 2): source-to-source modification expressed directly on
+the AST.  Four placements are supported:
+
+- ``before`` / ``after`` -- insert a statement adjacent to a target
+  statement inside its enclosing block (pragmas attach to the statement
+  itself rather than becoming siblings);
+- ``around`` -- wrap the target in a new compound statement with prologue
+  and epilogue statements (used by loop timers);
+- ``replace`` -- substitute the target with new code (used by hotspot
+  extraction to swap a loop for a kernel call).
+
+Snippets may be given as source strings (parsed on the fly, ``$var``
+placeholders substituted) or as pre-built AST nodes.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Optional, Union
+
+from repro.meta.ast_nodes import (
+    CompoundStmt, Expr, ForStmt, Node, Pragma, Stmt, set_parents,
+)
+
+Snippet = Union[str, Stmt]
+
+
+class InstrumentError(Exception):
+    pass
+
+
+def _substitute(template: str, subs: Optional[Dict[str, object]]) -> str:
+    if not subs:
+        return template
+    return string.Template(template).substitute(
+        {k: str(v) for k, v in subs.items()})
+
+
+def _as_stmt(snippet: Snippet, subs: Optional[Dict[str, object]] = None) -> Stmt:
+    if isinstance(snippet, Stmt):
+        return snippet
+    from repro.meta.parser import parse_stmt
+
+    return parse_stmt(_substitute(snippet, subs))
+
+
+def _enclosing_block(stmt: Stmt) -> CompoundStmt:
+    parent = stmt.parent
+    if isinstance(parent, CompoundStmt):
+        return parent
+    raise InstrumentError(
+        f"statement {stmt!r} is not directly inside a block; "
+        "wrap loop bodies in braces before instrumenting around them")
+
+
+def insert_pragma(stmt: Stmt, text: str,
+                  subs: Optional[Dict[str, object]] = None,
+                  replace_keyword: bool = True) -> Pragma:
+    """Attach ``#pragma <text>`` to ``stmt``.
+
+    When ``replace_keyword`` is set, an existing pragma with the same
+    leading keyword is replaced instead of accumulated -- this is what
+    lets the Fig. 2 DSE re-run ``#pragma unroll $n`` with doubled ``n``
+    each iteration without stacking directives.
+    """
+    text = _substitute(text, subs).strip()
+    pragma = Pragma(text)
+    pragma.parent = stmt
+    if replace_keyword:
+        keyword = pragma.keyword
+        stmt.pragmas = [p for p in stmt.pragmas if p.keyword != keyword]
+    stmt.pragmas.append(pragma)
+    return pragma
+
+
+def remove_pragma(stmt: Stmt, keyword: str) -> int:
+    """Remove pragmas whose first word is ``keyword``; returns count removed."""
+    before = len(stmt.pragmas)
+    stmt.pragmas = [p for p in stmt.pragmas if p.keyword != keyword]
+    return before - len(stmt.pragmas)
+
+
+def get_pragma(stmt: Stmt, keyword: str) -> Optional[Pragma]:
+    for pragma in stmt.pragmas:
+        if pragma.keyword == keyword:
+            return pragma
+    return None
+
+
+def insert_before(target: Stmt, snippet: Snippet,
+                  subs: Optional[Dict[str, object]] = None) -> Stmt:
+    """Insert a statement immediately before ``target`` in its block."""
+    block = _enclosing_block(target)
+    stmt = _as_stmt(snippet, subs)
+    index = block.stmts.index(target)
+    block.stmts.insert(index, stmt)
+    set_parents(stmt, block)
+    return stmt
+
+
+def insert_after(target: Stmt, snippet: Snippet,
+                 subs: Optional[Dict[str, object]] = None) -> Stmt:
+    """Insert a statement immediately after ``target`` in its block."""
+    block = _enclosing_block(target)
+    stmt = _as_stmt(snippet, subs)
+    index = block.stmts.index(target)
+    block.stmts.insert(index + 1, stmt)
+    set_parents(stmt, block)
+    return stmt
+
+
+def wrap_around(target: Stmt, prologue: List[Snippet],
+                epilogue: List[Snippet],
+                subs: Optional[Dict[str, object]] = None) -> CompoundStmt:
+    """Replace ``target`` with ``{ prologue...; target; epilogue...; }``."""
+    parent = target.parent
+    if parent is None:
+        raise InstrumentError("cannot wrap the root node")
+    wrapper = CompoundStmt(
+        [_as_stmt(s, subs) for s in prologue]
+        + [target]
+        + [_as_stmt(s, subs) for s in epilogue])
+    parent.replace_child(target, wrapper)
+    set_parents(wrapper, parent)
+    return wrapper
+
+
+def replace(target: Stmt, snippet: Snippet,
+            subs: Optional[Dict[str, object]] = None) -> Stmt:
+    """Replace ``target`` with a new statement; returns the new node."""
+    parent = target.parent
+    if parent is None:
+        raise InstrumentError("cannot replace the root node")
+    stmt = _as_stmt(snippet, subs)
+    # carry target's pragmas over unless the replacement has its own
+    if target.pragmas and not stmt.pragmas:
+        stmt.pragmas = list(target.pragmas)
+    parent.replace_child(target, stmt)
+    set_parents(stmt, parent)
+    return stmt
+
+
+def replace_expr(target: Expr, new: Expr) -> Expr:
+    """Replace an expression node within its parent."""
+    parent = target.parent
+    if parent is None:
+        raise InstrumentError("cannot replace a detached expression")
+    parent.replace_child(target, new)
+    set_parents(new, parent)
+    return new
+
+
+def ensure_braced(loop: ForStmt) -> CompoundStmt:
+    """Guarantee the loop body is a compound statement, wrapping if needed.
+
+    Instrumentation inside loop bodies (timers, shared-memory staging)
+    requires a block to insert into.
+    """
+    if isinstance(loop.body, CompoundStmt):
+        return loop.body
+    body = CompoundStmt([loop.body])
+    loop.replace_child(loop.body, body)
+    set_parents(body, loop)
+    return body

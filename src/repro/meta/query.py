@@ -1,0 +1,169 @@
+"""AST query engine.
+
+Reproduces the Artisan query idiom from Fig. 2 of the paper::
+
+    loops = query(for all loop, fn in ast:
+                      loop.isForStmt
+                      and fn.name == kernel_name
+                      and fn.encloses(loop)
+                      and loop.is_outermost)
+
+In this implementation a query names one or more *row variables*, each
+bound to a node type, and a predicate over the bound nodes; the engine
+enumerates the cross product of candidate nodes and returns a match
+table.  The example above becomes::
+
+    matches = (Query(ast)
+               .row("loop", ForStmt)
+               .row("fn", FunctionDecl)
+               .where(lambda loop, fn: fn.name == kernel_name
+                                       and fn.encloses(loop)
+                                       and loop.is_outermost)
+               .all())
+    for m in matches:
+        m["loop"], m["fn"]
+
+Convenience wrappers cover the common single-variable cases used by the
+codified design-flow tasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.meta.ast_nodes import (
+    Assign, Call, ForStmt, FunctionDecl, Ident, Index, Node,
+)
+
+
+class Match(dict):
+    """One query result: a mapping from row-variable name to node."""
+
+    def __getattr__(self, name: str) -> Node:
+        try:
+            return self[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+
+class Query:
+    """Fluent query over the subtree rooted at ``root``."""
+
+    def __init__(self, root: Node):
+        self.root = root
+        self._rows: List = []  # (name, node_type)
+        self._predicates: List[Callable[..., bool]] = []
+
+    def row(self, name: str, node_type: Type[Node]) -> "Query":
+        """Declare a row variable ranging over nodes of ``node_type``."""
+        self._rows.append((name, node_type))
+        return self
+
+    def where(self, predicate: Callable[..., bool]) -> "Query":
+        """Add a predicate taking the row variables in declaration order."""
+        self._predicates.append(predicate)
+        return self
+
+    # -- execution ---------------------------------------------------------
+    def _candidates(self, node_type: Type[Node]) -> List[Node]:
+        return [n for n in self.root.walk() if isinstance(n, node_type)]
+
+    def matches(self) -> Iterator[Match]:
+        domains = [self._candidates(t) for _, t in self._rows]
+        names = [name for name, _ in self._rows]
+        for combo in itertools.product(*domains):
+            if all(pred(*combo) for pred in self._predicates):
+                yield Match(zip(names, combo))
+
+    def all(self) -> List[Match]:
+        return list(self.matches())
+
+    def first(self) -> Optional[Match]:
+        return next(self.matches(), None)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.matches())
+
+
+def query(root: Node, *row_specs, where: Optional[Callable[..., bool]] = None
+          ) -> List[Match]:
+    """One-shot query: ``query(ast, ("loop", ForStmt), where=pred)``."""
+    q = Query(root)
+    for name, node_type in row_specs:
+        q.row(name, node_type)
+    if where is not None:
+        q.where(where)
+    return q.all()
+
+
+# =========================================================================
+# Convenience matchers used across the codified design-flow tasks.
+# =========================================================================
+
+def outermost_loops(fn: FunctionDecl) -> List[ForStmt]:
+    """Outermost for-loops of ``fn`` -- the Fig. 2 query specialised."""
+    return [m.loop for m in (Query(fn)
+                             .row("loop", ForStmt)
+                             .where(lambda loop: loop.is_outermost)
+                             .matches())]
+
+
+def loops_in(node: Node) -> List[ForStmt]:
+    return [n for n in node.walk() if isinstance(n, ForStmt)]
+
+
+def calls_in(node: Node, name: Optional[str] = None) -> List[Call]:
+    return [n for n in node.walk()
+            if isinstance(n, Call) and (name is None or n.name == name)]
+
+
+def idents_in(node: Node) -> List[Ident]:
+    return [n for n in node.walk() if isinstance(n, Ident)]
+
+
+def free_variables(node: Node, declared: Sequence[str] = ()) -> List[str]:
+    """Names read/written in ``node`` that are not declared inside it.
+
+    Used by hotspot extraction to compute the parameter list of the
+    extracted kernel function.  Order of first appearance is preserved.
+    """
+    from repro.meta.ast_nodes import DeclStmt
+
+    local = set(declared)
+    for n in node.walk():
+        if isinstance(n, DeclStmt):
+            for d in n.decls:
+                local.add(d.name)
+    seen: Dict[str, None] = {}
+    for ident in idents_in(node):
+        if ident.name not in local:
+            seen.setdefault(ident.name, None)
+    return list(seen)
+
+
+def written_arrays(node: Node) -> List[str]:
+    """Base names of arrays written (``a[i] = ...`` or ``a[i] += ...``)."""
+    names: Dict[str, None] = {}
+    for n in node.walk():
+        if isinstance(n, Assign):
+            target = n.target
+            while isinstance(target, Index):
+                target = target.base
+            if isinstance(target, Ident) and isinstance(n.target, Index):
+                names.setdefault(target.name, None)
+    return list(names)
+
+
+def read_arrays(node: Node) -> List[str]:
+    """Base names of arrays read via subscript anywhere in ``node``."""
+    names: Dict[str, None] = {}
+    for n in node.walk():
+        if isinstance(n, Index):
+            base = n.base
+            while isinstance(base, Index):
+                base = base.base
+            if isinstance(base, Ident):
+                # written-only positions are filtered by callers that care
+                names.setdefault(base.name, None)
+    return list(names)

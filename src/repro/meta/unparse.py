@@ -1,0 +1,262 @@
+"""AST -> human-readable source.
+
+The paper stresses that "output implementations are human-readable and
+can be further hand-tuned if desired" because Artisan ASTs mirror the
+source as written.  This unparser honours that: stable 4-space
+indentation, pragmas printed on their own lines immediately before the
+statements they annotate, literals printed with their original spelling
+where preserved, and :class:`~repro.meta.ast_nodes.RawStmt` lines from
+code generators emitted verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.meta.ast_nodes import (
+    Assign, BinaryOp, BoolLit, BreakStmt, Call, Cast, Comment,
+    CompoundStmt, ContinueStmt, DeclStmt, DoWhileStmt, Expr, ExprStmt,
+    FloatLit, ForStmt, FunctionDecl, Ident, IfStmt, Index, IntLit, Node,
+    NullStmt, Pragma, RawStmt, ReturnStmt, Stmt, StringLit, Ternary,
+    TranslationUnit, UnaryOp, VarDecl, WhileStmt,
+)
+
+_INDENT = "    "
+
+# Precedence table mirroring the parser levels (higher binds tighter).
+_PREC = {
+    ",": 0, "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1,
+    "?:": 2,
+    "||": 3, "&&": 4, "|": 5, "^": 6, "&": 7,
+    "==": 8, "!=": 8,
+    "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10,
+    "+": 11, "-": 11,
+    "*": 12, "/": 12, "%": 12,
+}
+_UNARY_PREC = 13
+_POSTFIX_PREC = 14
+
+
+def unparse_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesising only where required."""
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: Expr):
+    if isinstance(expr, IntLit):
+        return f"{expr.value}{expr.suffix}", _POSTFIX_PREC
+    if isinstance(expr, FloatLit):
+        if expr.text is not None:
+            return expr.text, _POSTFIX_PREC
+        body = repr(expr.value)
+        if "e" not in body and "." not in body and "inf" not in body:
+            body += ".0"
+        return body + expr.suffix, _POSTFIX_PREC
+    if isinstance(expr, BoolLit):
+        return ("true" if expr.value else "false"), _POSTFIX_PREC
+    if isinstance(expr, StringLit):
+        return f'"{expr.value}"', _POSTFIX_PREC
+    if isinstance(expr, Ident):
+        return expr.name, _POSTFIX_PREC
+    if isinstance(expr, Call):
+        args = ", ".join(unparse_expr(a, 1) for a in expr.args)
+        return f"{expr.name}({args})", _POSTFIX_PREC
+    if isinstance(expr, Index):
+        base = unparse_expr(expr.base, _POSTFIX_PREC)
+        return f"{base}[{unparse_expr(expr.index)}]", _POSTFIX_PREC
+    if isinstance(expr, UnaryOp):
+        if expr.prefix:
+            operand = unparse_expr(expr.operand, _UNARY_PREC)
+            # avoid token gluing: '-' '-a' must not become '--a'
+            space = " " if operand.startswith(expr.op[-1]) else ""
+            return f"{expr.op}{space}{operand}", _UNARY_PREC
+        operand = unparse_expr(expr.operand, _POSTFIX_PREC)
+        return f"{operand}{expr.op}", _POSTFIX_PREC
+    if isinstance(expr, Cast):
+        inner = unparse_expr(expr.expr, _UNARY_PREC)
+        return f"({expr.ctype}){inner}", _UNARY_PREC
+    if isinstance(expr, BinaryOp):
+        prec = _PREC[expr.op]
+        lhs = unparse_expr(expr.lhs, prec)
+        rhs = unparse_expr(expr.rhs, prec + 1)  # left-associative
+        if expr.op == ",":
+            return f"{lhs}, {rhs}", prec
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, Assign):
+        prec = _PREC[expr.op]
+        target = unparse_expr(expr.target, prec + 1)
+        value = unparse_expr(expr.value, prec)  # right-associative
+        return f"{target} {expr.op} {value}", prec
+    if isinstance(expr, Ternary):
+        cond = unparse_expr(expr.cond, _PREC["?:"] + 1)
+        then = unparse_expr(expr.then, 1)
+        els = unparse_expr(expr.els, _PREC["?:"])
+        return f"{cond} ? {then} : {els}", _PREC["?:"]
+    raise TypeError(f"cannot unparse expression node {type(expr).__name__}")
+
+
+def _declarator(decl: VarDecl) -> str:
+    text = decl.name
+    if decl.array_size is not None:
+        text += f"[{unparse_expr(decl.array_size)}]"
+    if decl.init is not None:
+        text += f" = {unparse_expr(decl.init, 1)}"
+    return text
+
+
+def _decl_stmt(stmt: DeclStmt) -> str:
+    ctype = stmt.decls[0].ctype
+    return f"{ctype} " + ", ".join(_declarator(d) for d in stmt.decls) + ";"
+
+
+class _Writer:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(_INDENT * self.depth + text if text else "")
+
+    def raw(self, text: str) -> None:
+        for ln in text.splitlines() or [""]:
+            self.line(ln)
+
+    # -- statements -------------------------------------------------------
+    def pragmas(self, stmt: Stmt) -> None:
+        for pragma in stmt.pragmas:
+            self.line(f"#pragma {pragma.text}")
+
+    def block(self, node: CompoundStmt, header: str = "") -> None:
+        """Emit a block K&R-style: ``header {`` ... ``}``."""
+        self.line((header + " {") if header else "{")
+        self.depth += 1
+        for child in node.stmts:
+            self.stmt(child)
+        self.depth -= 1
+        self.line("}")
+
+    def stmt(self, node: Stmt) -> None:
+        self.pragmas(node)
+        if isinstance(node, CompoundStmt):
+            self.block(node)
+        elif isinstance(node, DeclStmt):
+            self.line(_decl_stmt(node))
+        elif isinstance(node, ExprStmt):
+            self.line(unparse_expr(node.expr) + ";")
+        elif isinstance(node, ForStmt):
+            init = ""
+            if isinstance(node.init, DeclStmt):
+                init = _decl_stmt(node.init)[:-1]
+            elif isinstance(node.init, ExprStmt):
+                init = unparse_expr(node.init.expr)
+            cond = unparse_expr(node.cond) if node.cond is not None else ""
+            inc = unparse_expr(node.inc) if node.inc is not None else ""
+            self.body(node.body, f"for ({init}; {cond}; {inc})")
+        elif isinstance(node, WhileStmt):
+            self.body(node.body, f"while ({unparse_expr(node.cond)})")
+        elif isinstance(node, DoWhileStmt):
+            self.body(node.body, "do")
+            self.line(f"while ({unparse_expr(node.cond)});")
+        elif isinstance(node, IfStmt):
+            self.body(node.then, f"if ({unparse_expr(node.cond)})")
+            if node.els is not None:
+                if isinstance(node.els, IfStmt) and not node.els.pragmas:
+                    # keep 'else if' chains readable
+                    start = len(self.lines)
+                    self.stmt(node.els)
+                    first = self.lines[start].lstrip()
+                    self.lines[start] = (_INDENT * self.depth
+                                         + "else " + first)
+                else:
+                    self.body(node.els, "else")
+        elif isinstance(node, ReturnStmt):
+            if node.expr is None:
+                self.line("return;")
+            else:
+                self.line(f"return {unparse_expr(node.expr)};")
+        elif isinstance(node, BreakStmt):
+            self.line("break;")
+        elif isinstance(node, ContinueStmt):
+            self.line("continue;")
+        elif isinstance(node, NullStmt):
+            self.line(";")
+        elif isinstance(node, RawStmt):
+            self.raw(node.text)
+        elif isinstance(node, Comment):
+            self.line(f"// {node.text}")
+        else:
+            raise TypeError(f"cannot unparse statement {type(node).__name__}")
+
+    def body(self, node: Stmt, header: str = "") -> None:
+        """Render a loop/if body K&R-style; non-compound bodies indent."""
+        if isinstance(node, CompoundStmt) and not node.pragmas:
+            self.block(node, header)
+        else:
+            if header:
+                self.line(header)
+            self.depth += 1
+            self.stmt(node)
+            self.depth -= 1
+
+    # -- declarations ------------------------------------------------------
+    def function(self, fn: FunctionDecl) -> None:
+        attrs = "".join(a + " " for a in fn.attributes)
+        params = ", ".join(f"{p.ctype} {p.name}" for p in fn.params)
+        header = f"{attrs}{fn.return_type} {fn.name}({params})"
+        if fn.body is None:
+            self.line(header + ";")
+            return
+        self.block(fn.body, header)
+
+    def unit(self, unit: TranslationUnit) -> None:
+        for line in unit.preamble:
+            self.line(line)
+        if unit.preamble:
+            self.line()
+        for i, decl in enumerate(unit.decls):
+            if i:
+                self.line()
+            if isinstance(decl, FunctionDecl):
+                self.function(decl)
+            elif isinstance(decl, DeclStmt):
+                self.pragmas(decl)
+                self.line(_decl_stmt(decl))
+            elif isinstance(decl, RawStmt):
+                self.raw(decl.text)
+            elif isinstance(decl, Comment):
+                self.line(f"// {decl.text}")
+            else:
+                raise TypeError(f"cannot unparse top-level {type(decl).__name__}")
+
+
+def unparse(node: Node) -> str:
+    """Render any AST node back to source text."""
+    writer = _Writer()
+    if isinstance(node, TranslationUnit):
+        writer.unit(node)
+    elif isinstance(node, FunctionDecl):
+        writer.function(node)
+    elif isinstance(node, Stmt):
+        writer.stmt(node)
+    elif isinstance(node, Expr):
+        return unparse_expr(node)
+    else:
+        raise TypeError(f"cannot unparse {type(node).__name__}")
+    return "\n".join(writer.lines) + "\n"
+
+
+def count_loc(source: str) -> int:
+    """Count non-blank, non-comment-only lines (Table I's LOC metric)."""
+    count = 0
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            continue
+        count += 1
+    return count

@@ -1,0 +1,42 @@
+"""Hardware platform models.
+
+Simulated equivalents of the paper's evaluation hardware:
+
+- AMD EPYC 7543 32-core CPU (single-thread reference + OpenMP scaling);
+- NVIDIA GeForce GTX 1080 Ti (Pascal) and RTX 2080 Ti (Turing) GPUs with
+  an occupancy-based roofline model;
+- Intel PAC Arria10 and Stratix10 FPGAs with a pipeline
+  (depth + II * trips / unroll) model and LUT/DSP/BRAM resource pools;
+- PCIe / pinned / zero-copy (USM) interconnect transfer models.
+
+Models consume a :class:`~repro.platforms.profile.KernelProfile`
+distilled from the dynamic+static analyses of the reference kernel,
+plus per-design metadata (unroll factor, blocksize, precision), and
+return predicted hotspot execution times.  Device constants live in
+:mod:`repro.platforms.spec` and come from public datasheets, with
+documented efficiency factors (see EXPERIMENTS.md for calibration).
+"""
+
+from repro.platforms.spec import (
+    CPUSpec, FPGASpec, GPUSpec, EPYC_7543, GTX_1080_TI, RTX_2080_TI,
+    ARRIA10, STRATIX10,
+)
+from repro.platforms.profile import KernelProfile
+from repro.platforms.cpu import CPUModel
+from repro.platforms.gpu import GPUModel, OccupancyResult
+from repro.platforms.fpga import FPGAModel
+from repro.platforms.interconnect import TransferModel
+from repro.platforms.power import (
+    POWER_SPECS, PowerSpec, energy_joules, power_spec,
+)
+from repro.platforms.registry import PLATFORMS, get_platform
+
+__all__ = [
+    "CPUSpec", "GPUSpec", "FPGASpec",
+    "EPYC_7543", "GTX_1080_TI", "RTX_2080_TI", "ARRIA10", "STRATIX10",
+    "KernelProfile",
+    "CPUModel", "GPUModel", "OccupancyResult", "FPGAModel",
+    "TransferModel",
+    "PLATFORMS", "get_platform",
+    "PowerSpec", "POWER_SPECS", "power_spec", "energy_joules",
+]

@@ -1,0 +1,125 @@
+"""FPGA performance model (PAC Arria10 / Stratix10), pipeline-based.
+
+An HLS design executes the kernel's outer loop as a pipeline:
+
+    cycles = depth + outer_iterations * II_effective / unroll
+
+- With every dependent inner loop fully unrolled and array ``+=``
+  recurrences scalarised, the outer loop pipelines at II=1; "Unroll
+  Until Overmap" then replicates lanes until resources run out.
+- A variable-bound inner loop cannot be unrolled; the outer iteration
+  then occupies ~inner_trips cycles and lane replication is ineffective
+  (this is why the paper's N-Body FPGA designs manage only 1.1x/1.4x:
+  one pair per cycle at kernel fmax, nothing more).
+- Streamed operands pass DDR once per kernel call; data-dependent
+  gathers (AdPredictor's weight-table lookups) pay reduced bandwidth
+  efficiency, which is what makes its FPGA designs bandwidth-bound and
+  the Stratix10 (2.3x the DDR bandwidth of the Arria10) the winner.
+- Zero-copy USM designs (Stratix10 only) skip the bulk PCIe transfer and
+  instead stream host memory at the USM rate, overlapped with compute.
+
+Resource fitting is delegated to the simulated
+:mod:`repro.toolchains.dpcpp` compiler's report; this model turns a
+*fitted* design point into time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.platforms.interconnect import TransferModel
+from repro.platforms.profile import KernelProfile
+from repro.platforms.spec import FPGASpec
+
+#: pipeline fill depth in cycles (datapath registers + memory latency)
+PIPELINE_DEPTH = 400.0
+
+
+@dataclass
+class FPGADesignPoint:
+    """Per-design knobs layered on the reference profile."""
+
+    unroll_factor: int = 1
+    #: outer-loop initiation interval once inner loops are handled;
+    #: 1 for fully-unrolled/scalarised bodies
+    ii: float = 1.0
+    #: average trip count of a *variable* inner loop serialising the
+    #: outer iteration (0 when all inner loops are unrolled)
+    variable_inner_trips: float = 0.0
+    zero_copy: bool = False
+    sp_fraction: Optional[float] = None
+
+
+@dataclass
+class FPGAModel:
+    spec: FPGASpec
+    transfer: TransferModel = field(default_factory=TransferModel)
+
+    # -- pipeline ---------------------------------------------------------
+    def pipeline_time(self, profile: KernelProfile,
+                      point: FPGADesignPoint) -> float:
+        """Compute-side time of the pipelined kernel (s)."""
+        iters = max(1, profile.outer_iterations)
+        if point.variable_inner_trips > 0:
+            # outer iteration occupied by the pipelined variable inner
+            # loop; lane replication is ineffective (HLS serialises)
+            ii_eff = max(point.ii, point.variable_inner_trips)
+            lanes = 1
+        else:
+            ii_eff = point.ii
+            lanes = max(1, point.unroll_factor)
+        calls = max(1, profile.kernel_calls)
+        cycles = PIPELINE_DEPTH * calls + iters * ii_eff / lanes
+        return cycles / (self.spec.fmax_mhz * 1e6)
+
+    # -- memory -----------------------------------------------------------
+    @property
+    def bram_bytes(self) -> float:
+        return self.spec.bram_kbits * 1024 / 8
+
+    def memory_time(self, profile: KernelProfile,
+                    point: FPGADesignPoint) -> float:
+        """DDR time: streamed operands once per call + off-chip gathers.
+
+        Streaming dataflow reads each input buffer and writes each
+        output buffer once per kernel call (operands for unrolled inner
+        loops live in registers).  Data-dependent gather tables small
+        enough for BRAM are kept on-chip (AdPredictor's weight tables);
+        larger gather targets pay reduced DDR efficiency per access.
+        """
+        ddr = self.spec.ddr_bw_gbs * 1e9
+        calls = max(1, profile.kernel_calls)
+        if not profile.buffer_profiles:
+            streamed = profile.bytes_in + profile.bytes_out
+            gather = profile.gather_fraction * profile.mem_bytes
+            return (streamed / ddr
+                    + gather / (ddr * self.spec.gather_bw_efficiency))
+        total = 0.0
+        for buf in profile.buffer_profiles:
+            if buf.is_gather and buf.nbytes > self.bram_bytes:
+                total += buf.traffic_bytes / (
+                    ddr * self.spec.gather_bw_efficiency)
+            else:
+                # streamed once per call (or BRAM-resident table load)
+                total += min(buf.traffic_bytes, buf.nbytes * calls) / ddr
+        return total
+
+    # -- end to end ------------------------------------------------------------
+    def design_time(self, profile: KernelProfile,
+                    point: FPGADesignPoint) -> float:
+        """End-to-end hotspot-region time of a oneAPI design (s)."""
+        body = max(self.pipeline_time(profile, point),
+                   self.memory_time(profile, point))
+        calls = max(1, profile.kernel_calls)
+        amort = max(1, profile.transfer_amortization)
+        if point.zero_copy:
+            if not self.spec.supports_usm:
+                raise ValueError(
+                    f"{self.spec.name} does not support zero-copy USM")
+            usm_time = self.transfer.usm_time(
+                profile.bytes_in, profile.bytes_out) / amort
+            return max(body, usm_time)
+        xfer = self.transfer.pageable_time(profile.transfer_bytes, calls) / amort
+        return body + xfer

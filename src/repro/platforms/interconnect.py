@@ -1,0 +1,42 @@
+"""Host-accelerator transfer models (PCIe gen3, pinned DMA, USM).
+
+The Fig. 3 strategy's very first test compares estimated transfer time
+(``T_data_trnsfr``) against hotspot CPU time; the GPU path's "Employ HIP
+Pinned Memory" task and the Stratix10 path's "Zero-Copy Data Transfer"
+task change which of these models applies to a design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.spec import InterconnectSpec, PCIE_GEN3
+
+
+@dataclass
+class TransferModel:
+    """Predicts host<->device transfer times for a design."""
+
+    spec: InterconnectSpec = PCIE_GEN3
+
+    def _time(self, nbytes: float, bw_gbs: float, transfers: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / (bw_gbs * 1e9) + self.spec.latency_s * max(1, transfers)
+
+    def pageable_time(self, nbytes: float, transfers: int = 1) -> float:
+        """Staged copies through pageable host memory (the default)."""
+        return self._time(nbytes, self.spec.pageable_bw_gbs, transfers)
+
+    def pinned_time(self, nbytes: float, transfers: int = 1) -> float:
+        """DMA from page-locked host memory (HIP pinned-memory task)."""
+        return self._time(nbytes, self.spec.pinned_bw_gbs, transfers)
+
+    def usm_time(self, bytes_in: float, bytes_out: float) -> float:
+        """Zero-copy (USM) host-memory streaming time for one pass."""
+        return (bytes_in / (self.spec.usm_read_bw_gbs * 1e9)
+                + bytes_out / (self.spec.usm_write_bw_gbs * 1e9))
+
+    def estimate(self, nbytes: float, pinned: bool, transfers: int = 1) -> float:
+        return (self.pinned_time(nbytes, transfers) if pinned
+                else self.pageable_time(nbytes, transfers))

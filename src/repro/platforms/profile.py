@@ -1,0 +1,144 @@
+"""Kernel profiles: the workload characterisation every model consumes.
+
+A :class:`KernelProfile` distils the reference kernel's behaviour from
+the target-independent analyses (Fig. 4's A rows) into the quantities
+the platform models need: dynamic operation counts, the parallel outer
+iteration count, the data-transfer footprint, precision mix, access
+pattern, and dependence structure.  It describes the *reference*
+computation; per-design metadata (unroll factor, blocksize, SP
+transforms applied) is layered on top by the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BufferProfile:
+    """Per-buffer behaviour of the kernel (drives cache-aware rooflines)."""
+
+    name: str
+    nbytes: float          # buffer size (residency check against caches)
+    traffic_bytes: float   # scalar loads+stores issued against it
+    is_gather: bool        # accessed through data-dependent subscripts
+    direction: str         # 'in' | 'out' | 'inout'
+
+
+@dataclass
+class KernelProfile:
+    """Workload characterisation of one extracted hotspot kernel."""
+
+    kernel_name: str
+
+    # -- dynamic counts over the whole hotspot region (reference run) ---
+    flops: float = 0.0            # arithmetic FP ops (weighted; div = 4)
+    builtin_flops: float = 0.0    # math-library FP ops (cost-table weighted)
+    int_ops: float = 0.0
+    mem_bytes: float = 0.0        # scalar loads+stores issued (bytes)
+    kernel_calls: int = 1         # dynamic invocations of the kernel
+
+    # -- parallel structure --------------------------------------------
+    outer_iterations: int = 1     # total iterations of the parallel loop
+    #: product of static trip counts of the fixed inner nest (1 if none)
+    inner_fixed_product: int = 1
+    #: the kernel's outer loop is parallel (dependence analysis)
+    outer_parallel: bool = True
+    #: some inner loop has dependences of any kind -- the Fig. 3
+    #: "inner loops w/ deps?" test
+    dependent_inner_loops: bool = False
+    #: an inner loop carries a *true* (non-reduction) dependence chain;
+    #: threads execute it latency-bound (GPU penalty)
+    serial_inner_chain: bool = False
+    #: every dependent inner loop has fixed bounds small enough to
+    #: fully unroll ("can fully unroll?" of Fig. 3)
+    inner_fully_unrollable: bool = True
+
+    # -- data movement (whole-buffer transfer footprint) ------------------
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    #: total bytes of all kernel buffers (working set)
+    working_set_bytes: float = 0.0
+    #: per-buffer traffic/size/pattern records
+    buffer_profiles: Tuple[BufferProfile, ...] = ()
+    #: hotspot invocations the deployed application performs with
+    #: device-resident data (k-means iterations, simulation timesteps);
+    #: one-off buffer transfers amortise across them
+    transfer_amortization: int = 1
+
+    # -- precision / access pattern (static) ------------------------------
+    sp_fraction: float = 0.0      # share of FP work in single precision
+    gather_fraction: float = 0.0  # share of memory traffic that is
+                                  # data-dependent (uncoalesced gather)
+
+    # -- register-pressure proxies (hipcc model inputs) -------------------
+    local_scalars: int = 0
+    math_calls: int = 0
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops + self.builtin_flops
+
+    @property
+    def flops_per_iteration(self) -> float:
+        return self.total_flops / max(1, self.outer_iterations)
+
+    @property
+    def bytes_per_iteration(self) -> float:
+        return self.mem_bytes / max(1, self.outer_iterations)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Dynamic FLOPs per byte of scalar memory traffic."""
+        return self.total_flops / self.mem_bytes if self.mem_bytes else float("inf")
+
+    @property
+    def transfer_bytes(self) -> float:
+        return self.bytes_in + self.bytes_out
+
+    def with_precision(self, sp_fraction: float) -> "KernelProfile":
+        """Profile after the SP transforms changed the precision mix."""
+        return replace(self, sp_fraction=sp_fraction)
+
+    def scaled(self, factor: float,
+               fixed_buffers: Tuple[str, ...] = ()) -> "KernelProfile":
+        """Profile of the same kernel on a workload ``factor``x larger.
+
+        Work (FLOPs, traffic, iterations) scales linearly; structure
+        flags are size-independent.  Buffers named in ``fixed_buffers``
+        keep their *size* (lookup tables, centroid/control grids whose
+        extent does not grow with the problem) while their traffic still
+        scales; the in/out transfer footprint and working set are
+        recomputed from the scaled buffers.
+        """
+        buffers = tuple(
+            BufferProfile(
+                b.name,
+                b.nbytes if b.name in fixed_buffers else b.nbytes * factor,
+                b.traffic_bytes * factor,
+                b.is_gather,
+                b.direction)
+            for b in self.buffer_profiles)
+        if buffers:
+            bytes_in = sum(b.nbytes for b in buffers
+                           if b.direction in ("in", "inout"))
+            bytes_out = sum(b.nbytes for b in buffers
+                            if b.direction in ("out", "inout"))
+            working = sum(b.nbytes for b in buffers)
+        else:
+            bytes_in = self.bytes_in * factor
+            bytes_out = self.bytes_out * factor
+            working = self.working_set_bytes * factor
+        return replace(
+            self,
+            flops=self.flops * factor,
+            builtin_flops=self.builtin_flops * factor,
+            int_ops=self.int_ops * factor,
+            mem_bytes=self.mem_bytes * factor,
+            outer_iterations=int(self.outer_iterations * factor),
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            working_set_bytes=working,
+            buffer_profiles=buffers,
+        )

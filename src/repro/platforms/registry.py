@@ -1,0 +1,35 @@
+"""Registry of the evaluation platforms (paper §IV-A)."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.platforms.cpu import CPUModel
+from repro.platforms.fpga import FPGAModel
+from repro.platforms.gpu import GPUModel
+from repro.platforms.spec import (
+    ARRIA10, EPYC_7543, GTX_1080_TI, RTX_2080_TI, STRATIX10,
+)
+
+PlatformModel = Union[CPUModel, GPUModel, FPGAModel]
+
+#: canonical short names used by flows, designs and the eval harness
+PLATFORMS: Dict[str, PlatformModel] = {
+    "epyc7543": CPUModel(EPYC_7543),
+    "gtx1080ti": GPUModel(GTX_1080_TI),
+    "rtx2080ti": GPUModel(RTX_2080_TI),
+    "arria10": FPGAModel(ARRIA10),
+    "stratix10": FPGAModel(STRATIX10),
+}
+
+GPU_DEVICES = ("gtx1080ti", "rtx2080ti")
+FPGA_DEVICES = ("arria10", "stratix10")
+CPU_DEVICE = "epyc7543"
+
+
+def get_platform(name: str) -> PlatformModel:
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}") from None

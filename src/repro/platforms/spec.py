@@ -1,0 +1,211 @@
+"""Device specifications.
+
+Datasheet-derived constants for the five devices of the paper's
+evaluation (§IV-A).  Architectural parameters (SM counts, register
+files, resource pools, channel counts) are public figures; *efficiency*
+fields are the documented calibration knobs -- they absorb everything a
+first-order analytical model cannot capture (instruction mix, scheduler
+behaviour, memory controller efficiency) and are recorded per device in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multi-core CPU (host and OpenMP target)."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: sustained single-thread FLOP rate for scalar/lightly-vectorised
+    #: double-precision code produced by ``g++ -O2`` (GFLOP/s)
+    st_gflops_dp: float
+    #: single-precision single-thread rate (GFLOP/s)
+    st_gflops_sp: float
+    #: single-thread sustained load/store bandwidth, cache-resident (GB/s)
+    st_cache_bw_gbs: float
+    #: whole-socket sustained DRAM bandwidth (GB/s)
+    dram_bw_gbs: float
+    #: last-level cache capacity (bytes); working sets below this scale
+    #: with cores instead of saturating DRAM
+    llc_bytes: int
+    #: parallel efficiency of an embarrassingly-parallel OpenMP loop
+    omp_efficiency: float
+    #: fixed OpenMP fork/join + scheduling overhead per parallel region (s)
+    omp_overhead_s: float
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A discrete GPU driven through HIP."""
+
+    name: str
+    architecture: str              # 'pascal' | 'turing'
+    sm_count: int
+    clock_ghz: float
+    cuda_cores_per_sm: int
+    #: peak single-precision rate (GFLOP/s)
+    peak_gflops_sp: float
+    #: peak double-precision rate (GFLOP/s) -- 1/32 of SP on GeForce
+    peak_gflops_dp: float
+    #: special-function-unit rate relative to SP FMA rate
+    sfu_ratio: float
+    dram_bw_gbs: float
+    registers_per_sm: int          # 32-bit registers
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm: int         # bytes
+    l2_bytes: int                  # device L2 capacity
+    warp_size: int
+    #: True when INT pipes co-issue with FP (Turing concurrent execution)
+    int_fp_coissue: bool
+    #: sustained fraction of peak for well-shaped kernels
+    compute_efficiency: float
+    #: DRAM efficiency for unit-stride (coalesced) access
+    coalesced_bw_efficiency: float
+    #: DRAM efficiency for data-dependent (gather) access
+    gather_bw_efficiency: float
+    #: occupancy at which throughput saturates (latency fully hidden)
+    occupancy_knee: float
+    #: kernel launch overhead (s)
+    launch_overhead_s: float
+    #: ILP efficiency multiplier for kernels dominated by serial
+    #: dependence chains in inner loops (latency-bound threads)
+    serial_chain_efficiency: float
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """An FPGA accelerator card programmed through oneAPI HLS."""
+
+    name: str
+    family: str                    # 'arria10' | 'stratix10'
+    alms: int                      # adaptive logic modules ("LUT" budget)
+    dsps: int
+    bram_kbits: int
+    fmax_mhz: float                # achievable kernel clock
+    ddr_bw_gbs: float              # local DDR bandwidth
+    #: DDR efficiency for data-dependent gathers
+    gather_bw_efficiency: float
+    #: fraction of ALMs consumed by static infrastructure (board support
+    #: package, DDR/PCIe controllers, kernel scaffolding)
+    infra_alm_fraction: float
+    #: device supports zero-copy host memory over USM (Stratix10 only)
+    supports_usm: bool
+    #: utilisation threshold above which a design is "overmapped"
+    #: (the Fig. 2 DSE stops at 90%)
+    overmap_threshold: float = 0.90
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Host-accelerator link (PCIe gen3 x16 for all four cards)."""
+
+    pageable_bw_gbs: float = 6.0   # staged copies through pageable memory
+    pinned_bw_gbs: float = 12.0    # DMA from pinned host memory
+    #: zero-copy host reads burst/prefetch well over PCIe...
+    usm_read_bw_gbs: float = 11.0
+    #: ...but fine-grained zero-copy writes flush poorly
+    usm_write_bw_gbs: float = 3.5
+    latency_s: float = 10e-6       # per-transfer setup latency
+
+
+# ======================================================================
+# The paper's devices (§IV-A)
+# ======================================================================
+
+EPYC_7543 = CPUSpec(
+    name="AMD EPYC 7543",
+    cores=32,
+    clock_ghz=2.8,
+    st_gflops_dp=5.0,
+    st_gflops_sp=7.0,
+    st_cache_bw_gbs=24.0,
+    dram_bw_gbs=160.0,
+    llc_bytes=256 * 1024 * 1024,
+    omp_efficiency=0.91,
+    omp_overhead_s=8e-6,
+)
+
+GTX_1080_TI = GPUSpec(
+    name="GeForce GTX 1080 Ti",
+    architecture="pascal",
+    sm_count=28,
+    clock_ghz=1.58,
+    cuda_cores_per_sm=128,
+    peak_gflops_sp=11340.0,
+    peak_gflops_dp=354.0,
+    sfu_ratio=0.25,
+    dram_bw_gbs=484.0,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    l2_bytes=2816 * 1024,
+    warp_size=32,
+    int_fp_coissue=False,
+    compute_efficiency=0.40,
+    coalesced_bw_efficiency=0.80,
+    gather_bw_efficiency=0.25,
+    occupancy_knee=0.25,
+    launch_overhead_s=5e-6,
+    serial_chain_efficiency=0.35,
+)
+
+RTX_2080_TI = GPUSpec(
+    name="GeForce RTX 2080 Ti",
+    architecture="turing",
+    sm_count=68,
+    clock_ghz=1.545,
+    cuda_cores_per_sm=64,
+    peak_gflops_sp=13450.0,
+    peak_gflops_dp=420.0,
+    sfu_ratio=0.20,
+    dram_bw_gbs=616.0,
+    registers_per_sm=65536,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=16,
+    shared_mem_per_sm=64 * 1024,
+    l2_bytes=5632 * 1024,
+    warp_size=32,
+    int_fp_coissue=True,   # Turing: concurrent INT32 + FP32 pipes
+    compute_efficiency=0.50,
+    coalesced_bw_efficiency=0.80,
+    gather_bw_efficiency=0.25,
+    occupancy_knee=0.35,
+    launch_overhead_s=5e-6,
+    serial_chain_efficiency=0.35,
+)
+
+ARRIA10 = FPGASpec(
+    name="Intel PAC Arria10 GX1150",
+    family="arria10",
+    alms=427_200,
+    dsps=1518,
+    bram_kbits=54_260,
+    fmax_mhz=230.0,
+    ddr_bw_gbs=34.0,
+    gather_bw_efficiency=0.50,
+    infra_alm_fraction=0.20,
+    supports_usm=False,
+)
+
+STRATIX10 = FPGASpec(
+    name="Intel PAC Stratix10 GX2800",
+    family="stratix10",
+    alms=933_120,
+    dsps=5760,
+    bram_kbits=229_000,
+    fmax_mhz=330.0,
+    ddr_bw_gbs=76.8,
+    gather_bw_efficiency=0.50,
+    infra_alm_fraction=0.15,
+    supports_usm=True,
+)
+
+PCIE_GEN3 = InterconnectSpec()

@@ -1,0 +1,27 @@
+"""Simulated compiler toolchains.
+
+The paper's DSE tasks drive real compilers and read their reports:
+``dpcpp`` partial compiles produce HLS resource/II estimates (the
+Fig. 2 meta-program checks "estimated LUT usage" and stops at 90%),
+``hipcc`` reports registers per thread (Rush Larsen's 255-register
+kernel is a headline datum in §IV-B.ii), and ``g++`` builds the host
+and OpenMP designs.  These modules reproduce the *reports* from the
+same design properties that drive the real tools: operation mix and
+precision of the kernel body, unroll pragmas, buffer counts.
+"""
+
+from repro.toolchains.reports import (
+    CPUCompileReport, GPUCompileReport, HLSReport,
+)
+from repro.toolchains.gcc import GccToolchain
+from repro.toolchains.hipcc import HipccToolchain
+from repro.toolchains.dpcpp import DpcppToolchain
+
+__all__ = [
+    "CPUCompileReport",
+    "GPUCompileReport",
+    "HLSReport",
+    "GccToolchain",
+    "HipccToolchain",
+    "DpcppToolchain",
+]

@@ -1,0 +1,37 @@
+"""Simulated g++ toolchain (host and OpenMP designs).
+
+The CPU path needs little from the compiler beyond "it builds" and a
+count of the OpenMP worksharing constructs; the performance story lives
+in :class:`repro.platforms.cpu.CPUModel`.
+"""
+
+from __future__ import annotations
+
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import ForStmt, RawStmt
+from repro.toolchains.reports import CPUCompileReport
+
+
+class GccToolchain:
+    """``g++ -O2 [-fopenmp]`` stand-in."""
+
+    name = "g++"
+
+    def compile(self, ast: Ast, openmp: bool = False) -> CPUCompileReport:
+        """Check the design is well-formed; count OMP pragmas."""
+        warnings = []
+        pragmas = 0
+        for node in ast.unit.walk():
+            for pragma in getattr(node, "pragmas", []):
+                if pragma.keyword == "omp":
+                    pragmas += 1
+                    if not isinstance(node, ForStmt):
+                        warnings.append(
+                            "omp parallel for on a non-loop statement")
+        if pragmas and not openmp:
+            warnings.append("OpenMP pragmas present but -fopenmp not given")
+        return CPUCompileReport(
+            success=True,
+            openmp_pragmas=pragmas,
+            warnings=tuple(warnings),
+        )

@@ -1,0 +1,69 @@
+"""Simulated hipcc toolchain: per-thread register estimation.
+
+The blocksize DSE needs registers-per-thread to compute occupancy (the
+paper: "due to the complexity of the ODE solver logic, the GPU design
+requires 255 registers per thread, saturating the GTX 1080 but not the
+RTX 2080").  Register pressure in a real compile tracks the number of
+simultaneously-live scalars; the estimate below grows with local scalar
+declarations and math-library calls (each expansion keeps several
+intermediates alive) and saturates at the hardware cap of 255, after
+which values spill.
+"""
+
+from __future__ import annotations
+
+from repro.lang.builtins import MATH_BUILTINS
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import Call, DeclStmt, FunctionDecl
+from repro.toolchains.reports import GPUCompileReport
+
+REGISTER_CAP = 255
+BASE_REGISTERS = 16
+REGS_PER_LOCAL = 2
+REGS_PER_MATH_CALL = 4
+
+
+def count_kernel_pressure(fn: FunctionDecl) -> tuple:
+    """(local scalar decls, math calls) in the kernel body."""
+    locals_count = 0
+    math_calls = 0
+    if fn.body is not None:
+        for node in fn.body.walk():
+            if isinstance(node, DeclStmt):
+                locals_count += sum(
+                    1 for var in node.decls
+                    if not var.ctype.is_pointer and not var.is_array)
+            elif isinstance(node, Call) and node.name in MATH_BUILTINS:
+                math_calls += 1
+    return locals_count, math_calls
+
+
+def estimate_registers(fn: FunctionDecl) -> int:
+    locals_count, math_calls = count_kernel_pressure(fn)
+    estimate = (BASE_REGISTERS
+                + REGS_PER_LOCAL * locals_count
+                + REGS_PER_MATH_CALL * math_calls)
+    return min(REGISTER_CAP, estimate)
+
+
+class HipccToolchain:
+    """``hipcc --offload-arch=...`` stand-in."""
+
+    name = "hipcc"
+
+    def compile(self, ast: Ast, kernel_name: str,
+                shared_mem_per_block: int = 0) -> GPUCompileReport:
+        fn = ast.function(kernel_name)
+        locals_count, math_calls = count_kernel_pressure(fn)
+        raw = (BASE_REGISTERS + REGS_PER_LOCAL * locals_count
+               + REGS_PER_MATH_CALL * math_calls)
+        uses_intrinsics = any(
+            isinstance(node, Call) and node.name.startswith("__")
+            for node in fn.walk())
+        return GPUCompileReport(
+            success=True,
+            registers_per_thread=min(REGISTER_CAP, raw),
+            shared_mem_per_block=shared_mem_per_block,
+            uses_intrinsics=uses_intrinsics,
+            spilled=raw > REGISTER_CAP,
+        )

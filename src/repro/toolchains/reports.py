@@ -1,0 +1,63 @@
+"""Compile report dataclasses consumed by DSE tasks and models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class CPUCompileReport:
+    """g++ compile of a CPU/OpenMP design."""
+
+    success: bool
+    openmp_pragmas: int = 0
+    warnings: Tuple[str, ...] = ()
+
+
+@dataclass
+class GPUCompileReport:
+    """hipcc compile of a HIP kernel (per-thread resource usage)."""
+
+    success: bool
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+    uses_intrinsics: bool = False
+    spilled: bool = False
+    warnings: Tuple[str, ...] = ()
+
+
+@dataclass
+class HLSReport:
+    """dpcpp (oneAPI HLS) partial-compile estimate for one FPGA design.
+
+    This is the "high-level design report" the Fig. 2 meta-program
+    reads: estimated resource usage plus pipelining facts.  ``fitted``
+    reflects the device's overmap threshold (90%).
+    """
+
+    device: str
+    alms_used: float = 0.0
+    dsps_used: float = 0.0
+    alm_utilization: float = 0.0
+    dsp_utilization: float = 0.0
+    ii: float = 1.0
+    fmax_mhz: float = 0.0
+    unroll_factor: int = 1
+    #: a variable-bound inner loop serialises the outer pipeline; the
+    #: requested outer unroll was ignored
+    variable_inner_loop: bool = False
+    warnings: Tuple[str, ...] = ()
+
+    @property
+    def utilization(self) -> float:
+        """The figure the unroll-until-overmap DSE checks (max of pools)."""
+        return max(self.alm_utilization, self.dsp_utilization)
+
+    @property
+    def fitted(self) -> bool:
+        return self.utilization <= 0.90
+
+    @property
+    def overmapped(self) -> bool:
+        return not self.fitted

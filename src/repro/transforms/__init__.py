@@ -1,0 +1,40 @@
+"""Source-to-source transform tasks (the ``T`` rows of Fig. 4).
+
+- :mod:`extraction` -- "Hotspot Loop Extraction": loop -> kernel function;
+- :mod:`remove_array_dep` -- "Remove Array += Dependency": scalarise
+  per-iteration array accumulation;
+- :mod:`sp_math` -- "Employ SP Math Fns" / "Employ SP Numeric Literals";
+- :mod:`unroll` -- "Unroll Fixed Loops" and unroll-pragma helpers;
+- :mod:`openmp` -- "Multi-Thread Parallel Loops" (OpenMP pragmas);
+- :mod:`gpu_mem` -- HIP pinned memory / shared-memory buffer /
+  specialised math intrinsics;
+- :mod:`fpga_mem` -- oneAPI zero-copy (USM) data transfer.
+
+All transforms mutate the AST/design they are given; flows pass clones.
+"""
+
+from repro.transforms.extraction import ExtractionResult, extract_hotspot
+from repro.transforms.remove_array_dep import remove_array_plus_equals
+from repro.transforms.sp_math import (
+    demote_local_doubles, employ_sp_literals, employ_sp_math,
+)
+from repro.transforms.unroll import (
+    UnrollError, fully_unroll, set_unroll_pragma, unroll_factor_of,
+    unroll_fixed_loops,
+)
+from repro.transforms.openmp import insert_parallel_for
+
+__all__ = [
+    "extract_hotspot",
+    "ExtractionResult",
+    "remove_array_plus_equals",
+    "employ_sp_math",
+    "employ_sp_literals",
+    "demote_local_doubles",
+    "unroll_fixed_loops",
+    "fully_unroll",
+    "UnrollError",
+    "set_unroll_pragma",
+    "unroll_factor_of",
+    "insert_parallel_for",
+]

@@ -1,0 +1,119 @@
+"""Hotspot loop extraction ("Hotspot Loop Extraction", Fig. 4).
+
+"Once a hotspot is identified, it is extracted into an isolated function
+for further analysis and eventual offloading, replacing the original
+loop with a function call.  This covers the partitioning stage of the
+design-flow." (paper §II-B)
+
+The meta-program computes the loop's free variables, types them from
+the enclosing scope, synthesises a kernel function whose body is the
+loop, inserts it before the host function, and swaps the loop for a
+call.  Pointer parameters for read-only buffers are const-qualified so
+later analyses (and readers) see the in/out split.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.analysis.common import LoopPath, SymbolTable, resolve_loop
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    Assign, Call, CompoundStmt, CType, ExprStmt, ForStmt, FunctionDecl,
+    Ident, Index, ParamDecl, UnaryOp, set_parents,
+)
+from repro.meta.query import free_variables
+
+
+class TransformError(Exception):
+    pass
+
+
+class ExtractionResult(NamedTuple):
+    kernel_name: str
+    params: Tuple[Tuple[str, CType], ...]  # (name, type) in call order
+
+    @property
+    def pointer_params(self) -> List[str]:
+        return [name for name, ctype in self.params if ctype.is_pointer]
+
+
+def _written_names(loop: ForStmt) -> set:
+    written = set()
+    for node in loop.body.walk():
+        if isinstance(node, Assign):
+            target = node.target
+            if isinstance(target, Ident):
+                written.add(target.name)
+            while isinstance(target, Index):
+                target = target.base
+            if isinstance(target, Ident):
+                written.add(target.name)
+            if isinstance(target, UnaryOp) and target.op == "*" \
+                    and isinstance(target.operand, Ident):
+                written.add(target.operand.name)
+        if isinstance(node, UnaryOp) and node.op in ("++", "--") \
+                and isinstance(node.operand, Ident):
+            written.add(node.operand.name)
+    return written
+
+
+def extract_hotspot(ast: Ast, path: LoopPath,
+                    kernel_name: str = "hotspot_kernel") -> ExtractionResult:
+    """Extract the loop at ``path`` into ``kernel_name`` (in place).
+
+    Raises :class:`TransformError` when the loop writes free scalars
+    (their final values would be lost across the call boundary) or when
+    a free variable's type cannot be determined.
+    """
+    loop = resolve_loop(ast, path)
+    host_fn = loop.enclosing(FunctionDecl)
+    if host_fn is None:
+        raise TransformError("hotspot loop is not inside a function")
+    if ast.has_function(kernel_name):
+        raise TransformError(f"function {kernel_name!r} already exists")
+
+    symbols = SymbolTable(host_fn, ast.unit)
+    names = free_variables(loop)
+    written = _written_names(loop)
+
+    params: List[Tuple[str, CType]] = []
+    for name in names:
+        ctype = symbols.type_of(name)
+        if ctype is None:
+            # unknown name: a builtin referenced as a call is stored by
+            # name on Call nodes, so anything here is a real error
+            raise TransformError(
+                f"cannot type free variable {name!r} of the hotspot loop")
+        if not ctype.is_pointer and name in written:
+            raise TransformError(
+                f"hotspot loop writes free scalar {name!r}; extraction "
+                "would lose its final value")
+        if ctype.is_pointer:
+            is_written = name in written
+            param_type = CType(ctype.base, ctype.pointers,
+                               const=not is_written)
+        else:
+            param_type = CType(ctype.base, ctype.pointers, const=False)
+        params.append((name, param_type))
+
+    # synthesise the kernel
+    kernel_params = [ParamDecl(name, ctype) for name, ctype in params]
+    call = ExprStmt(Call(kernel_name, [Ident(name) for name, _ in params]))
+
+    parent_block = loop.parent
+    if not isinstance(parent_block, CompoundStmt):
+        raise TransformError("hotspot loop must sit directly inside a block")
+    index = parent_block.stmts.index(loop)
+    parent_block.stmts[index] = call
+    set_parents(call, parent_block)
+
+    body = CompoundStmt([loop])
+    kernel = FunctionDecl(kernel_name, CType("void"), kernel_params, body)
+
+    decls = ast.unit.decls
+    host_index = decls.index(host_fn)
+    decls.insert(host_index, kernel)
+    set_parents(kernel, ast.unit)
+
+    return ExtractionResult(kernel_name, tuple(params))

@@ -1,0 +1,31 @@
+"""FPGA-path design transforms (Fig. 4 FPGA-S10 rows).
+
+"Zero-Copy Data Transfer": rewire the oneAPI design from buffer/accessor
+data movement to unified-shared-memory host allocations the kernel
+accesses directly.  Supported on the Stratix10 only -- the flow's
+device-specific branch (C) is what makes this task reachable solely on
+the S10 path, exactly as the paper describes (§III).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.design import Design
+from repro.platforms.spec import FPGASpec
+from repro.toolchains.dpcpp import DpcppToolchain
+
+
+class UnsupportedDeviceError(Exception):
+    pass
+
+
+def zero_copy_data_transfer(design: Design) -> Design:
+    """Switch the design to zero-copy USM host memory."""
+    device = design.device
+    if device is not None:
+        spec = DpcppToolchain.DEVICES.get(device)
+        if spec is not None and not spec.supports_usm:
+            raise UnsupportedDeviceError(
+                f"{spec.name} does not support unified shared memory; "
+                "zero-copy host access requires a Stratix10")
+    design.metadata["zero_copy"] = True
+    return design

@@ -1,0 +1,102 @@
+"""GPU-path design transforms (Fig. 4 GPU rows).
+
+These run *after* "Generate HIP Design" and specialise the Design
+artifact:
+
+- "Employ HIP Pinned Memory" -- page-lock host buffers so transfers run
+  at DMA rate (the transfer model's pinned bandwidth);
+- "Introduce Shared Mem Buf" -- stage operands that every thread
+  re-reads (a buffer subscripted only by inner-loop variables, like
+  N-Body's ``pos[j]``) through shared memory tiles, cutting redundant
+  global traffic;
+- "Employ Specialised Math Fns" -- replace SP libm calls with hardware
+  intrinsics (``__expf``, ``__fsqrt_rn``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.common import SymbolTable, affine_form
+from repro.codegen.design import Design
+from repro.lang.builtins import GPU_INTRINSIC
+from repro.meta.ast_nodes import Assign, Call, ForStmt, Ident, Index
+
+
+def employ_pinned_memory(design: Design) -> Design:
+    """Page-lock host buffers for DMA-rate PCIe transfers."""
+    design.metadata["pinned_memory"] = True
+    return design
+
+
+def _shared_candidate(design: Design) -> Optional[str]:
+    """A read-only buffer re-read across outer iterations, if any.
+
+    Pattern: inside the kernel's outer loop, a subscript that varies
+    with an *inner* loop variable but not with the outer one -- every
+    thread streams the whole buffer, so a block can stage it in tiles.
+    """
+    kernel = design.ast.function(design.kernel_name)
+    loops = kernel.outermost_loops()
+    if not loops:
+        return None
+    outer = loops[0]
+    outer_var = outer.loop_var()
+    written = set()
+    for node in kernel.walk():
+        if isinstance(node, Assign) and isinstance(node.target, Index) \
+                and isinstance(node.target.base, Ident):
+            written.add(node.target.base.name)
+    for node in outer.body.walk():
+        if not isinstance(node, Index) or not isinstance(node.base, Ident):
+            continue
+        if node.base.name in written:
+            continue
+        inner = node.enclosing(ForStmt)
+        if inner is None or inner is outer:
+            continue
+        inner_var = inner.loop_var()
+        form = affine_form(node.index)
+        if form is None or inner_var is None or outer_var is None:
+            continue
+        if form.get(inner_var, 0) != 0 and form.get(outer_var, 0) == 0:
+            return node.base.name
+    return None
+
+
+def introduce_shared_mem_buffer(design: Design) -> bool:
+    """Stage a redundantly-streamed operand through shared memory.
+
+    Returns True when a candidate was found and the design updated;
+    kernels without the re-read pattern are left alone (the task is a
+    no-op for them, as in the paper's flow).
+    """
+    name = _shared_candidate(design)
+    if name is None:
+        return False
+    elem = "double"
+    for pname, ctype in design.params:
+        if pname == name:
+            elem = ctype.base
+    blocksize = design.metadata.get("blocksize", 256)
+    elem_bytes = 8 if elem == "double" else 4
+    design.metadata.update(
+        shared_buffering=True,
+        shared_tile=f"tile_{name}",
+        shared_elem_type=elem,
+        shared_bytes=blocksize * elem_bytes,
+    )
+    return True
+
+
+def employ_specialised_math(design: Design) -> int:
+    """Swap SP libm calls for device intrinsics; returns calls rewritten."""
+    kernel = design.ast.function(design.kernel_name)
+    rewritten = 0
+    for node in kernel.walk():
+        if isinstance(node, Call) and node.name in GPU_INTRINSIC:
+            node.name = GPU_INTRINSIC[node.name]
+            rewritten += 1
+    if rewritten:
+        design.metadata["intrinsics"] = True
+    return rewritten

@@ -1,0 +1,164 @@
+"""Remove Array ``+=`` Dependency ("Remove Array += Dependency", Fig. 4).
+
+Accumulating into an array element inside inner loops::
+
+    for (int i = 0; i < n; i++) {
+        acc[i] = 0.0;
+        for (int j = 0; j < n; j++)
+            acc[i] += f(i, j);          // memory read-modify-write per j
+    }
+
+forces a load-add-store round trip through memory every inner iteration.
+On an FPGA this memory recurrence prevents II=1 pipelining of the inner
+loop; on CPUs/GPUs it wastes bandwidth.  The transform scalarises the
+element into a register accumulator::
+
+    for (int i = 0; i < n; i++) {
+        double __acc_acc = 0.0;
+        for (int j = 0; j < n; j++)
+            __acc_acc += f(i, j);
+        acc[i] = __acc_acc;
+    }
+
+Applied only when provably safe: the subscript must be affine in the
+*outer* loop variable alone (no inner-loop variables), so one outer
+iteration touches exactly one element, and the buffer must not alias
+another kernel argument (the flow checks pointer analysis first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.common import SymbolTable, affine_form, infer_type
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    Assign, CompoundStmt, CType, DeclStmt, Expr, ForStmt, FunctionDecl,
+    Ident, Index, Node, VarDecl, set_parents,
+)
+from repro.meta.instrument import ensure_braced
+from repro.meta.unparse import unparse_expr
+
+
+def _subscript_key(name: str, form: Dict) -> Tuple:
+    return (name, tuple(sorted((str(k), v) for k, v in form.items())))
+
+
+def _candidate_groups(loop: ForStmt, var: str) -> Dict[Tuple, List[Index]]:
+    """Array accesses a[s] where s is affine in ``var`` only.
+
+    Groups every access (read or write) by (array, canonical subscript);
+    only groups containing at least one compound (``+=``-style) update
+    inside an inner loop are returned.
+    """
+    inner_vars = set()
+    for node in loop.body.walk():
+        if isinstance(node, ForStmt):
+            v = node.loop_var()
+            if v is not None:
+                inner_vars.add(v)
+
+    groups: Dict[Tuple, List[Index]] = {}
+    has_inner_rmw: Dict[Tuple, bool] = {}
+    for node in loop.body.walk():
+        if not isinstance(node, Index):
+            continue
+        if not isinstance(node.base, Ident):
+            continue
+        form = affine_form(node.index)
+        if form is None:
+            continue
+        vars_used = {k for k in form if k != 1 and form[k] != 0}
+        if vars_used - {var}:
+            continue  # involves inner-loop or other variables
+        if form.get(var, 0) == 0:
+            continue  # invariant subscript: a different (carried) situation
+        key = _subscript_key(node.base.name, form)
+        groups.setdefault(key, []).append(node)
+        parent = node.parent
+        if isinstance(parent, Assign) and parent.target is node \
+                and parent.op != "=" and node.enclosing(ForStmt) is not loop:
+            has_inner_rmw[key] = True
+
+    return {key: nodes for key, nodes in groups.items()
+            if has_inner_rmw.get(key)}
+
+
+def remove_array_plus_equals(ast: Ast, fn_name: str) -> int:
+    """Scalarise inner-loop array accumulations in every outermost loop
+    of ``fn_name``; returns the number of accumulators introduced."""
+    fn = ast.function(fn_name)
+    symbols = SymbolTable(fn, ast.unit)
+    introduced = 0
+    for loop in fn.outermost_loops():
+        var = loop.loop_var()
+        if var is None:
+            continue
+        introduced += _scalarise_loop(loop, var, symbols)
+    return introduced
+
+
+def _scalarise_loop(loop: ForStmt, var: str, symbols: SymbolTable) -> int:
+    groups = _candidate_groups(loop, var)
+    if not groups:
+        return 0
+    body = ensure_braced(loop)
+    introduced = 0
+    for (array_name, _), accesses in sorted(groups.items()):
+        elem = infer_type(accesses[0], symbols) or CType("double")
+        acc_name = f"__acc_{array_name}_{introduced}" if introduced \
+            else f"__acc_{array_name}"
+        subscript = accesses[0].index.clone()
+
+        # If the first statement-level access is a plain store
+        # `a[s] = e;` directly in the outer body, fold it into the
+        # accumulator initialiser; otherwise initialise from memory.
+        init_expr: Optional[Expr] = None
+        first = accesses[0]
+        first_parent = first.parent
+        if isinstance(first_parent, Assign) and first_parent.target is first \
+                and first_parent.op == "=" \
+                and first.enclosing(ForStmt) is loop:
+            init_expr = first_parent.value
+            stmt = first_parent.parent
+            if stmt in body.stmts:  # ExprStmt wrapper
+                pass
+
+        # replace every access in the group with the accumulator
+        for access in accesses:
+            parent = access.parent
+            new_ident = Ident(acc_name)
+            parent.replace_child(access, new_ident)
+
+        if init_expr is not None:
+            # the plain store became `__acc = e;` -- turn its enclosing
+            # assignment into the declaration by removing the statement
+            # and using e as the initialiser
+            assign = init_expr.parent  # the Assign whose value is init_expr
+            stmt = assign.parent
+            decl = DeclStmt([VarDecl(acc_name, elem, init=init_expr.clone())])
+            stmt_block = stmt.parent
+            if isinstance(stmt_block, CompoundStmt):
+                idx = stmt_block.stmts.index(stmt)
+                stmt_block.stmts[idx] = decl
+                set_parents(decl, stmt_block)
+            else:
+                decl = DeclStmt([VarDecl(acc_name, elem,
+                                         init=init_expr.clone())])
+                body.stmts.insert(0, decl)
+                set_parents(decl, body)
+        else:
+            load = Index(Ident(array_name), subscript.clone())
+            decl = DeclStmt([VarDecl(acc_name, elem, init=load)])
+            body.stmts.insert(0, decl)
+            set_parents(decl, body)
+
+        # write back at the end of the outer iteration
+        from repro.meta.parser import parse_stmt
+
+        store = parse_stmt(
+            f"{array_name}[{unparse_expr(subscript)}] = {acc_name};")
+        body.stmts.append(store)
+        set_parents(store, body)
+        introduced += 1
+    return introduced

@@ -1,0 +1,109 @@
+"""Single-precision transforms ("Employ SP Math Fns" / "Employ SP
+Numeric Literals", Fig. 4 -- applied on both the FPGA and GPU paths).
+
+Accelerators execute single precision far faster than double (more
+lanes per DSP/SM, half the bandwidth per element).  When the
+application domain tolerates it -- the paper marks these tasks with an
+asterisk -- the kernel is demoted:
+
+- DP math calls become their SP variants (``sqrt`` -> ``sqrtf`` ...);
+- DP literals gain the ``f`` suffix;
+- local double scalars become floats (buffer element types are left
+  alone: they are the caller's ABI).
+"""
+
+from __future__ import annotations
+
+from repro.lang.builtins import SP_VARIANT
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    Assign, Call, Cast, CType, DeclStmt, FloatLit, FunctionDecl, Index,
+    UnaryOp, set_parents,
+)
+
+
+def employ_sp_math(ast: Ast, fn_name: str) -> int:
+    """Rewrite DP math calls in ``fn_name`` to SP variants; returns count."""
+    fn = ast.function(fn_name)
+    replaced = 0
+    for node in fn.walk():
+        if isinstance(node, Call) and node.name in SP_VARIANT:
+            node.name = SP_VARIANT[node.name]
+            replaced += 1
+    return replaced
+
+
+def employ_sp_literals(ast: Ast, fn_name: str) -> int:
+    """Suffix DP float literals in ``fn_name`` with ``f``; returns count."""
+    fn = ast.function(fn_name)
+    replaced = 0
+    for node in fn.walk():
+        if isinstance(node, FloatLit) and not node.is_single:
+            node.suffix = "f"
+            node.text = (node.text or repr(node.value)) + "f"
+            replaced += 1
+    return replaced
+
+
+def cast_double_loads(ast: Ast, fn_name: str) -> int:
+    """Wrap reads of double buffers in explicit ``(float)`` casts.
+
+    After local demotion the kernel computes in float; loads from the
+    caller's double buffers would silently re-promote expressions to
+    double, so the port converts at the load -- exactly what
+    hand-written SP ports do.  Store targets are left alone (results
+    convert back on assignment).  Returns the number of casts inserted.
+    """
+    from repro.analysis.common import SymbolTable, infer_type
+
+    fn = ast.function(fn_name)
+    symbols = SymbolTable(fn, ast.unit)
+    casted = 0
+    for node in list(fn.walk()):
+        if not isinstance(node, Index):
+            continue
+        parent = node.parent
+        if isinstance(parent, Index):
+            continue
+        if isinstance(parent, Cast):
+            continue
+        if isinstance(parent, Assign) and parent.target is node:
+            continue  # store target
+        if isinstance(parent, UnaryOp) and parent.op in ("++", "--"):
+            continue
+        ctype = infer_type(node, symbols)
+        if ctype is None or ctype.base != "double" or ctype.is_pointer:
+            continue
+        cast = Cast(CType("float"), node)
+        parent.replace_child(node, cast)
+        cast.expr = node
+        set_parents(cast, parent)
+        casted += 1
+    return casted
+
+
+def demote_local_doubles(ast: Ast, fn_name: str) -> int:
+    """Demote local double scalars (and double casts) to float.
+
+    Pointer-typed declarations and parameters keep their element type:
+    buffers belong to the caller.  Local (stack) arrays are private to
+    the kernel and are demoted along with scalars.  Returns the number
+    of declarations changed.
+    """
+    fn = ast.function(fn_name)
+    changed = 0
+    for node in fn.walk():
+        if isinstance(node, DeclStmt):
+            for var in node.decls:
+                if var.ctype.base == "double" and not var.ctype.is_pointer:
+                    var.ctype = CType("float", 0, var.ctype.const)
+                    changed += 1
+        elif isinstance(node, Cast):
+            if node.ctype.base == "double" and not node.ctype.is_pointer:
+                node.ctype = CType("float", 0, node.ctype.const)
+                changed += 1
+    for param in fn.params:
+        if param.ctype.base == "double" and not param.ctype.is_pointer:
+            param.ctype = CType("float", 0, param.ctype.const)
+            changed += 1
+    return changed

@@ -1,0 +1,193 @@
+"""Loop unrolling tasks ("Unroll Fixed Loops" + unroll-pragma helpers).
+
+HLS compilers unroll loops directed by ``#pragma unroll [N]``; the
+transform inserts the directives and the simulated
+:mod:`repro.toolchains.dpcpp` compiler honours them in its resource and
+initiation-interval model.  Two entry points:
+
+- :func:`unroll_fixed_loops` -- the Fig. 4 "Unroll Fixed Loops" task:
+  fully unroll every inner loop whose static trip count is known and
+  small (FPGA pipelining of fixed-bound inner loops);
+- :func:`set_unroll_pragma` -- the primitive the
+  "Unroll Until Overmap" DSE of Fig. 2 re-applies with doubled factors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.trip_count import static_trip_count
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import ForStmt
+from repro.meta.instrument import get_pragma, insert_pragma
+
+#: Inner loops up to this many static iterations are fully unrolled by
+#: the "Unroll Fixed Loops" task.
+DEFAULT_FULL_UNROLL_LIMIT = 64
+
+
+def set_unroll_pragma(loop: ForStmt, factor: int) -> None:
+    """Attach ``#pragma unroll <factor>`` (replacing any previous one).
+
+    ``factor`` 0 or 1 removes the directive; a factor equal to the
+    loop's static trip count is a full unroll.
+    """
+    if factor <= 1:
+        from repro.meta.instrument import remove_pragma
+
+        remove_pragma(loop, "unroll")
+        return
+    insert_pragma(loop, f"unroll {factor}")
+
+
+def unroll_factor_of(loop: ForStmt) -> int:
+    """Unroll factor requested by the loop's pragma (1 when absent)."""
+    pragma = get_pragma(loop, "unroll")
+    if pragma is None:
+        return 1
+    parts = pragma.text.split()
+    if len(parts) == 1:
+        trips = static_trip_count(loop)
+        return trips if trips else 1  # bare '#pragma unroll' = full
+    try:
+        return max(1, int(parts[1]))
+    except ValueError:
+        return 1
+
+
+def unroll_fixed_loops(ast: Ast, fn_name: str,
+                       limit: int = DEFAULT_FULL_UNROLL_LIMIT) -> List[ForStmt]:
+    """Fully unroll fixed-bound non-outermost loops of ``fn_name``.
+
+    Only loops whose static trip count is known and at most ``limit``
+    are touched; returns the loops that received a pragma.
+    """
+    fn = ast.function(fn_name)
+    unrolled = []
+    for loop in fn.loops():
+        if loop.is_outermost:
+            continue
+        trips = static_trip_count(loop)
+        if trips is None or trips == 0 or trips > limit:
+            continue
+        set_unroll_pragma(loop, trips)
+        unrolled.append(loop)
+    return unrolled
+
+
+# =====================================================================
+# Textual unrolling
+# =====================================================================
+
+class UnrollError(Exception):
+    pass
+
+
+def _substitute_var(node, var: str, value: int) -> None:
+    """Replace reads of ``var`` in the subtree with the literal value."""
+    from repro.meta.ast_nodes import Assign, Ident, IntLit, UnaryOp
+
+    for child in list(node.walk()):
+        if not isinstance(child, Ident) or child.name != var:
+            continue
+        parent = child.parent
+        if isinstance(parent, Assign) and parent.target is child:
+            raise UnrollError(
+                f"loop body writes the induction variable {var!r}")
+        if isinstance(parent, UnaryOp) and parent.op in ("++", "--"):
+            raise UnrollError(
+                f"loop body increments the induction variable {var!r}")
+        parent.replace_child(child, IntLit(value))
+
+
+def fully_unroll(loop: ForStmt) -> List["Stmt"]:
+    """Textually replicate a fixed-bound loop's body (in place).
+
+    The source-level counterpart of ``#pragma unroll``: the loop is
+    replaced in its enclosing block by ``trips`` copies of the body
+    with the induction variable substituted by its per-iteration
+    value.  CPU compilers do this under ``-funroll-loops``; on FPGAs
+    the HLS compiler performs it from the pragma -- this transform
+    lets flows (and tests) materialise the result as readable source.
+
+    Requirements: literal bounds (``static_trip_count``), a recognised
+    induction variable that the body neither writes nor declares over,
+    and no ``break``/``continue``.  Returns the replicated statements.
+    """
+    from repro.meta.ast_nodes import (
+        BreakStmt, CompoundStmt, ContinueStmt, DeclStmt, ExprStmt, Stmt,
+        set_parents,
+    )
+
+    trips = static_trip_count(loop)
+    if trips is None:
+        raise UnrollError("loop bounds are not compile-time constants")
+    var = loop.loop_var()
+    if var is None:
+        raise UnrollError("no recognisable induction variable")
+    for node in loop.body.walk():
+        if isinstance(node, (BreakStmt, ContinueStmt)):
+            raise UnrollError("body contains break/continue")
+        if isinstance(node, DeclStmt) and any(d.name == var
+                                              for d in node.decls):
+            raise UnrollError(f"body re-declares {var!r}")
+
+    # start value and step (shape already validated by static_trip_count)
+    start = _literal_init(loop)
+    step = _literal_step(loop, var)
+
+    parent = loop.parent
+    if not isinstance(parent, CompoundStmt):
+        raise UnrollError("loop must sit directly inside a block")
+    index = parent.stmts.index(loop)
+
+    # names declared inside the body must be renamed per copy (they
+    # would otherwise collide in the enclosing scope)
+    declared = set()
+    for node in loop.body.walk():
+        if isinstance(node, DeclStmt):
+            declared.update(d.name for d in node.decls)
+
+    copies: List[Stmt] = []
+    for k in range(trips):
+        body = loop.body.clone()
+        _substitute_var(body, var, start + k * step)
+        for name in declared:
+            _rename(body, name, f"{name}_u{k}")
+        if isinstance(body, CompoundStmt):
+            copies.extend(body.stmts)
+        else:
+            copies.append(body)
+
+    parent.stmts[index:index + 1] = copies
+    for stmt in copies:
+        set_parents(stmt, parent)
+    return copies
+
+
+def _rename(node, old: str, new: str) -> None:
+    from repro.meta.ast_nodes import DeclStmt, Ident
+
+    for child in node.walk():
+        if isinstance(child, Ident) and child.name == old:
+            child.name = new
+        elif isinstance(child, DeclStmt):
+            for decl in child.decls:
+                if decl.name == old:
+                    decl.name = new
+
+
+def _literal_init(loop: ForStmt) -> int:
+    from repro.analysis.trip_count import _literal_init as impl
+
+    value = impl(loop)
+    assert value is not None
+    return value
+
+
+def _literal_step(loop: ForStmt, var: str) -> int:
+    from repro.analysis.trip_count import _literal_step as impl
+
+    value = impl(loop, var)
+    assert value is not None
+    return value

@@ -1,0 +1,198 @@
+"""Hotspot / trip-count / intensity / data-movement / alias / access
+pattern analysis tests."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_access_pattern, analyze_data_movement, analyze_intensity,
+    analyze_pointer_aliasing, analyze_trip_counts, identify_hotspot_loops,
+    static_trip_count,
+)
+from repro.analysis.common import LoopPath
+from repro.lang.interpreter import Workload
+from repro.meta.ast_api import Ast
+from repro.meta.parser import parse_stmt
+
+APP = """
+void knl(double* out, const double* x, int n) {
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < 8; j++) {
+            s += sqrt(x[i * 8 + j]);
+        }
+        out[i] = s;
+    }
+}
+
+int main() {
+    int n = ws_int("n");
+    double* x = ws_array_double("x", n * 8);
+    double* out = ws_array_double("out", n);
+    for (int i = 0; i < n * 8; i++) {
+        x[i] = 1.0 + rand01();
+    }
+    knl(out, x, n);
+    double check = 0.0;
+    for (int i = 0; i < n; i++) {
+        check += out[i];
+    }
+    printf("%g\\n", check);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def ast():
+    return Ast(APP)
+
+
+@pytest.fixture
+def workload():
+    return Workload(scalars={"n": 40})
+
+
+class TestHotspot:
+    def test_hottest_is_the_kernel_call_loop(self, ast, workload):
+        # pre-extraction shape: time main's outermost loops; the knl
+        # call is a statement, so the heaviest *loop* is init or check.
+        hotspots = identify_hotspot_loops(ast, workload)
+        assert hotspots  # loops found and timed
+        assert hotspots[0].fraction >= hotspots[-1].fraction
+
+    def test_fractions_bounded(self, ast, workload):
+        for info in identify_hotspot_loops(ast, workload):
+            assert 0.0 <= info.fraction <= 1.0
+
+    def test_reference_not_mutated(self, ast, workload):
+        before = ast.source
+        identify_hotspot_loops(ast, workload)
+        assert ast.source == before
+
+    def test_min_fraction_filter(self, ast, workload):
+        all_spots = identify_hotspot_loops(ast, workload)
+        filtered = identify_hotspot_loops(ast, workload, min_fraction=0.99)
+        assert len(filtered) <= len(all_spots)
+
+
+class TestTripCounts:
+    def test_static_literal_bounds(self):
+        assert static_trip_count(parse_stmt(
+            "for (int j = 0; j < 8; j++) ;")) == 8
+        assert static_trip_count(parse_stmt(
+            "for (int j = 2; j <= 8; j += 2) ;")) == 4
+        assert static_trip_count(parse_stmt(
+            "for (int j = 5; j < 2; j++) ;")) == 0
+
+    def test_static_unknown_bound(self):
+        assert static_trip_count(parse_stmt(
+            "for (int j = 0; j < n; j++) ;")) is None
+
+    def test_static_downward_loop_unsupported(self):
+        assert static_trip_count(parse_stmt(
+            "for (int j = 8; j > 0; j--) ;")) is None
+
+    def test_dynamic_counts(self, ast, workload):
+        infos = analyze_trip_counts(ast, workload, "knl")
+        outer = infos[LoopPath("knl", 0)]
+        inner = infos[LoopPath("knl", 1)]
+        assert outer.total_iterations == 40
+        assert outer.static_trips is None
+        assert inner.entries == 40
+        assert inner.avg_trips == 8
+        assert inner.static_trips == 8 and inner.fixed_bounds
+
+
+class TestIntensity:
+    def test_kernel_intensity(self, ast):
+        info = analyze_intensity(ast, "knl")
+        # per inner iter: sqrt(8) + add(1) FLOPs over one 8-byte load
+        assert info.flops_per_byte == pytest.approx(9 / 8, rel=0.3)
+
+    def test_sp_fraction_zero_for_dp_kernel(self, ast):
+        assert analyze_intensity(ast, "knl").sp_fraction == 0.0
+
+    def test_sp_fraction_after_demotion(self):
+        source = """
+        void knl(float* out, const float* x, int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = sqrtf(x[i]) * 2.0f;
+            }
+        }
+        """
+        info = analyze_intensity(Ast(source), "knl")
+        assert info.sp_fraction == 1.0
+
+    def test_compute_bound_classification(self, ast):
+        info = analyze_intensity(ast, "knl")
+        assert info.is_compute_bound(0.25)
+        assert not info.is_compute_bound(10.0)
+
+
+class TestDataMovement:
+    def test_directions_and_sizes(self, ast, workload):
+        info = analyze_data_movement(ast, workload, "knl")
+        x = info.buffer("x")
+        out = info.buffer("out")
+        assert x.direction == "in" and x.nbytes == 40 * 8 * 8
+        assert out.direction == "out" and out.nbytes == 40 * 8
+        assert info.bytes_in == x.nbytes
+        assert info.bytes_out == out.nbytes
+        assert info.kernel_calls == 1
+
+
+class TestAliasing:
+    def test_disjoint_buffers_ok(self, ast, workload):
+        info = analyze_pointer_aliasing(ast, workload, "knl")
+        assert info.no_aliasing
+        assert info.calls_observed == 1
+
+    def test_overlap_detected(self):
+        source = """
+        void knl(double* a, double* b, int n) {
+            for (int i = 0; i < n; i++) a[i] = b[i];
+        }
+        int main() {
+            double* buf = ws_array_double("buf", 16);
+            knl(buf, buf + 4, 8);
+            return 0;
+        }
+        """
+        info = analyze_pointer_aliasing(Ast(source), Workload(), "knl")
+        assert not info.no_aliasing
+        assert info.conflicts[0].param_a == "a"
+        assert info.conflicts[0].param_b == "b"
+
+
+class TestAccessPattern:
+    def test_affine_only_kernel_has_no_gather(self, ast):
+        info = analyze_access_pattern(ast, "knl")
+        assert info.gather_fraction == 0.0
+        assert info.gather_buffers == frozenset()
+
+    def test_gather_detected(self):
+        source = """
+        void knl(double* out, const double* w, const int* idx, int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = w[idx[i]];
+            }
+        }
+        """
+        info = analyze_access_pattern(Ast(source), "knl")
+        assert info.gather_buffers == frozenset({"w"})
+        assert 0.0 < info.gather_fraction < 1.0
+
+    def test_local_arrays_excluded(self):
+        source = """
+        void knl(double* out, int n) {
+            for (int i = 0; i < n; i++) {
+                double tmp[4];
+                tmp[0] = 1.0;
+                out[i] = tmp[0];
+            }
+        }
+        """
+        info = analyze_access_pattern(Ast(source), "knl")
+        # only the out[] store is DRAM traffic
+        assert info.streamed_bytes > 0
+        assert info.gather_bytes == 0

@@ -1,0 +1,148 @@
+"""Affine-form and static-typing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.common import (
+    LoopPath, SymbolTable, affine_form, infer_type, loop_path, resolve_loop,
+)
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import CType
+from repro.meta.parser import parse_expr
+
+
+class TestAffineForm:
+    def test_constant(self):
+        assert affine_form(parse_expr("7")) == {1: 7}
+
+    def test_variable(self):
+        assert affine_form(parse_expr("i")) == {"i": 1, 1: 0}
+
+    def test_scaled_plus_offset(self):
+        assert affine_form(parse_expr("i * 4 + 3")) == {"i": 4, 1: 3}
+
+    def test_two_variables(self):
+        form = affine_form(parse_expr("i * 8 + j * 2 + 1"))
+        assert form == {"i": 8, "j": 2, 1: 1}
+
+    def test_subtraction_and_negation(self):
+        assert affine_form(parse_expr("7 - i")) == {"i": -1, 1: 7}
+        assert affine_form(parse_expr("-(i + 2)")) == {"i": -1, 1: -2}
+
+    def test_constant_factor_on_left(self):
+        assert affine_form(parse_expr("3 * i")) == {"i": 3, 1: 0}
+
+    def test_cancellation(self):
+        form = affine_form(parse_expr("i - i"))
+        assert form.get("i", 0) == 0
+
+    def test_product_of_variables_not_affine(self):
+        assert affine_form(parse_expr("i * j")) is None
+
+    def test_division_not_affine(self):
+        assert affine_form(parse_expr("i / 2")) is None
+
+    def test_array_load_subscript_not_affine(self):
+        assert affine_form(parse_expr("labels[i]")) is None
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(1, 9))
+    def test_affine_form_matches_evaluation(self, c0, c1, ival):
+        """The canonical form evaluates to the same value as the expr."""
+        expr = parse_expr(f"i * {c1} + {c0}" if c1 >= 0
+                          else f"{c0} - i * {-c1}")
+        form = affine_form(expr)
+        assert form is not None
+        predicted = form.get("i", 0) * ival + form.get(1, 0)
+        assert predicted == c1 * ival + c0
+
+
+SOURCE = """
+int total = 0;
+
+double helper(double v) { return v * 2.0; }
+
+void knl(double* out, const float* x, int n) {
+    double acc[8];
+    for (int i = 0; i < n; i++) {
+        float t = x[i];
+        out[i] = helper((double)t) + 1.0f;
+    }
+}
+"""
+
+
+@pytest.fixture
+def ast():
+    return Ast(SOURCE)
+
+
+@pytest.fixture
+def symbols(ast):
+    return SymbolTable(ast.function("knl"), ast.unit)
+
+
+class TestSymbolTable:
+    def test_params(self, symbols):
+        assert symbols.type_of("out") == CType("double", 1)
+        assert symbols.type_of("x") == CType("float", 1)
+        assert symbols.type_of("n") == CType("int")
+
+    def test_locals_and_loop_vars(self, symbols):
+        assert symbols.type_of("t") == CType("float")
+        assert symbols.type_of("i") == CType("int")
+
+    def test_local_array_decays_and_flagged(self, symbols):
+        assert symbols.type_of("acc") == CType("double", 1)
+        assert symbols.is_local_array("acc")
+        assert not symbols.is_local_array("out")
+
+    def test_globals_visible(self, symbols):
+        assert symbols.type_of("total") == CType("int")
+
+    def test_unknown(self, symbols):
+        assert symbols.type_of("ghost") is None
+
+
+class TestInferType:
+    def test_literals(self, symbols):
+        assert infer_type(parse_expr("1.5"), symbols).base == "double"
+        assert infer_type(parse_expr("1.5f"), symbols).base == "float"
+        assert infer_type(parse_expr("3"), symbols).base == "int"
+
+    def test_promotion(self, symbols):
+        assert infer_type(parse_expr("n + 1.5f"), symbols).base == "float"
+        assert infer_type(parse_expr("t + 1.0"), symbols).base == "double"
+
+    def test_index_yields_element(self, symbols):
+        assert infer_type(parse_expr("x[0]"), symbols).base == "float"
+        assert infer_type(parse_expr("out[0]"), symbols).base == "double"
+
+    def test_comparison_is_int(self, symbols):
+        assert infer_type(parse_expr("t < 1.0f"), symbols).base == "int"
+
+    def test_cast(self, symbols):
+        assert infer_type(parse_expr("(float)n"), symbols).base == "float"
+
+    def test_math_builtin_precision(self, symbols):
+        assert infer_type(parse_expr("sqrtf(t)"), symbols).base == "float"
+        assert infer_type(parse_expr("sqrt(1.0)"), symbols).base == "double"
+
+
+class TestLoopPaths:
+    def test_path_round_trip(self, ast):
+        loop = ast.function("knl").loops()[0]
+        path = loop_path(loop)
+        assert path == LoopPath("knl", 0)
+        assert resolve_loop(ast, path) is loop
+
+    def test_path_resolves_in_clone(self, ast):
+        loop = ast.function("knl").loops()[0]
+        path = loop_path(loop)
+        clone = ast.clone()
+        resolved = resolve_loop(clone, path)
+        assert resolved is not loop
+        assert resolved.loop_var() == "i"
+
+    def test_out_of_range(self, ast):
+        with pytest.raises(ValueError):
+            resolve_loop(ast, LoopPath("knl", 5))

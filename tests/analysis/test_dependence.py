@@ -1,0 +1,177 @@
+"""Loop dependence analysis tests: the Fig. 3 decision inputs."""
+
+import pytest
+
+from repro.analysis.dependence import analyze_dependences, analyze_loop_dependences
+from repro.meta.ast_api import Ast
+
+
+def deps_of(body, params="double* a, double* b, int n", extra=""):
+    source = f"void knl({params}) {{\n{extra}\n{body}\n}}"
+    ast = Ast(source)
+    loop = ast.function("knl").loops()[0]
+    return analyze_loop_dependences(loop)
+
+
+class TestParallelLoops:
+    def test_elementwise_is_parallel(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[i] = b[i] * 2.0;
+        }""")
+        assert info.is_parallel
+
+    def test_private_scalar_is_parallel(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            double t = b[i];
+            a[i] = t * t;
+        }""")
+        assert info.is_parallel
+
+    def test_strided_components_are_parallel(self):
+        # a[i*3], a[i*3+1], a[i*3+2]: constant offsets below the stride
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[i * 3] = 1.0;
+            a[i * 3 + 1] = 2.0;
+            a[i * 3 + 2] = 3.0;
+        }""")
+        assert info.is_parallel
+
+    def test_read_only_arrays_never_conflict(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[i] = b[i] + b[i + 1] + b[0];
+        }""")
+        assert info.is_parallel
+
+    def test_local_array_is_private(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            double tmp[4];
+            tmp[0] = b[i];
+            a[i] = tmp[0];
+        }""")
+        assert info.is_parallel
+
+
+class TestReductions:
+    def test_compound_add_is_reduction(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            s += a[i];
+        }""", extra="double s = 0.0;")
+        assert info.reductions == ("s",)
+        assert not info.carried
+        assert info.is_parallel_with_reductions
+        assert not info.is_parallel
+
+    def test_explicit_form_is_reduction(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            s = s + a[i];
+        }""", extra="double s = 0.0;")
+        assert info.reductions == ("s",)
+
+    def test_multiplicative_reduction(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            p *= a[i];
+        }""", extra="double p = 1.0;")
+        assert info.reductions == ("p",)
+
+
+class TestCarriedDependences:
+    def test_running_min_with_read_is_carried(self):
+        # the K-Means pattern: best is read (compare) and plainly assigned
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            if (a[i] < best) {
+                best = a[i];
+            }
+        }""", extra="double best = 1.0e30;")
+        assert any(c.name == "best" for c in info.carried)
+        assert not info.is_parallel_with_reductions
+
+    def test_distance_one_array_dep(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[i] = a[i + 1] * 0.5;
+        }""")
+        assert any(c.kind == "array" and "distance" in c.reason
+                   for c in info.carried)
+
+    def test_loop_invariant_write_is_carried(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[0] = a[0] + b[i];
+        }""")
+        assert info.carried
+
+    def test_non_affine_subscript_is_carried(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[idx[i]] = b[i];
+        }""", params="double* a, double* b, int n, int* idx")
+        assert any(c.kind == "non-affine" for c in info.carried)
+
+    def test_mismatched_strides_carried(self):
+        info = deps_of("""
+        for (int i = 0; i < n; i++) {
+            a[i * 2] = a[i] + 1.0;
+        }""")
+        assert info.carried
+
+    def test_call_with_pointer_args_is_carried(self):
+        source = """
+        void helper(double* p) { p[0] = 1.0; }
+        void knl(double* a, int n) {
+            for (int i = 0; i < n; i++) {
+                helper(a);
+            }
+        }
+        """
+        ast = Ast(source)
+        info = analyze_loop_dependences(ast.function("knl").loops()[0])
+        assert any(c.kind == "call" for c in info.carried)
+
+    def test_pure_scalar_call_is_safe(self):
+        source = """
+        double f(double v) { return v * 2.0; }
+        void knl(double* a, int n) {
+            for (int i = 0; i < n; i++) {
+                a[i] = f(a[i]);
+            }
+        }
+        """
+        ast = Ast(source)
+        info = analyze_loop_dependences(ast.function("knl").loops()[0])
+        assert not any(c.kind == "call" for c in info.carried)
+
+
+class TestNestedStructure:
+    NBODY_LIKE = """
+    void knl(double* acc, const double* pos, int n) {
+        for (int i = 0; i < n; i++) {
+            acc[i] = 0.0;
+            for (int j = 0; j < n; j++) {
+                acc[i] += pos[j] - pos[i];
+            }
+        }
+    }
+    """
+
+    def test_outer_parallel_inner_carried(self):
+        ast = Ast(self.NBODY_LIKE)
+        deps = analyze_dependences(ast, "knl")
+        outer = deps[[p for p in deps if p.index == 0][0]]
+        inner = deps[[p for p in deps if p.index == 1][0]]
+        assert outer.is_parallel
+        # inner loop writes acc[i], invariant in j -> carried
+        assert inner.carried
+
+    def test_analyze_all_loops(self):
+        ast = Ast(self.NBODY_LIKE)
+        deps = analyze_dependences(ast, "knl")
+        assert len(deps) == 2

@@ -1,0 +1,89 @@
+"""Benchmark application tests: oracles, spec sanity, scaling."""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.apps.registry import PAPER_ORDER
+
+
+class TestRegistry:
+    def test_five_apps(self):
+        assert set(ALL_APPS) == {"nbody", "kmeans", "adpredictor",
+                                 "rush_larsen", "bezier"}
+
+    def test_paper_order_complete(self):
+        assert sorted(PAPER_ORDER) == sorted(ALL_APPS)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_app("tsp")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+class TestEveryApp:
+    def test_source_parses_and_runs(self, name):
+        app = get_app(name)
+        workload = app.workload()
+        report = app.ast().execute(workload)
+        assert report.return_value == 0
+
+    def test_outputs_match_numpy_oracle(self, name):
+        app = get_app(name)
+        workload = app.workload()
+        app.ast().execute(workload)
+        app.check_outputs(workload)  # raises on mismatch
+
+    def test_oracle_catches_corruption(self, name):
+        app = get_app(name)
+        workload = app.workload()
+        app.ast().execute(workload)
+        buf = workload._buffers[app.output_buffers[0]]
+        buf.data[0] = buf.data[0] + 1.0e6
+        with pytest.raises(AssertionError):
+            app.check_outputs(workload)
+
+    def test_scaled_workload_runs(self, name):
+        app = get_app(name)
+        workload = app.workload(scale=0.25)
+        report = app.ast().execute(workload)
+        assert report.return_value == 0
+        app.check_outputs(workload)
+
+    def test_spec_fields_sane(self, name):
+        app = get_app(name)
+        assert app.reference_loc > 20
+        assert app.eval_scale >= 1
+        assert app.hotspot_invocations >= 1
+        assert app.output_buffers
+
+    def test_workloads_deterministic(self, name):
+        app = get_app(name)
+        a, b = app.workload(), app.workload()
+        assert a.scalars == b.scalars
+        assert a._initial_arrays.keys() == b._initial_arrays.keys()
+        for key in a._initial_arrays:
+            assert a._initial_arrays[key] == b._initial_arrays[key]
+
+
+class TestAppProperties:
+    def test_adpredictor_requires_double(self):
+        assert not get_app("adpredictor").sp_tolerant
+
+    def test_others_tolerate_single(self):
+        for name in ("nbody", "kmeans", "rush_larsen", "bezier"):
+            assert get_app(name).sp_tolerant, name
+
+    def test_fixed_buffers_declared_for_table_apps(self):
+        assert "centroids" in get_app("kmeans").fixed_buffers
+        assert "wmean" in get_app("adpredictor").fixed_buffers
+        assert "ctrl" in get_app("bezier").fixed_buffers
+
+    def test_rush_larsen_is_elementary_function_heavy(self):
+        source = get_app("rush_larsen").source
+        assert source.count("exp(") >= 40
+        assert "pow(" in source
+
+    def test_kmeans_constants_fixed(self):
+        # fixed K and D make the distance loops fully unrollable
+        source = get_app("kmeans").source
+        assert "j < 8" in source and "m < 4" in source

@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Full PSA-flow runs cost seconds (they interpret the benchmark twice);
+the session-scoped runner executes each (app, mode) pair once and every
+test shares the cached :class:`FlowResult`.
+"""
+
+import pytest
+
+from repro.evalharness.runner import EvaluationRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return EvaluationRunner()
+
+
+@pytest.fixture(scope="session")
+def kmeans_informed(runner):
+    return runner.informed("kmeans")
+
+
+@pytest.fixture(scope="session")
+def kmeans_uninformed(runner):
+    return runner.uninformed("kmeans")
+
+
+@pytest.fixture(scope="session")
+def nbody_informed(runner):
+    return runner.informed("nbody")
+
+
+@pytest.fixture(scope="session")
+def nbody_uninformed(runner):
+    return runner.uninformed("nbody")
+
+
+@pytest.fixture(scope="session")
+def adpredictor_informed(runner):
+    return runner.informed("adpredictor")
+
+
+@pytest.fixture(scope="session")
+def adpredictor_uninformed(runner):
+    return runner.uninformed("adpredictor")
+
+
+@pytest.fixture(scope="session")
+def rush_larsen_informed(runner):
+    return runner.informed("rush_larsen")
+
+
+@pytest.fixture(scope="session")
+def rush_larsen_uninformed(runner):
+    return runner.uninformed("rush_larsen")
+
+
+@pytest.fixture(scope="session")
+def bezier_informed(runner):
+    return runner.informed("bezier")
+
+
+@pytest.fixture(scope="session")
+def bezier_uninformed(runner):
+    return runner.uninformed("bezier")
+
+
+@pytest.fixture(scope="session")
+def all_uninformed(runner):
+    return {name: runner.uninformed(name) for name in runner.all_apps()}
+
+
+@pytest.fixture(scope="session")
+def all_informed(runner):
+    return {name: runner.informed(name) for name in runner.all_apps()}

@@ -1,0 +1,189 @@
+"""Evaluation harness tests: the paper's tables and figures hold in
+shape on the regenerated data."""
+
+import pytest
+
+from repro.evalharness.fig5 import (
+    PAPER_FIG5, PAPER_SELECTION, render_fig5, run_fig5,
+)
+from repro.evalharness.fig6 import (
+    FIG6_APPS, PAPER_FIG6_CROSSOVERS, render_fig6, run_fig6,
+)
+from repro.evalharness.render import bars, format_pct, format_speedup, table
+from repro.evalharness.runner import DESIGN_LABELS
+from repro.evalharness.table1 import (
+    PAPER_AVERAGE, averages, render_table1, run_table1,
+)
+from repro.evalharness.table2 import TABLE2_ROWS, render_table2
+
+
+@pytest.fixture(scope="module")
+def fig5_rows(runner):
+    return run_fig5(runner)
+
+
+@pytest.fixture(scope="module")
+def table1_rows(runner):
+    return run_table1(runner)
+
+
+@pytest.fixture(scope="module")
+def fig6_rows(runner):
+    return run_fig6(runner)
+
+
+class TestFig5:
+    def test_all_apps_present(self, fig5_rows):
+        assert [r.app for r in fig5_rows] == [
+            "rush_larsen", "nbody", "bezier", "adpredictor", "kmeans"]
+
+    def test_informed_selects_paper_target(self, fig5_rows):
+        for row in fig5_rows:
+            assert row.selected_target == PAPER_SELECTION[row.app], row.app
+
+    def test_informed_picks_best(self, fig5_rows):
+        """'the informed PSA-flow selects the best target for all of
+        the five benchmarks'"""
+        for row in fig5_rows:
+            assert row.informed_picks_best, row.app
+
+    def test_availability_matches_paper(self, fig5_rows):
+        """Exactly the paper's n/a cells (Rush Larsen FPGA) are n/a."""
+        for row in fig5_rows:
+            for label in DESIGN_LABELS:
+                paper_na = PAPER_FIG5[row.app][label] is None
+                ours_na = row.speedups[label] is None
+                assert paper_na == ours_na, (row.app, label)
+
+    def test_speedups_within_2x_of_paper(self, fig5_rows):
+        """Shape claim: every measured bar is within 2x of the paper's."""
+        for row in fig5_rows:
+            for label in DESIGN_LABELS:
+                want = PAPER_FIG5[row.app][label]
+                got = row.speedups[label]
+                if want is None:
+                    continue
+                assert want / 2 <= got <= want * 2, (row.app, label, got)
+
+    def test_winner_per_app_matches_paper(self, fig5_rows):
+        for row in fig5_rows:
+            paper = {l: v for l, v in PAPER_FIG5[row.app].items()
+                     if l in DESIGN_LABELS and v is not None}
+            ours = {l: v for l, v in row.speedups.items() if v is not None}
+            assert max(ours, key=ours.get) == max(paper, key=paper.get), row.app
+
+    def test_render(self, fig5_rows):
+        text = render_fig5(fig5_rows)
+        assert "Auto-Selected" in text
+        assert "N-Body" in text
+        assert "n/a" in text  # Rush Larsen FPGA bars
+
+
+class TestTable1:
+    def test_rush_larsen_fpga_excluded(self, table1_rows):
+        row = [r for r in table1_rows if r.app == "rush_larsen"][0]
+        assert row.deltas_pct["oneapi-a10"] is None
+        assert row.total_pct is None
+
+    def test_all_synthesizable_deltas_positive(self, table1_rows):
+        for row in table1_rows:
+            for label, value in row.deltas_pct.items():
+                if value is not None:
+                    assert value > 0, (row.app, label)
+
+    def test_column_ordering_matches_paper(self, table1_rows):
+        """OMP cheapest, then HIP, then oneAPI A10, then oneAPI S10."""
+        avg = averages(table1_rows)
+        assert avg["omp"] < avg["hip-1080ti"]
+        assert avg["hip-1080ti"] < avg["oneapi-a10"]
+        assert avg["oneapi-a10"] < avg["oneapi-s10"]
+
+    def test_hip_columns_identical(self, table1_rows):
+        """Both HIP designs differ only in DSE'd launch parameters."""
+        for row in table1_rows:
+            assert row.deltas_pct["hip-1080ti"] == row.deltas_pct["hip-2080ti"]
+
+    def test_kmeans_has_largest_relative_cost(self, table1_rows):
+        """The smallest reference pays the largest relative additions."""
+        totals = {r.app: r.total_pct for r in table1_rows
+                  if r.total_pct is not None}
+        assert max(totals, key=totals.get) == "kmeans"
+
+    def test_averages_within_3x_of_paper(self, table1_rows):
+        avg = averages(table1_rows)
+        for label in DESIGN_LABELS:
+            assert PAPER_AVERAGE[label] / 3 <= avg[label] \
+                <= PAPER_AVERAGE[label] * 3, label
+
+    def test_render(self, table1_rows):
+        text = render_table1(table1_rows)
+        assert "Table I" in text and "Average" in text
+
+
+class TestFig6:
+    def test_three_apps(self, fig6_rows):
+        assert [r.app for r in fig6_rows] == list(FIG6_APPS)
+
+    def test_adpredictor_crossover_near_paper(self, fig6_rows):
+        """FPGA cheaper until priced ~3.2x the GPU (paper's headline)."""
+        row = [r for r in fig6_rows if r.app == "adpredictor"][0]
+        assert 1.5 <= row.crossover <= 5.0
+        assert row.fpga_cheaper_at(1.0)
+        assert not row.fpga_cheaper_at(4.0)
+
+    def test_bezier_crossover_below_one(self, fig6_rows):
+        """GPU faster on Bezier: FPGA only wins when much cheaper."""
+        row = [r for r in fig6_rows if r.app == "bezier"][0]
+        assert row.crossover < 1.0
+        assert not row.fpga_cheaper_at(1.0)
+        assert row.fpga_cheaper_at(0.25)
+
+    def test_crossover_equals_time_ratio(self, fig6_rows):
+        for row in fig6_rows:
+            assert row.crossover == pytest.approx(row.t_gpu_s / row.t_fpga_s)
+
+    def test_relative_cost_monotonic_in_price(self, fig6_rows):
+        for row in fig6_rows:
+            ratios = sorted(row.relative_costs)
+            values = [row.relative_costs[r] for r in ratios]
+            assert values == sorted(values)
+
+    def test_render(self, fig6_rows):
+        text = render_fig6(fig6_rows)
+        assert "Fig. 6" in text and "crossover" in text
+
+
+class TestTable2:
+    def test_this_work_has_all_capabilities(self):
+        this_work = [r for r in TABLE2_ROWS if r.approach == "This Work"][0]
+        assert this_work.partition and this_work.mapping \
+            and this_work.optimise and this_work.multiple_targets
+        assert this_work.scope == "Full App."
+
+    def test_no_other_approach_has_all_four(self):
+        for row in TABLE2_ROWS:
+            if row.approach == "This Work":
+                continue
+            assert not (row.partition and row.mapping and row.optimise
+                        and row.multiple_targets), row.approach
+
+    def test_render(self):
+        text = render_table2()
+        assert "This Work" in text and "HeteroCL" in text
+
+
+class TestRenderHelpers:
+    def test_table_alignment(self):
+        text = table(["a", "bb"], [["x", "1"], ["yy", "22"]])
+        lines = text.splitlines()
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_bars_handles_none(self):
+        text = bars(["a", "b"], [10.0, None])
+        assert "n/a" in text and "#" in text
+
+    def test_format_helpers(self):
+        assert format_speedup(None) == "n/a"
+        assert format_speedup(123.4) == "123x"
+        assert format_speedup(9.96) == "10.0x"
+        assert format_pct(12.3) == "+12%"

@@ -1,0 +1,84 @@
+"""Cost evaluation / budget feedback tests (Fig. 3 bottom, Fig. 6)."""
+
+import pytest
+
+from repro.flow.cost import BudgetedStrategy, CloudPriceTable, CostEvaluator
+from repro.flow.psa import InformedTargetSelection, PSAStrategy, PSADecision
+
+from tests.flow.test_psa import FakeContext, FakeIntensity, make_profile
+
+PATHS = ["gpu", "fpga", "omp"]
+
+
+class TestCostEvaluator:
+    def test_execution_cost_scales_with_time_and_price(self):
+        ev = CostEvaluator()
+        base = ev.execution_cost(3600.0, "epyc7543")
+        assert base == pytest.approx(ev.prices.price("epyc7543"))
+        assert ev.execution_cost(7200.0, "epyc7543") == pytest.approx(2 * base)
+
+    def test_relative_cost(self):
+        ev = CostEvaluator(CloudPriceTable({"a": 2.0, "b": 1.0}))
+        # same time, A twice the price
+        assert ev.relative_cost(10.0, "a", 10.0, "b") == pytest.approx(2.0)
+
+    def test_crossover_matches_speed_ratio(self):
+        ev = CostEvaluator()
+        # A 3.2x faster than B -> A stays cheaper until priced 3.2x higher
+        assert ev.crossover_price_ratio(1.0, 3.2) == pytest.approx(3.2)
+
+    def test_with_price_is_functional(self):
+        table = CloudPriceTable({"x": 1.0})
+        updated = table.with_price("x", 9.0)
+        assert table.price("x") == 1.0
+        assert updated.price("x") == 9.0
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            CloudPriceTable({}).price("ghost")
+
+
+class AlwaysGPU(PSAStrategy):
+    def select(self, ctx, name, paths):
+        return PSADecision(name, ["gpu"], ["fixed"])
+
+
+class TestBudgetFeedback:
+    def make_ctx(self, reference_time=10.0):
+        return FakeContext(make_profile(), FakeIntensity(2.0),
+                           reference_time=reference_time)
+
+    def test_within_budget_keeps_selection(self):
+        strategy = BudgetedStrategy(AlwaysGPU(), budget_per_run=1e9)
+        decision = strategy.select(self.make_ctx(), "A", PATHS)
+        assert decision.selected == ["gpu"]
+        assert any("within" in r for r in decision.reasons)
+
+    def test_over_budget_revises_to_cheaper_branch(self):
+        # hotspot of ~3 hours: the GPU branch costs real money
+        strategy = BudgetedStrategy(AlwaysGPU(), budget_per_run=1e-7)
+        decision = strategy.select(self.make_ctx(reference_time=1e4),
+                                   "A", PATHS)
+        assert any("EXCEEDS" in r for r in decision.reasons)
+        assert any("revis" in r.lower() for r in decision.reasons)
+
+    def test_nothing_fits_keeps_original_with_warning(self):
+        strategy = BudgetedStrategy(AlwaysGPU(), budget_per_run=0.0)
+        decision = strategy.select(self.make_ctx(reference_time=1e6),
+                                   "A", PATHS)
+        assert decision.selected == ["gpu"]
+        assert any("no branch fits" in r for r in decision.reasons)
+
+    def test_empty_selection_passes_through(self):
+        class NoneStrategy(PSAStrategy):
+            def select(self, ctx, name, paths):
+                return PSADecision(name, [], ["terminated"])
+
+        strategy = BudgetedStrategy(NoneStrategy(), budget_per_run=1.0)
+        assert strategy.select(self.make_ctx(), "A", PATHS).selected == []
+
+    def test_wraps_informed_strategy(self):
+        strategy = BudgetedStrategy(InformedTargetSelection(),
+                                    budget_per_run=1e9)
+        decision = strategy.select(self.make_ctx(), "A", PATHS)
+        assert decision.selected == ["gpu"]

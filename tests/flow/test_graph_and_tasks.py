@@ -1,0 +1,128 @@
+"""Flow graph / task plumbing tests."""
+
+import pytest
+
+from repro.flow.context import FlowContext
+from repro.flow.graph import BranchPoint, Sequence, TaskNode
+from repro.flow.psa import SelectAll, SelectNamed
+from repro.flow.task import FlowError, Task, TaskKind
+from repro.apps import get_app
+
+
+class Probe(Task):
+    kind = TaskKind.ANALYSIS
+    scope = "TEST"
+
+    def __init__(self, name, log):
+        self.name = name
+        self._log = log
+
+    def run(self, ctx):
+        self._log.append(self.name)
+
+
+@pytest.fixture
+def ctx():
+    return FlowContext(get_app("kmeans"))
+
+
+class TestSequence:
+    def test_runs_in_order(self, ctx):
+        log = []
+        Sequence(Probe("a", log), Probe("b", log), Probe("c", log)).execute(ctx)
+        assert log == ["a", "b", "c"]
+
+    def test_then_appends(self, ctx):
+        log = []
+        seq = Sequence(Probe("a", log)).then(Probe("b", log))
+        seq.execute(ctx)
+        assert log == ["a", "b"]
+
+    def test_tasks_logged_to_trace(self, ctx):
+        Sequence(Probe("hello", [])).execute(ctx)
+        assert any("hello" in line for line in ctx.trace)
+
+    def test_describe(self):
+        text = Sequence(Probe("a", []), Probe("b", [])).describe()
+        assert "a [A]" in text and "b [A]" in text
+
+
+class TestBranchPoint:
+    def test_select_all_runs_every_path(self, ctx):
+        log = []
+        branch = BranchPoint("X", {
+            "p1": Probe("one", log),
+            "p2": Probe("two", log),
+        })
+        branch.execute(ctx)
+        assert log == ["one", "two"]
+
+    def test_named_selection_runs_subset(self, ctx):
+        log = []
+        branch = BranchPoint("X", {
+            "p1": Probe("one", log),
+            "p2": Probe("two", log),
+        }, strategy=SelectNamed("p2"))
+        branch.execute(ctx)
+        assert log == ["two"]
+
+    def test_decision_recorded_in_facts(self, ctx):
+        BranchPoint("X", {"p": Probe("x", [])}).execute(ctx)
+        assert ctx.facts["psa:X"].selected == ["p"]
+
+    def test_branches_fork_design_slot(self, ctx):
+        captured = {}
+
+        class SetDesign(Task):
+            name = "set"
+
+            def run(self, inner):
+                inner.design = "DESIGN"
+
+        class Capture(Task):
+            name = "cap"
+
+            def __init__(self, key):
+                self.key = key
+
+            def run(self, inner):
+                captured[self.key] = inner.design
+
+        BranchPoint("X", {
+            "a": Sequence(SetDesign(), Capture("a")),
+            "b": Capture("b"),
+        }).execute(ctx)
+        # branch a's design does not leak into branch b or the parent
+        assert captured["a"] == "DESIGN"
+        assert captured["b"] is None
+        assert ctx.design is None
+
+    def test_describe_lists_paths(self):
+        branch = BranchPoint("A", {"gpu": Probe("g", [])},
+                             strategy=SelectAll())
+        text = branch.describe()
+        assert "branch A" in text and "[gpu]" in text
+
+
+class TestContext:
+    def test_kernel_name_requires_extraction(self, ctx):
+        with pytest.raises(KeyError):
+            _ = ctx.kernel_name
+
+    def test_kernel_report_memoized(self, ctx):
+        first = ctx.kernel_report()
+        assert ctx.kernel_report() is first
+        ctx.invalidate_kernel_report()
+        assert ctx.kernel_report() is not first
+
+    def test_fork_shares_facts_and_designs(self, ctx):
+        child = ctx.fork("x")
+        child.facts["k"] = 1
+        child.designs.append("d")
+        assert ctx.facts["k"] == 1
+        assert ctx.designs == ["d"]
+        assert child.design is None
+
+    def test_task_base_requires_run(self, ctx):
+        with pytest.raises(NotImplementedError):
+            Task()(ctx)

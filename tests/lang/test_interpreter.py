@@ -1,0 +1,351 @@
+"""Interpreter semantics tests: the UHL subset must behave like C."""
+
+import math
+
+import pytest
+
+from repro.lang.interpreter import (
+    ExecLimitExceeded, Interpreter, RuntimeFault, Workload,
+)
+from repro.meta.ast_api import Ast
+
+
+def run(source, workload=None, entry="main", max_steps=None):
+    return Ast(source).execute(workload, entry=entry, max_steps=max_steps)
+
+
+def returns(expr_text, prelude="", workload=None):
+    source = f"double main() {{ {prelude} return {expr_text}; }}"
+    return run(source, workload).return_value
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert returns("7 / 2") == 3
+        assert returns("(0 - 7) / 2") == -3
+        assert returns("7 / (0 - 2)") == -3
+
+    def test_integer_modulo_c_semantics(self):
+        assert returns("7 % 3") == 1
+        assert returns("(0 - 7) % 3") == -1  # C: sign follows dividend
+
+    def test_division_by_zero_int_faults(self):
+        with pytest.raises(RuntimeFault):
+            returns("1 / 0")
+
+    def test_float_division_by_zero_gives_inf(self):
+        assert returns("1.0 / 0.0") == math.inf
+        assert returns("(0.0 - 1.0) / 0.0") == -math.inf
+
+    def test_mixed_int_float_promotes(self):
+        assert returns("3 / 2.0") == 1.5
+
+    def test_comparison_yields_int(self):
+        assert returns("2 < 3") == 1
+        assert returns("2 > 3") == 0
+
+    def test_short_circuit_and(self):
+        # RHS would fault (div by zero) if evaluated
+        assert returns("0 && (1 / 0)") == 0
+
+    def test_short_circuit_or(self):
+        assert returns("1 || (1 / 0)") == 1
+
+    def test_ternary(self):
+        assert returns("5 > 2 ? 10 : 20") == 10
+
+    def test_unary_not(self):
+        assert returns("!0") == 1
+        assert returns("!3") == 0
+
+    def test_cast_truncates(self):
+        assert returns("(int)2.9") == 2
+        assert returns("(int)(0.0 - 2.9)") == -2
+
+    def test_cast_to_float(self):
+        assert returns("(double)3") == 3.0
+
+
+class TestVariablesAndScope:
+    def test_declaration_default_zero(self):
+        assert returns("x", prelude="double x;") == 0.0
+        assert returns("y", prelude="int y;") == 0
+
+    def test_assignment_preserves_int_storage(self):
+        # int variable assigned a float truncates like C
+        assert returns("i", prelude="int i = 0; i = 2.7;") == 2
+
+    def test_block_scoping_shadows(self):
+        source = """
+        int main() {
+            int x = 1;
+            {
+                int x = 2;
+                x = x + 1;
+            }
+            return x;
+        }
+        """
+        assert run(source).return_value == 1
+
+    def test_compound_assignment(self):
+        assert returns("x", prelude="double x = 2.0; x *= 3.0; x += 1.0;") == 7.0
+
+    def test_incr_decr(self):
+        source = """
+        int main() {
+            int i = 5;
+            int a = i++;
+            int b = ++i;
+            return a * 100 + b * 10 + i;
+        }
+        """
+        assert run(source).return_value == 5 * 100 + 7 * 10 + 7
+
+    def test_undefined_variable_faults(self):
+        with pytest.raises(RuntimeFault):
+            returns("nope")
+
+    def test_global_variables(self):
+        source = """
+        int counter = 10;
+        int bump() { counter = counter + 1; return counter; }
+        int main() { bump(); bump(); return counter; }
+        """
+        assert run(source).return_value == 12
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 1; i <= 10; i++) s += i;
+            return s;
+        }
+        """
+        assert run(source).return_value == 55
+
+    def test_while_and_break(self):
+        source = """
+        int main() {
+            int i = 0;
+            while (1) {
+                i++;
+                if (i == 7) break;
+            }
+            return i;
+        }
+        """
+        assert run(source).return_value == 7
+
+    def test_continue_skips(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2 == 1) continue;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run(source).return_value == 0 + 2 + 4 + 6 + 8
+
+    def test_do_while_runs_once(self):
+        source = """
+        int main() {
+            int i = 100;
+            do { i++; } while (i < 5);
+            return i;
+        }
+        """
+        assert run(source).return_value == 101
+
+    def test_nested_break_only_inner(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 100; j++) {
+                    if (j == 2) break;
+                    s++;
+                }
+            }
+            return s;
+        }
+        """
+        assert run(source).return_value == 6
+
+    def test_step_limit(self):
+        with pytest.raises(ExecLimitExceeded):
+            run("int main() { while (1) { } return 0; }", max_steps=10_000)
+
+
+class TestPointersAndArrays:
+    def test_local_array_store_load(self):
+        source = """
+        int main() {
+            double a[4];
+            for (int i = 0; i < 4; i++) a[i] = i * 2.0;
+            return (int)(a[3]);
+        }
+        """
+        assert run(source).return_value == 6
+
+    def test_array_decays_to_pointer_argument(self):
+        source = """
+        void fill(int* a, int n) { for (int i = 0; i < n; i++) a[i] = i; }
+        int main() {
+            int buf[5];
+            fill(buf, 5);
+            return buf[4];
+        }
+        """
+        assert run(source).return_value == 4
+
+    def test_pointer_arithmetic(self):
+        source = """
+        int main() {
+            int a[5];
+            a[3] = 42;
+            int* p = a + 3;
+            return *p;
+        }
+        """
+        assert run(source).return_value == 42
+
+    def test_pointer_difference(self):
+        source = """
+        int main() {
+            double a[10];
+            double* p = a + 7;
+            double* q = a + 2;
+            return p - q;
+        }
+        """
+        assert run(source).return_value == 5
+
+    def test_int_array_coerces_stored_floats(self):
+        source = """
+        int main() {
+            int a[1];
+            a[0] = 2.9;
+            return a[0];
+        }
+        """
+        assert run(source).return_value == 2
+
+    def test_out_of_bounds_read_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("int main() { int a[2]; return a[5]; }")
+
+    def test_negative_store_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("int main() { int a[2]; a[0 - 1] = 1; return 0; }")
+
+    def test_aliased_pointers_share_memory(self):
+        source = """
+        int main() {
+            int a[4];
+            int* p = a;
+            int* q = a + 1;
+            p[1] = 9;
+            return q[0];
+        }
+        """
+        assert run(source).return_value == 9
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+        int main() { return fact(6); }
+        """
+        assert run(source).return_value == 720
+
+    def test_scalar_args_by_value(self):
+        source = """
+        void mutate(int x) { x = 99; }
+        int main() { int y = 1; mutate(y); return y; }
+        """
+        assert run(source).return_value == 1
+
+    def test_arg_count_mismatch_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("void f(int a) { }\nint main() { f(1, 2); return 0; }")
+
+    def test_param_conversion(self):
+        source = """
+        int trunc2(int v) { return v; }
+        int main() { return trunc2(3.9); }
+        """
+        assert run(source).return_value == 3
+
+    def test_unknown_function_faults(self):
+        with pytest.raises(RuntimeFault):
+            run("int main() { return mystery(); }")
+
+    def test_void_return(self):
+        source = "void f() { return; }\nint main() { f(); return 1; }"
+        assert run(source).return_value == 1
+
+
+class TestBuiltins:
+    def test_math_functions(self):
+        assert returns("sqrt(9.0)") == 3.0
+        assert abs(returns("exp(0.0)") - 1.0) < 1e-12
+        assert abs(returns("erfc(0.0)") - 1.0) < 1e-12
+
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(returns("sqrt(0.0 - 1.0)"))
+
+    def test_fmin_fmax(self):
+        assert returns("fmax(2.0, 5.0)") == 5.0
+        assert returns("fmin(2.0, 5.0)") == 2.0
+
+    def test_printf_formats(self):
+        source = 'int main() { printf("v=%d f=%g\\n", 3, 0.5); return 0; }'
+        assert run(source).output_text() == "v=3 f=0.5\n"
+
+    def test_rand01_deterministic(self):
+        source = "double main() { return rand01(); }"
+        assert run(source).return_value == run(source).return_value
+
+    def test_workload_scalars_and_arrays(self):
+        source = """
+        int main() {
+            int n = ws_int("n");
+            double* buf = ws_array_double("buf", n);
+            for (int i = 0; i < n; i++) buf[i] = i + ws_double("bias");
+            return n;
+        }
+        """
+        wl = Workload(scalars={"n": 4, "bias": 0.5})
+        report = run(source, wl)
+        assert report.return_value == 4
+        assert wl.result("buf") == [0.5, 1.5, 2.5, 3.5]
+
+    def test_workload_initial_arrays(self):
+        source = """
+        double main() {
+            double* v = ws_array_double("v", 3);
+            return v[0] + v[1] + v[2];
+        }
+        """
+        wl = Workload(arrays={"v": [1.0, 2.0, 3.0]})
+        assert run(source, wl).return_value == 6.0
+
+    def test_workload_missing_scalar_faults(self):
+        with pytest.raises(RuntimeFault):
+            run('int main() { return ws_int("missing"); }', Workload())
+
+    def test_workload_size_mismatch_faults(self):
+        source = 'int main() { ws_array_double("v", 5); return 0; }'
+        with pytest.raises(RuntimeFault):
+            run(source, Workload(arrays={"v": [1.0, 2.0]}))
+
+    def test_timer_requires_start(self):
+        with pytest.raises(RuntimeFault):
+            run('int main() { timer_stop("t"); return 0; }')

@@ -1,0 +1,176 @@
+"""Profiler / virtual clock tests."""
+
+import pytest
+
+from repro.lang.interpreter import Workload
+from repro.meta.ast_api import Ast
+
+
+def run(source, workload=None):
+    ast = Ast(source)
+    return ast, ast.execute(workload)
+
+
+SAXPY = """
+void saxpy(double* y, const double* x, double a, int n) {
+    for (int i = 0; i < n; i++) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+
+int main() {
+    int n = ws_int("n");
+    double* x = ws_array_double("x", n);
+    double* y = ws_array_double("y", n);
+    timer_start("hot");
+    saxpy(y, x, 2.0, n);
+    timer_stop("hot");
+    return 0;
+}
+"""
+
+
+class TestCounters:
+    def test_flop_count_exact(self):
+        # saxpy: 2 FP ops per element (mul + add)
+        _, report = run(SAXPY, Workload(scalars={"n": 50}))
+        assert report.global_counter.flops == 100
+
+    def test_byte_count_exact(self):
+        # per element: load x, load y, store y = 3 * 8 bytes
+        _, report = run(SAXPY, Workload(scalars={"n": 50}))
+        assert report.global_counter.total_bytes == 50 * 24
+
+    def test_local_arrays_do_not_count_bytes(self):
+        source = """
+        int main() {
+            double tmp[64];
+            for (int i = 0; i < 64; i++) tmp[i] = 1.0;
+            return 0;
+        }
+        """
+        _, report = run(source)
+        assert report.global_counter.total_bytes == 0
+        assert report.global_counter.mem_writes == 64  # accesses counted
+
+    def test_builtin_flops_separate(self):
+        source = "double main() { return exp(1.0) + 1.0; }"
+        _, report = run(source)
+        assert report.global_counter.builtin_flops == 16  # exp cost table
+        assert report.global_counter.flops == 1
+
+    def test_div_weighted(self):
+        source = "double main() { return 1.0 / 3.0; }"
+        _, report = run(source)
+        assert report.global_counter.flops == 4
+
+
+class TestLoopProfiles:
+    def test_trip_counts_and_nesting(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 5; j++) {
+                    s += 1;
+                }
+            }
+            return s;
+        }
+        """
+        ast, report = run(source)
+        outer, inner = ast.function("main").loops()
+        outer_prof = report.loop_profiles[outer.node_id]
+        inner_prof = report.loop_profiles[inner.node_id]
+        assert outer_prof.entries == 1
+        assert outer_prof.trip_counts == [3]
+        assert inner_prof.entries == 3
+        assert inner_prof.trip_counts == [5, 5, 5]
+        assert inner_prof.constant_trips
+
+    def test_inclusive_attribution(self):
+        source = """
+        int main() {
+            double s = 0.0;
+            for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) {
+                    s = s + 1.0;
+                }
+            }
+            return 0;
+        }
+        """
+        ast, report = run(source)
+        outer, inner = ast.function("main").loops()
+        outer_f = report.loop_profiles[outer.node_id].inclusive.flops
+        inner_f = report.loop_profiles[inner.node_id].inclusive.flops
+        assert inner_f == 16
+        assert outer_f >= inner_f  # inclusive of the nested loop
+
+    def test_callee_work_rolls_into_caller_loop(self):
+        source = """
+        double work() { return 1.0 + 2.0; }
+        int main() {
+            for (int i = 0; i < 10; i++) {
+                work();
+            }
+            return 0;
+        }
+        """
+        ast, report = run(source)
+        loop = ast.function("main").loops()[0]
+        assert report.loop_profiles[loop.node_id].inclusive.flops == 10
+
+
+class TestTimers:
+    def test_timer_measures_region(self):
+        _, report = run(SAXPY, Workload(scalars={"n": 30}))
+        assert 0 < report.timer("hot") <= report.total_cycles()
+
+    def test_timer_accumulates_across_entries(self):
+        source = """
+        int main() {
+            for (int r = 0; r < 3; r++) {
+                timer_start("t");
+                double x = 1.0 + 2.0;
+                timer_stop("t");
+            }
+            return 0;
+        }
+        """
+        _, report = run(source)
+        assert report.timer("t") > 0
+
+    def test_unknown_timer_is_zero(self):
+        _, report = run("int main() { return 0; }")
+        assert report.timer("nothing") == 0.0
+
+
+class TestDataMovementRecords:
+    def test_in_out_classification(self):
+        _, report = run(SAXPY, Workload(scalars={"n": 10}))
+        records = report.arrays_touched_by("saxpy")
+        assert records["x"].is_input and not records["x"].is_output
+        assert records["y"].is_input and records["y"].is_output
+
+    def test_write_only_buffer(self):
+        source = """
+        void fill(double* out, int n) {
+            for (int i = 0; i < n; i++) out[i] = 1.0;
+        }
+        int main() {
+            double* o = ws_array_double("o", 8);
+            fill(o, 8);
+            return 0;
+        }
+        """
+        _, report = run(source)
+        rec = report.arrays_touched_by("fill")["out"]
+        assert rec.is_output and not rec.is_input
+
+    def test_pointer_events_recorded(self):
+        _, report = run(SAXPY, Workload(scalars={"n": 10}))
+        events = report.calls_of("saxpy")
+        assert len(events) == 1
+        names = [name for name, *_ in events[0].args]
+        assert names == ["y", "x"]

@@ -1,0 +1,91 @@
+"""ArrayValue / PointerValue unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.values import ArrayValue, PointerValue, truthy
+from repro.meta.ast_nodes import CType
+
+
+class TestArrayValue:
+    def test_float_fill(self):
+        arr = ArrayValue(4, CType("double"))
+        assert arr.data == [0.0, 0.0, 0.0, 0.0]
+        assert isinstance(arr.data[0], float)
+
+    def test_int_fill(self):
+        arr = ArrayValue(3, CType("int"))
+        assert arr.data == [0, 0, 0]
+
+    def test_nbytes(self):
+        assert ArrayValue(10, CType("double")).nbytes == 80
+        assert ArrayValue(10, CType("float")).nbytes == 40
+        assert ArrayValue(10, CType("int")).nbytes == 40
+
+    def test_coerce(self):
+        assert ArrayValue(1, CType("int")).coerce(2.9) == 2
+        assert ArrayValue(1, CType("double")).coerce(3) == 3.0
+
+    def test_from_values(self):
+        arr = ArrayValue.from_values([1, 2, 3], CType("double"))
+        assert arr.data == [1.0, 2.0, 3.0]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayValue(-1, CType("int"))
+
+    def test_unique_ids(self):
+        a = ArrayValue(1, CType("int"))
+        b = ArrayValue(1, CType("int"))
+        assert a.array_id != b.array_id
+
+    def test_local_flag_default(self):
+        assert not ArrayValue(1, CType("int")).is_local
+        assert ArrayValue(1, CType("int"), is_local=True).is_local
+
+
+class TestPointerValue:
+    def test_load_store_with_offset(self):
+        arr = ArrayValue(5, CType("double"))
+        ptr = PointerValue(arr, 2)
+        ptr.store(1, 7.5)
+        assert arr.data[3] == 7.5
+        assert ptr.load(1) == 7.5
+
+    def test_add(self):
+        arr = ArrayValue(5, CType("int"))
+        assert PointerValue(arr, 1).add(2).offset == 3
+
+    def test_extent(self):
+        arr = ArrayValue(8, CType("int"))
+        assert PointerValue(arr, 3).extent() == 5
+
+    @given(st.integers(0, 9), st.integers(0, 9))
+    def test_overlap_symmetry(self, off_a, off_b):
+        arr = ArrayValue(10, CType("int"))
+        pa, pb = PointerValue(arr, off_a), PointerValue(arr, off_b)
+        assert pa.overlaps(pb) == pb.overlaps(pa)
+        assert pa.overlaps(pa)  # any in-bounds pointer overlaps itself
+
+    def test_no_overlap_between_arrays(self):
+        a = PointerValue(ArrayValue(10, CType("int")))
+        b = PointerValue(ArrayValue(10, CType("int")))
+        assert not a.overlaps(b)
+
+    def test_end_pointer_overlaps_nothing(self):
+        arr = ArrayValue(4, CType("int"))
+        end = PointerValue(arr, 4)
+        assert not end.overlaps(PointerValue(arr, 0))
+
+
+class TestTruthy:
+    def test_scalars(self):
+        assert truthy(1) and truthy(0.5) and not truthy(0) and not truthy(0.0)
+
+    def test_pointer_truthy_none_falsy(self):
+        assert truthy(PointerValue(ArrayValue(1, CType("int"))))
+        assert not truthy(None)
+
+    def test_bad_value(self):
+        with pytest.raises(TypeError):
+            truthy(object())

@@ -1,0 +1,131 @@
+"""AST node / CType structural tests."""
+
+import pytest
+
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import (
+    CType, ForStmt, FunctionDecl, Ident, IntLit,
+)
+
+SOURCE = """
+void knl(double* out, const double* x, int n) {
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < 4; j++) {
+            s += x[i * 4 + j];
+        }
+        out[i] = s;
+    }
+}
+
+int main() {
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def ast():
+    return Ast(SOURCE)
+
+
+class TestCType:
+    def test_str(self):
+        assert str(CType("double", 1, const=True)) == "const double*"
+
+    def test_sizeof(self):
+        assert CType("double").sizeof() == 8
+        assert CType("float").sizeof() == 4
+        assert CType("int").sizeof() == 4
+        assert CType("int", 1).sizeof() == 8  # pointer
+
+    def test_element_type(self):
+        assert CType("float", 2).element_type() == CType("float", 1)
+        with pytest.raises(ValueError):
+            CType("float").element_type()
+
+    def test_classification(self):
+        assert CType("double").is_floating
+        assert not CType("double", 1).is_floating
+        assert CType("int").is_integral
+        assert CType("int", 1).is_pointer
+
+    def test_equality_ignores_const(self):
+        assert CType("int", 0, const=True) == CType("int")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            CType("short")
+
+
+class TestNavigation:
+    def test_walk_visits_all_loops(self, ast):
+        loops = [n for n in ast.unit.walk() if isinstance(n, ForStmt)]
+        assert len(loops) == 2
+
+    def test_encloses(self, ast):
+        fn = ast.function("knl")
+        outer, inner = fn.loops()
+        assert fn.encloses(outer)
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+        assert not outer.encloses(outer)  # strict
+
+    def test_is_outermost(self, ast):
+        outer, inner = ast.function("knl").loops()
+        assert outer.is_outermost
+        assert not inner.is_outermost
+
+    def test_loop_depth(self, ast):
+        outer, inner = ast.function("knl").loops()
+        assert outer.depth() == 0
+        assert inner.depth() == 1
+
+    def test_loop_var(self, ast):
+        outer, inner = ast.function("knl").loops()
+        assert outer.loop_var() == "i"
+        assert inner.loop_var() == "j"
+
+    def test_enclosing(self, ast):
+        _, inner = ast.function("knl").loops()
+        assert inner.enclosing(FunctionDecl).name == "knl"
+
+    def test_ancestors_order(self, ast):
+        _, inner = ast.function("knl").loops()
+        chain = list(inner.ancestors())
+        assert isinstance(chain[-1], type(ast.unit))
+
+    def test_outermost_loops_helper(self, ast):
+        assert len(ast.function("knl").outermost_loops()) == 1
+
+
+class TestMutation:
+    def test_clone_is_deep_and_reparented(self, ast):
+        dup = ast.clone()
+        assert dup.source == ast.source
+        original_ids = {n.node_id for n in ast.unit.walk()}
+        clone_ids = {n.node_id for n in dup.unit.walk()}
+        assert original_ids.isdisjoint(clone_ids)
+        for node in dup.unit.walk():
+            for child in node.children():
+                assert child.parent is node
+
+    def test_clone_mutation_isolated(self, ast):
+        dup = ast.clone()
+        dup.function("knl").name = "other"
+        assert ast.has_function("knl")
+        assert not ast.has_function("other")
+
+    def test_replace_child(self, ast):
+        fn = ast.function("knl")
+        outer = fn.loops()[0]
+        cond = outer.cond
+        new = IntLit(1)
+        outer.replace_child(cond, new)
+        assert outer.cond is new
+        assert new.parent is outer
+
+    def test_replace_child_missing_raises(self, ast):
+        fn = ast.function("knl")
+        with pytest.raises(ValueError):
+            fn.replace_child(IntLit(5), IntLit(6))

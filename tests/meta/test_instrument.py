@@ -1,0 +1,109 @@
+"""Instrumentation primitive tests (the Fig. 2 mechanisms)."""
+
+import pytest
+
+from repro.meta.ast_api import Ast
+from repro.meta.instrument import (
+    InstrumentError, ensure_braced, get_pragma, insert_after, insert_before,
+    insert_pragma, remove_pragma, replace, wrap_around,
+)
+
+SOURCE = """
+int main() {
+    int x = 0;
+    for (int i = 0; i < 8; i++) {
+        x = x + i;
+    }
+    return x;
+}
+"""
+
+
+@pytest.fixture
+def ast():
+    return Ast(SOURCE)
+
+
+def loop_of(ast):
+    return ast.outermost_loops("main")[0]
+
+
+class TestPragmas:
+    def test_insert_with_substitution(self, ast):
+        insert_pragma(loop_of(ast), "unroll $n", {"n": 4})
+        assert "#pragma unroll 4" in ast.source
+
+    def test_same_keyword_replaces(self, ast):
+        loop = loop_of(ast)
+        insert_pragma(loop, "unroll 2")
+        insert_pragma(loop, "unroll 16")
+        assert ast.source.count("#pragma unroll") == 1
+        assert "#pragma unroll 16" in ast.source
+
+    def test_different_keywords_accumulate(self, ast):
+        loop = loop_of(ast)
+        insert_pragma(loop, "unroll 2")
+        insert_pragma(loop, "ii 1")
+        assert len(loop.pragmas) == 2
+
+    def test_get_and_remove(self, ast):
+        loop = loop_of(ast)
+        insert_pragma(loop, "unroll 8")
+        assert get_pragma(loop, "unroll").text == "unroll 8"
+        assert remove_pragma(loop, "unroll") == 1
+        assert get_pragma(loop, "unroll") is None
+
+
+class TestInsertion:
+    def test_insert_before_and_after(self, ast):
+        loop = loop_of(ast)
+        insert_before(loop, 'timer_start("t");')
+        insert_after(loop, 'timer_stop("t");')
+        lines = [l.strip() for l in ast.source.splitlines()]
+        start = lines.index('timer_start("t");')
+        stop = lines.index('timer_stop("t");')
+        assert start < stop
+        # the loop header sits between them
+        assert any("for (" in l for l in lines[start:stop])
+
+    def test_wrap_around(self, ast):
+        loop = loop_of(ast)
+        wrap_around(loop, ['timer_start("hot");'], ['timer_stop("hot");'])
+        text = ast.source
+        assert text.index('timer_start("hot");') < text.index("for (")
+        assert text.index("timer_stop") > text.index("for (")
+        # still executable
+        report = ast.execute()
+        assert report.timer("hot") > 0
+
+    def test_replace_keeps_pragmas(self, ast):
+        loop = loop_of(ast)
+        insert_pragma(loop, "unroll 4")
+        new = replace(loop, "x = 42;")
+        assert [p.text for p in new.pragmas] == ["unroll 4"]
+        assert "for (" not in ast.source
+
+    def test_replace_executes(self, ast):
+        replace(loop_of(ast), "x = 42;")
+        assert ast.execute().return_value == 42
+
+    def test_insert_into_non_block_raises(self, ast):
+        # the loop body's single statement is inside a block, but the
+        # loop's init decl is not a block member
+        loop = loop_of(ast)
+        with pytest.raises(InstrumentError):
+            insert_before(loop.init, "int q = 0;")
+
+
+class TestEnsureBraced:
+    def test_wraps_single_statement_body(self):
+        ast = Ast("int main() { for (int i = 0; i < 3; i++) i = i; return 0; }")
+        loop = ast.outermost_loops("main")[0]
+        body = ensure_braced(loop)
+        assert loop.body is body
+        ast.execute()  # still runs
+
+    def test_noop_for_braced_body(self, ast):
+        loop = loop_of(ast)
+        body = loop.body
+        assert ensure_braced(loop) is body

@@ -1,0 +1,113 @@
+"""Query engine tests, including the Fig. 2 query shape."""
+
+import pytest
+
+from repro.meta.ast_api import Ast
+from repro.meta.ast_nodes import Assign, Call, ForStmt, FunctionDecl
+from repro.meta.query import (
+    Query, calls_in, free_variables, loops_in, outermost_loops, query,
+    written_arrays,
+)
+
+SOURCE = """
+void knl(double* out, const double* x, int n) {
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < 4; j++) {
+            s += sqrt(x[i * 4 + j]);
+        }
+        out[i] = s;
+    }
+}
+
+int main() {
+    int n = 8;
+    double out[8];
+    double x[32];
+    for (int i = 0; i < 32; i++) {
+        x[i] = 1.0;
+    }
+    knl(out, x, n);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def ast():
+    return Ast(SOURCE)
+
+
+def test_fig2_query_outermost_kernel_loops(ast):
+    """The exact query of Fig. 2: outermost for-loops in the kernel."""
+    matches = (ast.query()
+               .row("loop", ForStmt)
+               .row("fn", FunctionDecl)
+               .where(lambda loop, fn: fn.name == "knl"
+                      and fn.encloses(loop)
+                      and loop.is_outermost)
+               .all())
+    assert len(matches) == 1
+    assert matches[0].loop.loop_var() == "i"
+    assert matches[0].fn.name == "knl"
+
+
+def test_query_excludes_nested_and_other_functions(ast):
+    # nested j-loop and main's loop must not match
+    loops = ast.outermost_loops("knl")
+    assert len(loops) == 1
+
+
+def test_query_first_and_count(ast):
+    q = Query(ast.unit).row("fn", FunctionDecl)
+    assert q.count() == 2
+    assert q.first() is not None
+
+
+def test_query_no_match(ast):
+    q = (Query(ast.unit).row("fn", FunctionDecl)
+         .where(lambda fn: fn.name == "missing"))
+    assert q.all() == []
+    assert q.first() is None
+
+
+def test_one_shot_query_helper(ast):
+    matches = query(ast.unit, ("call", Call),
+                    where=lambda c: c.name == "knl")
+    assert len(matches) == 1
+
+
+def test_match_attribute_access(ast):
+    match = (Query(ast.unit).row("fn", FunctionDecl).first())
+    assert match.fn is match["fn"]
+    with pytest.raises(AttributeError):
+        match.nope
+
+
+def test_loops_in_and_calls_in(ast):
+    fn = ast.function("knl")
+    assert len(loops_in(fn)) == 2
+    assert [c.name for c in calls_in(fn)] == ["sqrt"]
+    assert calls_in(ast.unit, "knl")[0].name == "knl"
+
+
+def test_free_variables_of_kernel_loop(ast):
+    loop = ast.outermost_loops("knl")[0]
+    free = free_variables(loop)
+    # i, j, s are declared inside the loop; out, x, n come from outside
+    assert free == ["n", "x", "out"]
+
+
+def test_free_variables_respects_declared_param(ast):
+    loop = ast.outermost_loops("knl")[0]
+    free = free_variables(loop, declared=("n",))
+    assert "n" not in free
+
+
+def test_written_arrays(ast):
+    fn = ast.function("knl")
+    assert written_arrays(fn) == ["out"]
+
+
+def test_outermost_loops_helper(ast):
+    assert len(outermost_loops(ast.function("main"))) == 1

@@ -1,0 +1,163 @@
+"""Unparser tests: readability, round-trip stability, precedence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meta.ast_api import Ast
+from repro.meta.parser import parse_expr, parse_stmt
+from repro.meta.unparse import count_loc, unparse, unparse_expr
+
+ROUND_TRIP_SOURCES = [
+    "int main() { return 0; }",
+    """
+    double f(const double* a, int n) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) {
+            s += a[i] * a[i];
+        }
+        return sqrt(s);
+    }
+    """,
+    """
+    int main() {
+        int x = 3;
+        if (x > 2) {
+            x = x - 1;
+        } else if (x > 1) {
+            x = 0;
+        } else {
+            x = 10;
+        }
+        while (x < 5)
+            x++;
+        do {
+            x--;
+        } while (x > 0);
+        return x;
+    }
+    """,
+    """
+    void k(float* y, const float* x, int n) {
+        #pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            y[i] = x[i] > 0.0f ? x[i] : -x[i];
+        }
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip_fixed_point(source):
+    """unparse(parse(unparse(parse(s)))) == unparse(parse(s))."""
+    once = Ast(source).source
+    twice = Ast(once).source
+    assert once == twice
+
+
+EXPRESSIONS = [
+    "a + b * c",
+    "(a + b) * c",
+    "a - (b - c)",
+    "-(a + b)",
+    "a / b / c",
+    "a / (b / c)",
+    "x = y = z",
+    "a < b && c > d || e == f",
+    "!(a && b)",
+    "f(a, b + 1)[2]",
+    "p[i * 4 + j]",
+    "a ? b : c ? d : e",
+    "(a ? b : c) * 2",
+    "(double)(x + 1)",
+    "x += y * (z - 1)",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_expression_semantics_preserved(text):
+    """Re-parsing the rendered expression yields the same rendering."""
+    rendered = unparse_expr(parse_expr(text))
+    assert unparse_expr(parse_expr(rendered)) == rendered
+
+
+def test_minimal_parentheses():
+    assert unparse_expr(parse_expr("a + b * c")) == "a + b * c"
+    assert unparse_expr(parse_expr("(a + b) * c")) == "(a + b) * c"
+    assert unparse_expr(parse_expr("a - (b + c)")) == "a - (b + c)"
+
+
+def test_float_spelling_preserved():
+    assert unparse_expr(parse_expr("1.5e-3")) == "1.5e-3"
+    assert unparse_expr(parse_expr("2.0f")) == "2.0f"
+
+
+def test_knr_brace_style():
+    text = unparse(parse_stmt("for (int i = 0; i < 4; i++) { x += i; }"))
+    assert text.splitlines()[0] == "for (int i = 0; i < 4; i++) {"
+
+
+def test_pragma_printed_before_loop():
+    stmt = parse_stmt("#pragma unroll 4\nfor (int i = 0; i < 4; i++) ;")
+    lines = unparse(stmt).splitlines()
+    assert lines[0] == "#pragma unroll 4"
+    assert lines[1].startswith("for")
+
+
+def test_else_if_chain_stays_flat():
+    source = """
+    int f(int x) {
+        if (x > 2) {
+            return 2;
+        } else if (x > 1) {
+            return 1;
+        } else {
+            return 0;
+        }
+    }
+    """
+    text = Ast(source).source
+    assert "} else if (x > 1) {" not in text  # our style: else on own line
+    assert "else if (x > 1) {" in text
+
+
+class TestCountLoc:
+    def test_skips_blanks_and_comments(self):
+        text = "int x;\n\n// comment\n  // another\ny = 1;\n"
+        assert count_loc(text) == 2
+
+    def test_counts_pragmas(self):
+        assert count_loc("#pragma omp parallel for\nfor(;;) ;") == 2
+
+    def test_empty(self):
+        assert count_loc("") == 0
+
+
+# -- property-based round trip over generated arithmetic expressions ----
+
+names = st.sampled_from(["a", "b", "c", "x1", "tmp"])
+ints = st.integers(min_value=0, max_value=999)
+
+
+def exprs(depth):
+    if depth == 0:
+        return st.one_of(names, ints.map(str))
+    sub = exprs(depth - 1)
+    return st.one_of(
+        names,
+        ints.map(str),
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "/"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        sub.map(lambda e: f"-({e})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(({t[0]}) ? ({t[1]}) : ({t[2]}))"),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs(3))
+def test_expression_round_trip_property(text):
+    """Any generated expression re-renders to a fixed point."""
+    rendered = unparse_expr(parse_expr(text))
+    again = unparse_expr(parse_expr(rendered))
+    assert rendered == again

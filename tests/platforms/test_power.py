@@ -1,0 +1,73 @@
+"""Power/energy model tests (SS IV-D extension)."""
+
+import pytest
+
+from repro.platforms.power import (
+    DEFAULT_UTILIZATION, POWER_SPECS, PowerSpec, energy_efficiency_ratio,
+    energy_joules, power_spec,
+)
+
+
+class TestPowerSpec:
+    def test_draw_interpolates(self):
+        spec = PowerSpec("x", idle_w=50.0, peak_w=250.0)
+        assert spec.draw_w(0.0) == 50.0
+        assert spec.draw_w(1.0) == 250.0
+        assert spec.draw_w(0.5) == 150.0
+
+    def test_draw_clamps(self):
+        spec = PowerSpec("x", idle_w=50.0, peak_w=250.0)
+        assert spec.draw_w(-1.0) == 50.0
+        assert spec.draw_w(2.0) == 250.0
+
+    def test_all_devices_have_specs(self):
+        for device in ("epyc7543", "gtx1080ti", "rtx2080ti",
+                       "arria10", "stratix10"):
+            spec = power_spec(device)
+            assert 0 < spec.idle_w < spec.peak_w
+
+    def test_fpga_envelopes_far_below_gpu(self):
+        assert POWER_SPECS["arria10"].peak_w < POWER_SPECS["gtx1080ti"].peak_w / 3
+        assert POWER_SPECS["stratix10"].peak_w < POWER_SPECS["rtx2080ti"].peak_w / 2
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            power_spec("asic9000")
+
+
+class TestEnergy:
+    def test_energy_linear_in_time(self):
+        one = energy_joules("rtx2080ti", 1.0, utilization=0.5)
+        ten = energy_joules("rtx2080ti", 10.0, utilization=0.5)
+        assert ten == pytest.approx(10 * one)
+
+    def test_kind_defaults_applied(self):
+        assert DEFAULT_UTILIZATION["cpu-omp"] > DEFAULT_UTILIZATION["fpga-oneapi"]
+        omp = energy_joules("epyc7543", 1.0, kind="cpu-omp")
+        assert omp == pytest.approx(
+            power_spec("epyc7543").draw_w(DEFAULT_UTILIZATION["cpu-omp"]))
+
+    def test_slow_fpga_can_still_win_energy(self):
+        """An FPGA 2x slower than a GPU still uses less energy."""
+        ratio = energy_efficiency_ratio("stratix10", 2.0,
+                                        "rtx2080ti", 1.0,
+                                        util_a=0.6, util_b=0.75)
+        assert ratio < 1.0
+
+
+class TestEnergyHarness:
+    def test_energy_rows(self, runner):
+        from repro.evalharness.energy import render_energy, run_energy
+
+        rows = run_energy(runner)
+        assert len(rows) == 5
+        by_app = {r.app: r for r in rows}
+        # Rush Larsen has no FPGA designs: n/a cells
+        assert by_app["rush_larsen"].energy_j["oneapi-a10"] is None
+        # K-Means: fastest is OMP but the Stratix10 sips power --
+        # exactly the SS IV-D "more nuanced mapping" phenomenon
+        assert by_app["kmeans"].fastest == "omp"
+        assert by_app["kmeans"].most_efficient.startswith("oneapi")
+        assert by_app["kmeans"].efficiency_differs_from_speed
+        text = render_energy(rows)
+        assert "most efficient" in text

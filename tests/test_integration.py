@@ -1,0 +1,118 @@
+"""Cross-cutting integration tests: the paper's headline claims, and
+functional correctness of every generated design.
+
+The strongest check in the suite: every synthesizable design's kernel
+(after extraction, scalarisation, SP demotion, intrinsic rewriting,
+unroll pragmas...) is *executed* under the interpreter against the
+application workload and compared with the numpy oracle.  The whole
+transform pipeline must preserve semantics, per application, per
+target, per device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.apps.registry import PAPER_ORDER
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_every_generated_design_is_functionally_correct(
+        app_name, all_uninformed):
+    app = get_app(app_name)
+    expected = app.oracle(app.workload())
+    for design in all_uninformed[app_name].designs:
+        workload = app.workload()
+        design.ast.execute(workload)
+        for buffer_name in app.output_buffers:
+            got = np.asarray(workload.result(buffer_name), dtype=float)
+            want = np.asarray(expected[buffer_name], dtype=float)
+            assert np.allclose(got, want, rtol=1e-9, atol=1e-9), \
+                (design.label, buffer_name)
+
+
+def test_single_source_many_designs(all_uninformed):
+    """The abstract's claim: one high-level source, five implementations
+    per app, 25 designs total (two unsynthesizable)."""
+    designs = [d for result in all_uninformed.values()
+               for d in result.designs]
+    assert len(designs) == 25
+    unsynthesizable = [d for d in designs if not d.synthesizable]
+    assert len(unsynthesizable) == 2
+    assert all(d.app_name == "rush_larsen" for d in unsynthesizable)
+
+
+def test_abstract_speedup_bands(all_uninformed):
+    """'speedups of up to 30x for OpenMP, 32x for oneAPI CPU+FPGA, and
+    779x for HIP CPU+GPU' -- our bands land in the same regime."""
+    omp_best = max(r.design("omp").speedup
+                   for r in all_uninformed.values())
+    fpga_best = max(d.speedup for r in all_uninformed.values()
+                    for d in r.designs
+                    if d.kind == "fpga-oneapi" and d.synthesizable)
+    gpu_best = max(d.speedup for r in all_uninformed.values()
+                   for d in r.designs if d.kind == "gpu-hip")
+    assert 25 <= omp_best <= 35          # paper: up to 30x
+    assert 20 <= fpga_best <= 45         # paper: up to 32x
+    assert 400 <= gpu_best <= 1100       # paper: up to 751x/779x
+
+    # the GPU headline comes from N-Body on the 2080 Ti
+    nbody = all_uninformed["nbody"]
+    assert nbody.design("hip-2080ti").speedup == pytest.approx(gpu_best)
+
+
+def test_designs_are_human_readable(all_uninformed):
+    """§III: 'output implementations are human-readable and can be
+    further hand-tuned'.  The kernel-side code of every design must
+    re-parse under the same front end (RawStmt host code excluded by
+    construction: kernels stay in the UHL subset)."""
+    from repro.meta.ast_api import Ast
+    from repro.meta.unparse import unparse
+
+    for result in all_uninformed.values():
+        for design in result.designs:
+            kernel = design.ast.function(design.kernel_name)
+            text = unparse(kernel)
+            reparsed = Ast(text)
+            assert reparsed.has_function(design.kernel_name)
+
+
+def test_informed_flow_is_strict_subset_of_uninformed(
+        all_informed, all_uninformed):
+    """Informed mode runs the same flow; its designs must agree exactly
+    with the corresponding uninformed designs (same metadata, same
+    predicted performance)."""
+    for name, informed in all_informed.items():
+        for design in informed.designs:
+            label = design.metadata.get("device_label")
+            twin = all_uninformed[name].design(label)
+            assert twin is not None
+            if design.synthesizable:
+                assert design.speedup == pytest.approx(twin.speedup,
+                                                       rel=1e-9)
+                assert design.metadata.get("blocksize") == \
+                    twin.metadata.get("blocksize")
+                assert design.metadata.get("unroll_factor") == \
+                    twin.metadata.get("unroll_factor")
+
+
+def test_flow_runs_are_deterministic():
+    """Two independent engine runs produce identical numbers."""
+    from repro.flow.engine import FlowEngine
+
+    app = get_app("adpredictor")
+    first = FlowEngine().run(app, mode="informed")
+    second = FlowEngine().run(app, mode="informed")
+    assert first.selected_target == second.selected_target
+    assert first.reference_time_s == second.reference_time_s
+    assert [d.speedup for d in first.designs] == \
+        [d.speedup for d in second.designs]
+
+
+def test_reference_source_never_mutated(all_uninformed):
+    """Flows work on clones; the registered app sources stay pristine."""
+    for name in PAPER_ORDER:
+        app = get_app(name)
+        assert "hotspot_kernel" not in app.source
+        assert "#pragma omp" not in app.source
+        assert "__acc_" not in app.source

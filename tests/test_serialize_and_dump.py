@@ -1,0 +1,96 @@
+"""Flow-result serialization and AST dumper tests."""
+
+import json
+
+import pytest
+
+from repro.flow.serialize import (
+    design_to_dict, dump_result, dumps_result, result_to_dict,
+)
+from repro.meta import Ast
+from repro.meta.dump import dump
+
+
+class TestSerialize:
+    def test_round_trips_through_json(self, kmeans_uninformed):
+        text = dumps_result(kmeans_uninformed)
+        data = json.loads(text)
+        assert data["app"] == "kmeans"
+        assert data["mode"] == "uninformed"
+        assert len(data["designs"]) == 5
+
+    def test_design_fields(self, kmeans_uninformed):
+        data = result_to_dict(kmeans_uninformed)
+        omp = [d for d in data["designs"]
+               if d["metadata"]["device_label"] == "omp"][0]
+        assert omp["synthesizable"] is True
+        assert omp["speedup"] > 1
+        assert omp["loc_delta_pct"] > 0
+        assert any(b["name"] == "points" for b in omp["buffers"])
+
+    def test_hls_report_serialized(self, kmeans_uninformed):
+        data = result_to_dict(kmeans_uninformed)
+        s10 = [d for d in data["designs"]
+               if d["metadata"]["device_label"] == "oneapi-s10"][0]
+        report = s10["metadata"]["hls_report"]
+        assert report["device"] == "stratix10"
+        assert report["fitted"] is True
+        assert 0 < report["alm_utilization"] < 1
+
+    def test_decisions_and_profile(self, kmeans_informed):
+        data = result_to_dict(kmeans_informed)
+        assert data["decisions"]["psa:A"]["selected"] == ["omp"]
+        assert data["kernel_profile"]["outer_parallel"] is True
+        assert data["selected_target"] == "omp"
+
+    def test_sources_optional(self, kmeans_informed):
+        without = result_to_dict(kmeans_informed)
+        with_src = result_to_dict(kmeans_informed, include_sources=True)
+        assert "source" not in without["designs"][0]
+        assert "#pragma omp parallel for" in with_src["designs"][0]["source"]
+
+    def test_dump_to_file(self, tmp_path, kmeans_informed):
+        path = str(tmp_path / "result.json")
+        dump_result(kmeans_informed, path)
+        data = json.loads(open(path).read())
+        assert data["app"] == "kmeans"
+
+
+class TestDump:
+    SOURCE = """
+    int main() {
+        double s = 0.0;
+        #pragma unroll 4
+        for (int i = 0; i < 4; i++) {
+            s += sqrt(1.0 * i);
+        }
+        return (int)s;
+    }
+    """
+
+    def test_structure(self):
+        text = dump(Ast(self.SOURCE).unit)
+        lines = text.splitlines()
+        assert lines[0] == "TranslationUnit"
+        assert any("FunctionDecl main() -> int" in l for l in lines)
+        assert any("ForStmt var=i" in l for l in lines)
+        assert any("Call sqrt(...)" in l for l in lines)
+        assert any("#pragma unroll 4" in l for l in lines)
+
+    def test_indentation_reflects_nesting(self):
+        text = dump(Ast(self.SOURCE).unit)
+        fn_line = [l for l in text.splitlines() if "FunctionDecl" in l][0]
+        for_line = [l for l in text.splitlines() if "ForStmt" in l][0]
+        assert len(for_line) - len(for_line.lstrip()) \
+            > len(fn_line) - len(fn_line.lstrip())
+
+    def test_max_depth_elides(self):
+        text = dump(Ast(self.SOURCE).unit, max_depth=1)
+        assert "..." in text
+        assert "ForStmt" not in text
+
+    def test_expression_annotations(self):
+        text = dump(Ast("int main() { return 1 + 2 * 3; }").unit)
+        assert "BinaryOp +" in text
+        assert "BinaryOp *" in text
+        assert "IntLit 3" in text

@@ -1,0 +1,168 @@
+"""Simulated toolchain tests: gcc warnings, hipcc register estimation,
+dpcpp HLS resource/II reports."""
+
+import pytest
+
+from repro.meta.ast_api import Ast
+from repro.toolchains import DpcppToolchain, GccToolchain, HipccToolchain
+from repro.toolchains.hipcc import REGISTER_CAP, estimate_registers
+from repro.transforms.unroll import set_unroll_pragma
+
+SIMPLE_KERNEL = """
+void knl(float* out, const float* x, int n) {
+    for (int i = 0; i < n; i++) {
+        float t = x[i];
+        out[i] = t * t + 1.0f;
+    }
+}
+"""
+
+EXP_HEAVY_KERNEL_TEMPLATE = """
+void knl(double* out, const double* x, int n) {{
+    for (int i = 0; i < n; i++) {{
+        double v = x[i];
+{body}
+        out[i] = v;
+    }}
+}}
+"""
+
+
+def exp_heavy_kernel(count):
+    body = "\n".join(
+        f"        double t{k} = exp(v * {k + 1}.0);" for k in range(count))
+    body += "\n        v = " + " + ".join(f"t{k}" for k in range(count)) + ";"
+    return EXP_HEAVY_KERNEL_TEMPLATE.format(body=body)
+
+
+class TestGcc:
+    def test_clean_compile(self):
+        report = GccToolchain().compile(Ast(SIMPLE_KERNEL))
+        assert report.success and report.openmp_pragmas == 0
+
+    def test_counts_omp_pragmas_and_warns(self):
+        ast = Ast(SIMPLE_KERNEL)
+        loop = ast.function("knl").loops()[0]
+        from repro.meta.instrument import insert_pragma
+
+        insert_pragma(loop, "omp parallel for")
+        report = GccToolchain().compile(ast, openmp=False)
+        assert report.openmp_pragmas == 1
+        assert any("fopenmp" in w for w in report.warnings)
+        assert not GccToolchain().compile(ast, openmp=True).warnings
+
+
+class TestHipcc:
+    def test_small_kernel_few_registers(self):
+        report = HipccToolchain().compile(Ast(SIMPLE_KERNEL), "knl")
+        assert report.success
+        assert report.registers_per_thread < 64
+        assert not report.spilled
+
+    def test_register_growth_with_body_size(self):
+        small = HipccToolchain().compile(Ast(exp_heavy_kernel(4)), "knl")
+        big = HipccToolchain().compile(Ast(exp_heavy_kernel(20)), "knl")
+        assert big.registers_per_thread > small.registers_per_thread
+
+    def test_register_cap_and_spill(self):
+        report = HipccToolchain().compile(Ast(exp_heavy_kernel(60)), "knl")
+        assert report.registers_per_thread == REGISTER_CAP
+        assert report.spilled
+
+    def test_intrinsics_detected(self):
+        source = SIMPLE_KERNEL.replace("t * t + 1.0f", "__expf(t)")
+        report = HipccToolchain().compile(Ast(source), "knl")
+        assert report.uses_intrinsics
+
+    def test_estimate_registers_helper(self):
+        ast = Ast(SIMPLE_KERNEL)
+        assert estimate_registers(ast.function("knl")) >= 16
+
+
+class TestDpcpp:
+    def test_report_fields(self):
+        report = DpcppToolchain().partial_compile(
+            Ast(SIMPLE_KERNEL), "knl", "arria10")
+        assert report.device == "arria10"
+        assert 0 < report.alm_utilization < 1
+        assert report.fmax_mhz == 230.0
+        assert report.fitted
+
+    def test_unroll_scales_resources(self):
+        ast = Ast(SIMPLE_KERNEL)
+        tool = DpcppToolchain()
+        base = tool.partial_compile(ast, "knl", "stratix10")
+        for loop in ast.function("knl").outermost_loops():
+            set_unroll_pragma(loop, 8)
+        unrolled = tool.partial_compile(ast, "knl", "stratix10")
+        assert unrolled.alms_used > base.alms_used
+        assert unrolled.unroll_factor == 8
+
+    def test_dp_costs_more_than_sp(self):
+        sp = DpcppToolchain().partial_compile(
+            Ast(SIMPLE_KERNEL), "knl", "arria10")
+        dp_source = SIMPLE_KERNEL.replace("float", "double").replace(
+            "1.0f", "1.0")
+        dp = DpcppToolchain().partial_compile(Ast(dp_source), "knl", "arria10")
+        assert dp.alms_used > sp.alms_used
+
+    def test_exp_heavy_kernel_overmaps_arria10(self):
+        """The Rush Larsen mechanism: elementary functions eat the fabric."""
+        report = DpcppToolchain().partial_compile(
+            Ast(exp_heavy_kernel(40)), "knl", "arria10")
+        assert report.overmapped
+
+    def test_rmw_raises_ii(self):
+        source = """
+        void knl(double* a, const double* b, int n) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 8; j++) {
+                    a[i] += b[i * 8 + j];
+                }
+            }
+        }
+        """
+        report = DpcppToolchain().partial_compile(Ast(source), "knl",
+                                                  "stratix10")
+        assert report.ii > 1
+        assert any("Remove Array" in w for w in report.warnings)
+
+    def test_variable_inner_loop_blocks_outer_unroll(self):
+        source = """
+        void knl(double* a, const double* b, int n) {
+            for (int i = 0; i < n; i++) {
+                double s = 0.0;
+                for (int j = 0; j < n; j++) {
+                    s += b[j];
+                }
+                a[i] = s;
+            }
+        }
+        """
+        ast = Ast(source)
+        for loop in ast.function("knl").outermost_loops():
+            set_unroll_pragma(loop, 16)
+        report = DpcppToolchain().partial_compile(ast, "knl", "stratix10")
+        assert report.unroll_factor == 1
+        assert report.variable_inner_loop
+        assert any("ignored" in w for w in report.warnings)
+
+    def test_local_arrays_cheaper_than_buffers(self):
+        with_buffer = """
+        void knl(double* a, const double* t, int n) {
+            for (int i = 0; i < n; i++) {
+                #pragma unroll 8
+                for (int j = 0; j < 8; j++) {
+                    a[i * 8 + j] = t[j] * 2.0;
+                }
+            }
+        }
+        """
+        with_local = with_buffer.replace(
+            "const double* t, int n) {",
+            "int n) {\n    double t[8];")
+        buffered = DpcppToolchain().partial_compile(
+            Ast(with_buffer), "knl", "stratix10")
+        local = DpcppToolchain().partial_compile(
+            Ast(with_local), "knl", "stratix10")
+        assert local.alms_used < buffered.alms_used

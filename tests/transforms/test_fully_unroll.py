@@ -1,0 +1,154 @@
+"""Textual loop unrolling tests, including a property-based semantics
+check against the original loop."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.meta.ast_api import Ast
+from repro.transforms import UnrollError, fully_unroll
+
+
+def run_return(source):
+    return Ast(source).execute().return_value
+
+
+class TestFullyUnroll:
+    def test_basic(self):
+        ast = Ast("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                s += i;
+            }
+            return s;
+        }
+        """)
+        fully_unroll(ast.function("main").loops()[0])
+        assert "for (" not in ast.source
+        assert ast.execute().return_value == 6
+
+    def test_step_and_start(self):
+        ast = Ast("""
+        int main() {
+            int s = 0;
+            for (int i = 3; i <= 11; i += 4) {
+                s += i;
+            }
+            return s;
+        }
+        """)
+        fully_unroll(ast.function("main").loops()[0])
+        assert ast.execute().return_value == 3 + 7 + 11
+
+    def test_locals_renamed_per_copy(self):
+        ast = Ast("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) {
+                int d = i * 2;
+                s += d;
+            }
+            return s;
+        }
+        """)
+        fully_unroll(ast.function("main").loops()[0])
+        text = ast.source
+        assert "d_u0" in text and "d_u1" in text and "d_u2" in text
+        assert ast.execute().return_value == 6
+
+    def test_arrays_and_inner_structures_survive(self):
+        source = """
+        int main() {
+            double a[8];
+            double total = 0.0;
+            for (int i = 0; i < 8; i++) {
+                a[i] = i * 0.5;
+            }
+            for (int i = 0; i < 8; i++) {
+                if (i % 2 == 0) {
+                    total += a[i];
+                }
+            }
+            return (int)total;
+        }
+        """
+        reference = run_return(source)
+        ast = Ast(source)
+        for loop in list(ast.function("main").outermost_loops()):
+            fully_unroll(loop)
+        assert ast.execute().return_value == reference
+
+    def test_variable_bound_rejected(self):
+        ast = Ast("""
+        int main() {
+            int n = 4;
+            int s = 0;
+            for (int i = 0; i < n; i++) s += i;
+            return s;
+        }
+        """)
+        with pytest.raises(UnrollError):
+            fully_unroll(ast.function("main").loops()[0])
+
+    def test_break_rejected(self):
+        ast = Ast("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                if (i == 2) break;
+                s += i;
+            }
+            return s;
+        }
+        """)
+        with pytest.raises(UnrollError):
+            fully_unroll(ast.function("main").loops()[0])
+
+    def test_induction_write_rejected(self):
+        ast = Ast("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                i = i + 0;
+                s += 1;
+            }
+            return s;
+        }
+        """)
+        with pytest.raises(UnrollError):
+            fully_unroll(ast.function("main").loops()[0])
+
+    def test_zero_trip_loop_removed(self):
+        ast = Ast("""
+        int main() {
+            int s = 7;
+            for (int i = 5; i < 2; i++) {
+                s = 0;
+            }
+            return s;
+        }
+        """)
+        fully_unroll(ast.function("main").loops()[0])
+        assert "for (" not in ast.source
+        assert ast.execute().return_value == 7
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=st.integers(0, 5), count=st.integers(1, 8),
+       step=st.integers(1, 3), scale=st.integers(-4, 4))
+def test_unroll_semantics_property(start, count, step, scale):
+    """Unrolled code computes exactly what the loop computed."""
+    bound = start + count * step
+    source = f"""
+    int main() {{
+        int s = 0;
+        for (int i = {start}; i < {bound}; i += {step}) {{
+            s += i * {scale} + 1;
+        }}
+        return s;
+    }}
+    """
+    reference = run_return(source)
+    ast = Ast(source)
+    fully_unroll(ast.function("main").loops()[0])
+    assert ast.execute().return_value == reference
