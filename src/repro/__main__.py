@@ -4,6 +4,11 @@
     python -m repro run <app> [--mode informed|uninformed]
                              [--export-dir DIR] [--trace]
     python -m repro eval <fig5|table1|fig6|table2|energy|report|all>
+    python -m repro batch [--all | --apps a,b] [--modes m1,m2]
+                          [--jobs N] [--cache-dir DIR] [--pool auto]
+                          [--timeout S] [--retries N]
+                          [--telemetry] [--json PATH]
+    python -m repro service <stats|ls|purge> --cache-dir DIR
 """
 
 from __future__ import annotations
@@ -68,6 +73,104 @@ def cmd_eval(args) -> int:
     return eval_main([args.experiment])
 
 
+def cmd_batch(args) -> int:
+    import json as _json
+
+    from repro.service import (
+        DesignService, JobValidationError, expand_jobs, run_batch,
+    )
+
+    apps = args.apps.split(",") if args.apps else None
+    modes = args.modes.split(",") if args.modes else None
+    if not args.all and apps is None:
+        print("batch: select work with --all or --apps a,b "
+              "(optionally --modes informed,uninformed)")
+        return 2
+    if args.jobs < 1:
+        print(f"batch: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    job_kwargs = {}
+    if args.timeout is not None:
+        job_kwargs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        job_kwargs["retries"] = args.retries
+    try:
+        jobs = expand_jobs(apps, modes, **job_kwargs)
+    except (KeyError, JobValidationError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"batch: {message}", file=sys.stderr)
+        return 2
+
+    def show(item):
+        if item.ok:
+            best = (f"best {item.best_speedup:7.1f}x ({item.best_label})"
+                    if item.best_speedup is not None
+                    else "no synthesizable design")
+            print(f"[{item.source:12s}] {item.job.label:26s} {best}"
+                  f"{item.wall_s:8.2f}s")
+        else:
+            print(f"[{item.source:12s}] {item.job.label:26s} "
+                  f"FAILED: {item.error}")
+
+    with DesignService(cache_dir=args.cache_dir, workers=args.jobs,
+                       pool=args.pool) as service:
+        if service.scheduler.fallback_note:
+            print(f"note: {service.scheduler.fallback_note}")
+        print(f"batch: {len(jobs)} jobs on {args.jobs} "
+              f"{service.scheduler.mode} worker(s)"
+              + (f", cache at {args.cache_dir}" if args.cache_dir else ""))
+        report = run_batch(service, jobs, on_item=show)
+        counters = service.telemetry.counters
+        print(f"done: {len(report.items) - len(report.failed)}/"
+              f"{len(report.items)} ok | "
+              f"cache hits {service.telemetry.cache_hits} "
+              f"(disk {counters['cache_hit_disk']}, "
+              f"memory {counters['cache_hit_memory']}) | "
+              f"misses {counters['cache_miss']} | "
+              f"runs {counters['jobs_run']}")
+        if args.telemetry:
+            print()
+            print(service.telemetry.render_ascii())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(service.telemetry.to_dict(), fh, indent=2)
+            print(f"telemetry JSON written to {args.json}")
+    return 0 if report.ok else 1
+
+
+def cmd_service(args) -> int:
+    from repro.service import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        entries = list(cache.entries())
+        print(f"cache at {cache.root}")
+        print(f"entries: {len(entries)}   "
+              f"size: {cache.size_bytes() / 1024:.1f} KiB")
+        by_app = {}
+        for entry in entries:
+            job = entry.get("job") or {}
+            label = f"{job.get('app', '?')}/{job.get('mode', '?')}"
+            by_app[label] = by_app.get(label, 0) + 1
+        for label in sorted(by_app):
+            print(f"  {label:26s} {by_app[label]} entry(ies)")
+    elif args.action == "ls":
+        for entry in cache.entries():
+            job = entry.get("job") or {}
+            designs = (entry.get("result") or {}).get("designs") or []
+            speedups = [d.get("speedup") for d in designs
+                        if d.get("speedup") is not None]
+            best = f"{max(speedups):8.1f}x" if speedups else "     n/a"
+            print(f"{entry.get('key', '?')[:12]}  "
+                  f"{job.get('app', '?'):12s} {job.get('mode', '?'):11s} "
+                  f"{len(designs)} designs  best {best}")
+    elif args.action == "purge":
+        removed = cache.purge()
+        print(f"purged {removed} entry(ies) from {cache.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -96,12 +199,54 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("fig5", "table1", "fig6", "table2",
                              "energy", "report", "all"))
     ev.set_defaults(func=cmd_eval)
+
+    batch = sub.add_parser(
+        "batch", help="run many PSA-flows through the design service")
+    batch.add_argument("--all", action="store_true",
+                       help="all apps x all modes (10 jobs)")
+    batch.add_argument("--apps", default=None, metavar="A,B",
+                       help="comma-separated app subset")
+    batch.add_argument("--modes", default=None, metavar="M1,M2",
+                       help="comma-separated mode subset "
+                            "(informed,uninformed)")
+    batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker count (default 1)")
+    batch.add_argument("--pool", choices=("auto", "thread", "process"),
+                       default="auto",
+                       help="worker pool kind (auto: processes when "
+                            "--jobs > 1, thread fallback)")
+    batch.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache directory")
+    batch.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job attempt timeout in seconds")
+    batch.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry failed/timed-out jobs up to N times")
+    batch.add_argument("--telemetry", action="store_true",
+                       help="print the fleet telemetry report")
+    batch.add_argument("--json", default=None, metavar="PATH",
+                       help="dump fleet telemetry as JSON")
+    batch.set_defaults(func=cmd_batch)
+
+    svc = sub.add_parser(
+        "service", help="inspect/maintain the persistent result cache")
+    svc.add_argument("action", choices=("stats", "ls", "purge"))
+    svc.add_argument("--cache-dir", required=True, metavar="DIR")
+    svc.set_defaults(func=cmd_service)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # e.g. `... service ls | head`; die quietly like other CLIs
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

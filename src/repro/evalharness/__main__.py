@@ -7,7 +7,7 @@ import sys
 from repro.evalharness.energy import render_energy, run_energy
 from repro.evalharness.fig5 import render_fig5, run_fig5
 from repro.evalharness.fig6 import render_fig6, run_fig6
-from repro.evalharness.runner import EvaluationRunner
+from repro.evalharness.runner import shared_runner
 from repro.evalharness.table1 import render_table1, run_table1
 from repro.evalharness.report import write_report
 from repro.evalharness.table2 import render_table2
@@ -31,7 +31,7 @@ def main(argv=None) -> int:
         print(USAGE)
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     which = argv[0]
-    runner = EvaluationRunner()
+    runner = shared_runner()
     if which == "fig5":
         print(render_fig5(run_fig5(runner)))
     elif which == "table1":

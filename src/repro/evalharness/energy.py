@@ -16,7 +16,9 @@ from typing import Dict, List, Optional
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import table
-from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
+from repro.evalharness.runner import (
+    DESIGN_LABELS, EvaluationRunner, shared_runner,
+)
 from repro.platforms.power import energy_joules
 
 
@@ -35,7 +37,7 @@ class EnergyRow:
 
 
 def run_energy(runner: Optional[EvaluationRunner] = None) -> List[EnergyRow]:
-    runner = runner or EvaluationRunner()
+    runner = runner or shared_runner()
     rows: List[EnergyRow] = []
     for app_name in runner.all_apps():
         result = runner.uninformed(app_name)

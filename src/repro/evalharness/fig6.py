@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import table
-from repro.evalharness.runner import EvaluationRunner
+from repro.evalharness.runner import EvaluationRunner, shared_runner
 from repro.flow.cost import CostEvaluator
 
 #: apps shown in the paper's Fig. 6
@@ -58,7 +58,7 @@ class Fig6Row:
 
 
 def run_fig6(runner: Optional[EvaluationRunner] = None) -> List[Fig6Row]:
-    runner = runner or EvaluationRunner()
+    runner = runner or shared_runner()
     evaluator = CostEvaluator()
     rows: List[Fig6Row] = []
     for app_name in FIG6_APPS:

@@ -1,17 +1,28 @@
-"""Shared flow execution with caching.
+"""Shared flow execution, backed by the design-generation service.
 
-Every experiment needs the same uninformed + informed flow runs over the
-five benchmarks; the runner executes each (app, mode) pair once and
-caches the :class:`FlowResult` so Fig. 5, Table I and Fig. 6 can be
-regenerated from one pass.
+Every experiment needs the same uninformed + informed flow runs over
+the five benchmarks.  The runner sits on :class:`DesignService`, so
+Fig. 5, Table I and Fig. 6 regeneration get in-flight dedup, optional
+parallel execution (``workers``/``REPRO_WORKERS``) and persistent
+cross-run caching (``cache_dir``/``REPRO_CACHE_DIR``) for free; with
+the defaults (one in-process worker, no cache dir) it behaves exactly
+like the old serial runner and returns live :class:`FlowResult`
+objects.
+
+The experiment modules (fig5/table1/fig6/energy/report) all route
+through :func:`shared_runner`, one process-wide instance, instead of
+each constructing their own -- identical flows are never re-run when
+several experiments are generated in one process.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import List, Optional
 
-from repro.apps.registry import ALL_APPS, PAPER_ORDER, get_app
-from repro.flow.engine import FlowEngine, FlowResult
+from repro.apps.registry import PAPER_ORDER
+from repro.flow.engine import FlowEngine
+from repro.service import DesignService
 
 #: Fig. 5 column order (after the Auto-Selected bar)
 DESIGN_LABELS = ("omp", "hip-1080ti", "hip-2080ti",
@@ -21,22 +32,36 @@ DESIGN_LABELS = ("omp", "hip-1080ti", "hip-2080ti",
 class EvaluationRunner:
     """Runs and caches PSA-flow executions for the evaluation."""
 
-    def __init__(self, engine: Optional[FlowEngine] = None):
-        self.engine = engine or FlowEngine()
-        self._cache: Dict[Tuple[str, str], FlowResult] = {}
+    def __init__(self, engine: Optional[FlowEngine] = None,
+                 service: Optional[DesignService] = None,
+                 cache_dir: Optional[str] = None,
+                 workers: Optional[int] = None):
+        if service is None:
+            if cache_dir is None:
+                cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+            if workers is None:
+                workers = int(os.environ.get("REPRO_WORKERS", "1"))
+            service = DesignService(engine=engine, cache_dir=cache_dir,
+                                    workers=workers)
+        self.service = service
+        self.engine = service.engine
 
-    def run(self, app_name: str, mode: str) -> FlowResult:
-        key = (app_name, mode)
-        result = self._cache.get(key)
-        if result is None:
-            result = self.engine.run(get_app(app_name), mode=mode)
-            self._cache[key] = result
-        return result
+    def run(self, app_name: str, mode: str):
+        return self.service.run_pair(app_name, mode)
 
-    def uninformed(self, app_name: str) -> FlowResult:
+    def prefetch(self, apps: Optional[List[str]] = None,
+                 modes: Optional[List[str]] = None) -> None:
+        """Warm every (app, mode) pair through the service's pool."""
+        from repro.service.batch import expand_jobs
+
+        for submission in self.service.submit_many(
+                expand_jobs(apps or self.all_apps(), modes)):
+            submission.result()
+
+    def uninformed(self, app_name: str):
         return self.run(app_name, "uninformed")
 
-    def informed(self, app_name: str) -> FlowResult:
+    def informed(self, app_name: str):
         return self.run(app_name, "informed")
 
     def all_apps(self) -> List[str]:
@@ -54,3 +79,26 @@ class EvaluationRunner:
         if design is None or not design.synthesizable:
             return None
         return design.predicted_time_s
+
+    def close(self) -> None:
+        self.service.close()
+
+
+#: process-wide runner every experiment module shares by default
+_SHARED: Optional[EvaluationRunner] = None
+
+
+def shared_runner() -> EvaluationRunner:
+    """The process-wide service-backed runner (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = EvaluationRunner()
+    return _SHARED
+
+
+def set_shared_runner(runner: Optional[EvaluationRunner]
+                      ) -> Optional[EvaluationRunner]:
+    """Swap the shared runner (tests, custom services); returns the old."""
+    global _SHARED
+    previous, _SHARED = _SHARED, runner
+    return previous

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import format_pct, table
-from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
+from repro.evalharness.runner import (
+    DESIGN_LABELS, EvaluationRunner, shared_runner,
+)
 
 #: the paper's Table I (percent added LOC; None = excluded/unavailable)
 PAPER_TABLE1: Dict[str, Dict[str, Optional[float]]] = {
@@ -52,7 +54,7 @@ class Table1Row:
 
 
 def run_table1(runner: Optional[EvaluationRunner] = None) -> List[Table1Row]:
-    runner = runner or EvaluationRunner()
+    runner = runner or shared_runner()
     rows: List[Table1Row] = []
     for app_name in runner.all_apps():
         app = get_app(app_name)

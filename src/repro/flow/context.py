@@ -28,6 +28,7 @@ from repro.toolchains.hipcc import count_kernel_pressure
 
 if TYPE_CHECKING:
     from repro.codegen.design import Design
+    from repro.flow.task import FlowObserver
 
 #: the Fig. 3 "can fully unroll?" threshold: a dependent inner nest up
 #: to this many unrolled iterations counts as fully unrollable
@@ -38,7 +39,8 @@ class FlowContext:
     """Shared state threaded through every task of one flow run."""
 
     def __init__(self, app: AppSpec, workload: Optional[Workload] = None,
-                 scale: float = 1.0):
+                 scale: float = 1.0,
+                 observer: Optional["FlowObserver"] = None):
         self.app = app
         self.ast: Ast = app.ast()
         self.workload = workload if workload is not None else app.workload(scale)
@@ -46,11 +48,28 @@ class FlowContext:
         self.designs: List["Design"] = []
         self.trace: List[str] = []
         self.design: Optional["Design"] = None  # current target branch design
+        self.observer = observer
         self._kernel_report: Optional[ExecReport] = None
 
     # ------------------------------------------------------------------
     def log(self, message: str) -> None:
         self.trace.append(message)
+
+    # ------------------------------------------------------------------
+    # Observer hooks (telemetry; no-ops when no observer is attached)
+    # ------------------------------------------------------------------
+    def notify_task_start(self, task) -> None:
+        if self.observer is not None:
+            self.observer.on_task_start(task, self)
+
+    def notify_task_end(self, task, wall_s: float,
+                        status: str = "ok") -> None:
+        if self.observer is not None:
+            self.observer.on_task_end(task, self, wall_s, status)
+
+    def notify_branch(self, decision) -> None:
+        if self.observer is not None:
+            self.observer.on_branch(decision, self)
 
     @property
     def kernel_name(self) -> str:
@@ -74,6 +93,7 @@ class FlowContext:
         child.designs = self.designs
         child.trace = self.trace
         child.design = None
+        child.observer = self.observer
         child._kernel_report = self._kernel_report
         return child
 

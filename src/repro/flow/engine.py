@@ -34,7 +34,7 @@ from repro.flow.repository import (
     RemoveArrayPlusEqualsDependency, SpecialiseForDevice, UnrollFixedLoops,
     ZeroCopyDataTransfer,
 )
-from repro.flow.task import FlowError, Task, TaskKind
+from repro.flow.task import FlowError, FlowObserver, Task, TaskKind
 from repro.lang.interpreter import Workload
 from repro.platforms.cpu import CPUModel
 from repro.platforms.fpga import FPGADesignPoint, FPGAModel
@@ -248,8 +248,10 @@ class FlowEngine:
 
     def run(self, app: AppSpec, mode: str = "informed",
             workload: Optional[Workload] = None,
-            scale: float = 1.0) -> FlowResult:
-        ctx = FlowContext(app, workload=workload, scale=scale)
+            scale: float = 1.0,
+            observer: Optional["FlowObserver"] = None) -> FlowResult:
+        ctx = FlowContext(app, workload=workload, scale=scale,
+                          observer=observer)
         ctx.log(f"=== PSA-flow for {app.display_name} (mode={mode}) ===")
         flow = build_default_flow(self.strategy_for(mode))
         flow.execute(ctx)

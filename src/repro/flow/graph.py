@@ -80,6 +80,7 @@ class BranchPoint(FlowNode):
         decision = self.strategy.select(ctx, self.name, list(self.paths))
         ctx.facts[f"psa:{self.name}"] = decision
         ctx.log(f"[PSA] {decision.explain()}")
+        ctx.notify_branch(decision)
         for path_name in decision.selected:
             branch_ctx = ctx.fork(path_name)
             # the branch inherits the in-flight design (device branches

@@ -10,14 +10,38 @@ on its AST / current design / accrued facts.
 from __future__ import annotations
 
 import enum
+import time
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.flow.context import FlowContext
+    from repro.flow.psa import PSADecision
 
 
 class FlowError(Exception):
     """A design-flow could not proceed (bad mapping, missing facts...)."""
+
+
+class FlowObserver:
+    """Hook interface for flow instrumentation (telemetry, progress).
+
+    An observer attached to a :class:`~repro.flow.context.FlowContext`
+    receives one callback pair per executed task and one callback per
+    branch decision.  The base class is a no-op so observers override
+    only what they need; ``repro.service.telemetry.Tracer`` turns these
+    callbacks into structured spans.
+    """
+
+    def on_task_start(self, task: "Task", ctx: "FlowContext") -> None:
+        pass
+
+    def on_task_end(self, task: "Task", ctx: "FlowContext",
+                    wall_s: float, status: str = "ok") -> None:
+        pass
+
+    def on_branch(self, decision: "PSADecision",
+                  ctx: "FlowContext") -> None:
+        pass
 
 
 class TaskKind(enum.Enum):
@@ -47,7 +71,16 @@ class Task:
     def __call__(self, ctx: "FlowContext") -> None:
         ctx.log(f"[{self.scope}] {self.name} ({self.kind.value}"
                 f"{'*' if self.dynamic else ''})")
-        self.run(ctx)
+        ctx.notify_task_start(self)
+        start = time.perf_counter()
+        status = "ok"
+        try:
+            self.run(ctx)
+        except Exception:
+            status = "error"
+            raise
+        finally:
+            ctx.notify_task_end(self, time.perf_counter() - start, status)
 
     def __repr__(self):
         return f"<Task {self.name} kind={self.kind.value} scope={self.scope}>"

@@ -1,0 +1,169 @@
+"""Persistent content-addressed store of flow results.
+
+Layout: one JSON file per job key under ``<root>/<key[:2]>/<key>.json``
+(two-level fan-out keeps directories small at fleet scale), each
+holding::
+
+    {"format": CACHE_FORMAT_VERSION,
+     "key": "<sha256>",
+     "job": {...job spec...},
+     "result": {...flow.serialize.result_to_dict(..., sources=True)...},
+     "telemetry": {...spans of the run that produced it...}}
+
+Keys are the :meth:`FlowJob.key` content hashes, which already include
+the format version and the app source hash -- so *semantic* staleness
+never resolves to an existing file.  The ``format`` field inside the
+file guards the other direction: an old process reading a newer (or a
+newer process reading an older) entry detects the mismatch, deletes
+the file and reports a miss (`stats.invalidated`).
+
+Writes are atomic (temp file + ``os.replace``) so a parallel reader
+never sees a half-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.flow.serialize import FlowResultRecord, result_from_dict
+
+#: bump when the serialized result schema or flow semantics change
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Disk-backed result store keyed by job content hash."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw cache entry dict, or None on miss/invalidation."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # unreadable/corrupt entry: drop it and treat as a miss
+            self._discard(path)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            self._discard(path)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def get(self, key: str) -> Optional[FlowResultRecord]:
+        """Deserialized flow result for ``key``, or None on miss."""
+        entry = self.get_entry(key)
+        if entry is None:
+            return None
+        return result_from_dict(entry["result"])
+
+    def put(self, key: str, job_spec: Dict[str, Any],
+            result_dict: Dict[str, Any],
+            telemetry: Optional[Dict[str, Any]] = None) -> str:
+        """Atomically persist one result; returns the file path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "job": job_spec,
+            "result": result_dict,
+            "telemetry": telemetry or {},
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(tmp)
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    yield name[:-len(".json")]
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Every readable entry (does not touch hit/miss stats)."""
+        for key in self.keys():
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as fh:
+                    yield json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+
+    def size_bytes(self) -> int:
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.path.getsize(self._path(key))
+            except OSError:
+                pass
+        return total
+
+    def purge(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self._discard(self._path(key))
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self):
+        return (f"<ResultCache {self.root} entries={len(self)} "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")

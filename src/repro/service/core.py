@@ -1,0 +1,299 @@
+"""DesignService: cached, scheduled, observable flow execution.
+
+The lookup path for one submitted :class:`FlowJob`:
+
+1. **memory** -- results this service instance already holds;
+2. **disk** -- the persistent :class:`ResultCache` (if configured),
+   shared across processes and runs;
+3. **in-flight dedup** -- an identical job already executing;
+4. **run** -- schedule the flow on the worker pool.
+
+Executed results are written back to both layers, so a warm rerun of a
+whole batch is pure cache reads.  Every lookup and execution feeds the
+:class:`FleetTelemetry` counters and span records.
+
+Results are live :class:`FlowResult` objects when the flow ran in this
+process (thread pool), and :class:`FlowResultRecord` (the deserialized
+read-side equivalent) when they came from the disk cache or a process
+worker; both expose the read API the evaluation harness consumes.
+
+An engine carrying a custom ``strategy_a`` override cannot be content-
+hashed or pickled, so such a service runs uncached and in-process --
+correctness over throughput for experimental strategies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.flow.engine import FlowEngine
+from repro.flow.serialize import result_from_dict, result_to_dict
+from repro.service.cache import ResultCache
+from repro.service.jobs import FlowJob, execute_job, execute_job_payload
+from repro.service.scheduler import JobHandle, JobScheduler, JobStatus
+from repro.service.telemetry import (
+    FleetTelemetry, JobTelemetry, Tracer,
+)
+
+
+class _Pending:
+    """In-flight job bookkeeping shared by every waiter."""
+
+    def __init__(self, job: FlowJob, key: str):
+        self.job = job
+        self.key = key
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.event = threading.Event()
+        self.handle: Optional[JobHandle] = None
+
+    def resolve(self, value: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        self.value = value
+        self.error = error
+        self.event.set()
+
+
+class ServiceResult:
+    """Handle on one submitted job's (possibly cached) result."""
+
+    def __init__(self, job: FlowJob, source: str,
+                 value: Any = None, pending: Optional[_Pending] = None):
+        self.job = job
+        self.source = source          # 'cache-memory' | 'cache-disk'
+        self._value = value           # | 'run' | 'inflight'
+        self._pending = pending
+
+    def done(self) -> bool:
+        return self._pending is None or self._pending.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._pending is None:
+            return self._value
+        if not self._pending.event.wait(timeout):
+            raise TimeoutError(
+                f"{self.job.label} not done within {timeout}s")
+        if self._pending.error is not None:
+            raise self._pending.error
+        return self._pending.value
+
+    @property
+    def wall_s(self) -> float:
+        if self._pending is not None and self._pending.handle is not None:
+            return self._pending.handle.wall_s
+        return 0.0
+
+    def __repr__(self):
+        state = "done" if self.done() else "pending"
+        return f"<ServiceResult {self.job.label} {self.source} {state}>"
+
+
+class DesignService:
+    """The concurrent design-generation service."""
+
+    def __init__(self, engine: Optional[FlowEngine] = None,
+                 cache_dir: Optional[str] = None,
+                 workers: int = 1, pool: str = "auto",
+                 default_timeout: Optional[float] = None,
+                 default_retries: int = 0,
+                 telemetry: Optional[FleetTelemetry] = None):
+        self.engine = engine or FlowEngine()
+        # a custom strategy object defeats content hashing and pickling
+        self._cacheable = self.engine._strategy_override is None
+        self.cache = (ResultCache(cache_dir)
+                      if cache_dir and self._cacheable else None)
+        self.scheduler = JobScheduler(
+            workers=workers,
+            mode="thread" if not self._cacheable else pool,
+            default_timeout=default_timeout,
+            default_retries=default_retries)
+        self.telemetry = telemetry or FleetTelemetry()
+        self._memory: Dict[str, Any] = {}
+        self._pending: Dict[str, _Pending] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def job_for(self, app: str, mode: str, **kwargs) -> FlowJob:
+        """A job matching this service's engine configuration."""
+        return FlowJob(app=app, mode=mode,
+                       intensity_threshold=self.engine.intensity_threshold,
+                       **kwargs)
+
+    def submit(self, job: FlowJob) -> ServiceResult:
+        key = job.key()
+        with self._lock:
+            if key in self._memory:
+                self.telemetry.count("cache_hit_memory")
+                self.telemetry.record_job(JobTelemetry(
+                    key=key, app=job.app, mode=job.mode,
+                    source="cache-memory", status="ok"))
+                return ServiceResult(job, "cache-memory",
+                                     value=self._memory[key])
+            pending = self._pending.get(key)
+            if pending is not None:
+                self.telemetry.count("dedup")
+                self.telemetry.record_job(JobTelemetry(
+                    key=key, app=job.app, mode=job.mode,
+                    source="inflight", status="ok"))
+                return ServiceResult(job, "inflight", pending=pending)
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self.telemetry.count("cache_hit_disk")
+                    self.telemetry.record_job(JobTelemetry(
+                        key=key, app=job.app, mode=job.mode,
+                        source="cache-disk", status="ok"))
+                    self._memory[key] = record
+                    return ServiceResult(job, "cache-disk", value=record)
+                self.telemetry.count("cache_miss")
+            pending = _Pending(job, key)
+            self._pending[key] = pending
+        return self._schedule(pending)
+
+    def _schedule(self, pending: _Pending) -> ServiceResult:
+        job = pending.job
+        if self.scheduler.mode == "process":
+            fn, args = execute_job_payload, (job.spec(),)
+        else:
+            def fn():
+                tracer = Tracer()
+                result = execute_job(job, engine=self._engine_for(job),
+                                     observer=tracer)
+                return result, tracer
+            args = ()
+        handle, created = self.scheduler.submit(
+            pending.key, fn, *args,
+            timeout=job.timeout_s, retries=job.retries)
+        pending.handle = handle
+        if created:
+            self.telemetry.count("jobs_run")
+        handle.add_done_callback(
+            lambda done: self._complete(pending, done))
+        return ServiceResult(job, "run", pending=pending)
+
+    def _engine_for(self, job: FlowJob) -> FlowEngine:
+        if self.engine._strategy_override is not None:
+            return self.engine
+        if job.intensity_threshold == self.engine.intensity_threshold:
+            return self.engine
+        return FlowEngine(intensity_threshold=job.intensity_threshold)
+
+    # ------------------------------------------------------------------
+    def _complete(self, pending: _Pending, handle: JobHandle) -> None:
+        """Driver-thread callback: convert, persist, account, release."""
+        job = pending.job
+        if handle.status is not JobStatus.SUCCEEDED:
+            self.telemetry.count("jobs_failed")
+            self.telemetry.record_job(JobTelemetry(
+                key=pending.key, app=job.app, mode=job.mode,
+                source="run", status=handle.status.value,
+                wall_s=handle.wall_s, attempts=handle.attempts))
+            with self._lock:
+                self._pending.pop(pending.key, None)
+            pending.resolve(error=handle.error)
+            return
+        raw = handle._result
+        try:
+            if isinstance(raw, dict):          # process-pool payload
+                value = result_from_dict(raw["result"])
+                result_dict = raw["result"]
+                trace_dict = raw.get("telemetry") or {}
+                tracer = Tracer.from_dict(trace_dict)
+            else:                              # in-process (result, tracer)
+                value, tracer = raw
+                result_dict = None
+                trace_dict = tracer.to_dict()
+            if self.cache is not None and self._cacheable:
+                if result_dict is None:
+                    result_dict = result_to_dict(value,
+                                                 include_sources=True)
+                self.cache.put(pending.key, job.spec(), result_dict,
+                               telemetry=trace_dict)
+                self.telemetry.count("cache_write")
+            self.telemetry.record_job(JobTelemetry(
+                key=pending.key, app=job.app, mode=job.mode,
+                source="run", status="ok",
+                wall_s=handle.wall_s, attempts=handle.attempts,
+                spans=tracer.spans, branches=tracer.branches))
+            with self._lock:
+                if self._cacheable:
+                    self._memory[pending.key] = value
+                self._pending.pop(pending.key, None)
+            pending.resolve(value=value)
+        except BaseException as exc:
+            with self._lock:
+                self._pending.pop(pending.key, None)
+            pending.resolve(error=exc)
+
+    # ------------------------------------------------------------------
+    def run(self, job: FlowJob, timeout: Optional[float] = None) -> Any:
+        """Submit and block for one job's result."""
+        return self.submit(job).result(timeout)
+
+    def run_pair(self, app: str, mode: str,
+                 timeout: Optional[float] = None) -> Any:
+        return self.run(self.job_for(app, mode), timeout=timeout)
+
+    def submit_many(self, jobs: Iterable[FlowJob]) -> List[ServiceResult]:
+        """Submit jobs highest-priority first."""
+        ordered = sorted(jobs, key=lambda j: (-j.priority, j.app, j.mode))
+        return [self.submit(job) for job in ordered]
+
+    def stream(self, jobs: Iterable[FlowJob],
+               timeout: Optional[float] = None
+               ) -> Iterable[Tuple[ServiceResult, Any, Optional[BaseException]]]:
+        """Yield ``(submission, result, error)`` in completion order.
+
+        Cached results come first (they are already complete); executed
+        jobs follow as the pool finishes them.
+        """
+        submissions = self.submit_many(jobs)
+        ready = [s for s in submissions if s.done()]
+        waiting = [s for s in submissions if not s.done()]
+        for submission in ready:
+            yield self._outcome(submission, timeout=0)
+        if not waiting:
+            return
+        import queue as _queue
+
+        done: "_queue.Queue[ServiceResult]" = _queue.Queue()
+        for submission in waiting:
+            handle = submission._pending.handle
+            if handle is not None:
+                handle.add_done_callback(lambda _h, s=submission:
+                                         done.put(s))
+            else:
+                # submission joined a job whose handle was still being
+                # registered; _outcome blocks on its event instead
+                done.put(submission)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        for _ in range(len(waiting)):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            submission = done.get(timeout=remaining)
+            yield self._outcome(submission, timeout=remaining)
+
+    @staticmethod
+    def _outcome(submission: ServiceResult,
+                 timeout: Optional[float]):
+        try:
+            return submission, submission.result(timeout), None
+        except BaseException as exc:
+            return submission, None, exc
+
+    # ------------------------------------------------------------------
+    def close(self, cancel_pending: bool = False) -> None:
+        self.scheduler.shutdown(wait=not cancel_pending,
+                                cancel_pending=cancel_pending)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        # on an exception (e.g. KeyboardInterrupt mid-batch) drop queued
+        # jobs rather than draining them; running attempts still finish
+        self.close(cancel_pending=exc_type is not None)
+        return False

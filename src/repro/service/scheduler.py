@@ -1,0 +1,341 @@
+"""Worker-pool job scheduler: parallelism, dedup, timeout, retry.
+
+Two executor layers:
+
+- a **work pool** (``ProcessPoolExecutor`` when requested/available,
+  ``ThreadPoolExecutor`` fallback) that runs the job payloads;
+- a **driver pool** of lightweight threads, one per in-flight job,
+  that wraps each job with the control policy: per-attempt timeout,
+  bounded retry with exponential backoff, and cancellation checks
+  between attempts.
+
+Identical jobs (same content key) submitted while one is in flight
+join the existing :class:`JobHandle` instead of running twice -- the
+persistent cache handles the across-run case, this handles the
+within-run case.
+
+Timeout semantics: a timed-out attempt is *abandoned* (neither threads
+nor pool processes can be killed mid-task portably); the slot frees up
+when the stuck callable returns.  The handle still resolves promptly
+with :class:`JobTimeout` so callers never block on a hung job.
+
+Flow execution is pure Python, so the thread pool gives concurrency
+but not CPU parallelism (GIL); the process pool gives real parallelism
+on multi-core hosts at the cost of pickling job payloads.  ``mode=
+"auto"`` picks processes when more than one worker is requested and
+the platform supports it.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from concurrent.futures import (
+    CancelledError, Future, ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+
+class JobError(Exception):
+    """Base of terminal job outcomes raised by :meth:`JobHandle.result`."""
+
+
+class JobFailed(JobError):
+    """The job raised on every allowed attempt (cause chained)."""
+
+
+class JobTimeout(JobError):
+    """Every allowed attempt exceeded its time budget."""
+
+
+class JobCancelled(JobError):
+    """The job was cancelled before it produced a result."""
+
+
+class JobHandle:
+    """Future-like view of one scheduled job."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.status = JobStatus.PENDING
+        self.attempts = 0
+        self.error: Optional[JobError] = None
+        self.wall_s: float = 0.0
+        self._result: Any = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: List[Callable[["JobHandle"], None]] = []
+        self._cancel_requested = False
+        self._driver_future: Optional[Future] = None
+        self._attempt_future: Optional[Future] = None
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def cancelled(self) -> bool:
+        return self.status is JobStatus.CANCELLED
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the outcome; raises the terminal JobError on failure."""
+        if not self._done.wait(timeout):
+            raise FutureTimeout(
+                f"job {self.key[:12]} not done within {timeout}s")
+        if self.status is JobStatus.SUCCEEDED:
+            return self._result
+        raise self.error
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the job will not produce a result.
+
+        A queued job is cancelled immediately; a running job is
+        interrupted at the next attempt boundary (the in-flight attempt
+        is abandoned, see module docstring).
+        """
+        with self._lock:
+            if self.done():
+                return self.cancelled()
+            self._cancel_requested = True
+            driver = self._driver_future
+            attempt = self._attempt_future
+        if driver is not None and driver.cancel():
+            # never started: resolve here, the driver will not run
+            self._finish(JobStatus.CANCELLED,
+                         error=JobCancelled(f"job {self.key[:12]} "
+                                            f"cancelled before start"))
+            return True
+        if attempt is not None:
+            attempt.cancel()
+        return True
+
+    def add_done_callback(self,
+                          callback: Callable[["JobHandle"], None]) -> None:
+        with self._lock:
+            if not self.done():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    # ------------------------------------------------------------------
+    def _finish(self, status: JobStatus, result: Any = None,
+                error: Optional[JobError] = None,
+                wall_s: float = 0.0) -> None:
+        with self._lock:
+            if self.done():
+                return
+            self.status = status
+            self._result = result
+            self.error = error
+            self.wall_s = wall_s
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self._done.set()
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self):
+        return (f"<JobHandle {self.key[:12]} {self.status.value} "
+                f"attempts={self.attempts}>")
+
+
+def _make_work_pool(mode: str, workers: int):
+    """Build the work executor; returns (executor, resolved_mode, note)."""
+    if mode not in ("thread", "process", "auto"):
+        raise ValueError(f"unknown scheduler mode {mode!r}")
+    want_processes = (mode == "process"
+                      or (mode == "auto" and workers > 1))
+    if want_processes:
+        try:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            if "fork" in mp.get_all_start_methods():
+                ctx = mp.get_context("fork")
+            else:
+                ctx = mp.get_context()
+            return (ProcessPoolExecutor(max_workers=workers,
+                                        mp_context=ctx),
+                    "process", None)
+        except (ImportError, OSError, NotImplementedError,
+                PermissionError, ValueError) as exc:
+            note = (f"process pool unavailable "
+                    f"({type(exc).__name__}: {exc}); using threads")
+            return (ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-work"),
+                "thread", note)
+    return (ThreadPoolExecutor(max_workers=workers,
+                               thread_name_prefix="repro-work"),
+            "thread", None)
+
+
+class JobScheduler:
+    """Runs keyed jobs on a bounded worker pool with retry/timeout."""
+
+    def __init__(self, workers: int = 1, mode: str = "auto",
+                 default_timeout: Optional[float] = None,
+                 default_retries: int = 0,
+                 backoff_s: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 max_backoff_s: float = 2.0):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        self._pool, self.mode, self.fallback_note = \
+            _make_work_pool(mode, workers)
+        self._drivers = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-drive")
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, JobHandle] = {}
+        self.dedup_joins = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, key: str, fn: Callable, *args,
+               timeout: Optional[float] = None,
+               retries: Optional[int] = None,
+               **kwargs) -> Tuple[JobHandle, bool]:
+        """Schedule ``fn(*args, **kwargs)`` under ``key``.
+
+        Returns ``(handle, created)``; ``created`` is False when an
+        identical job was already in flight and this call joined it.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            existing = self._inflight.get(key)
+            if existing is not None and not existing.done():
+                self.dedup_joins += 1
+                return existing, False
+            handle = JobHandle(key)
+            self._inflight[key] = handle
+        handle.add_done_callback(self._retire)
+        timeout = self.default_timeout if timeout is None else timeout
+        retries = self.default_retries if retries is None else retries
+        driver = self._drivers.submit(
+            self._drive, handle, fn, args, kwargs, timeout, retries)
+        with handle._lock:
+            handle._driver_future = driver
+        # cancel() may have raced the driver registration
+        if handle._cancel_requested and driver.cancel():
+            handle._finish(JobStatus.CANCELLED,
+                           error=JobCancelled(f"job {key[:12]} cancelled"))
+        return handle, True
+
+    def _retire(self, handle: JobHandle) -> None:
+        with self._lock:
+            if self._inflight.get(handle.key) is handle:
+                del self._inflight[handle.key]
+
+    # ------------------------------------------------------------------
+    def _drive(self, handle: JobHandle, fn: Callable, args, kwargs,
+               timeout: Optional[float], retries: int) -> None:
+        start = time.perf_counter()
+        last_error: Optional[JobError] = None
+        attempts_allowed = retries + 1
+        for attempt in range(attempts_allowed):
+            if handle._cancel_requested:
+                last_error = JobCancelled(
+                    f"job {handle.key[:12]} cancelled after "
+                    f"{attempt} attempt{'s' if attempt != 1 else ''}")
+                break
+            handle.status = JobStatus.RUNNING
+            handle.attempts = attempt + 1
+            try:
+                future = self._pool.submit(fn, *args, **kwargs)
+            except RuntimeError as exc:       # pool shut down under us
+                last_error = JobCancelled(
+                    f"job {handle.key[:12]}: {exc}")
+                break
+            with handle._lock:
+                handle._attempt_future = future
+            try:
+                result = future.result(timeout)
+                handle._finish(JobStatus.SUCCEEDED, result=result,
+                               wall_s=time.perf_counter() - start)
+                return
+            except FutureTimeout:
+                future.cancel()
+                last_error = JobTimeout(
+                    f"job {handle.key[:12]} exceeded {timeout}s "
+                    f"(attempt {attempt + 1}/{attempts_allowed})")
+            except CancelledError:
+                last_error = JobCancelled(
+                    f"job {handle.key[:12]} attempt cancelled")
+                break
+            except BaseException as exc:
+                failure = JobFailed(
+                    f"job {handle.key[:12]} failed "
+                    f"(attempt {attempt + 1}/{attempts_allowed}): {exc!r}")
+                failure.__cause__ = exc
+                last_error = failure
+            if attempt + 1 < attempts_allowed \
+                    and not handle._cancel_requested:
+                time.sleep(min(
+                    self.backoff_s * self.backoff_factor ** attempt,
+                    self.max_backoff_s))
+        if handle._cancel_requested \
+                and not isinstance(last_error, JobCancelled):
+            last_error = JobCancelled(
+                f"job {handle.key[:12]} cancelled")
+        status = (JobStatus.CANCELLED
+                  if isinstance(last_error, JobCancelled)
+                  else JobStatus.TIMEOUT
+                  if isinstance(last_error, JobTimeout)
+                  else JobStatus.FAILED)
+        handle._finish(status, error=last_error,
+                       wall_s=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def as_completed(handles: Iterable[JobHandle],
+                     timeout: Optional[float] = None
+                     ) -> Iterator[JobHandle]:
+        """Yield handles in completion order (like futures.as_completed)."""
+        handles = list(handles)
+        done: "queue.Queue[JobHandle]" = queue.Queue()
+        for handle in handles:
+            handle.add_done_callback(done.put)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for _ in range(len(handles)):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            try:
+                yield done.get(timeout=remaining)
+            except queue.Empty:
+                raise FutureTimeout(
+                    f"jobs not done within {timeout}s") from None
+
+    def shutdown(self, wait: bool = True,
+                 cancel_pending: bool = False) -> None:
+        with self._lock:
+            self._closed = True
+            inflight = list(self._inflight.values())
+        if cancel_pending:
+            for handle in inflight:
+                handle.cancel()
+        self._drivers.shutdown(wait=wait)
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown(wait=True)
+        return False

@@ -1,0 +1,234 @@
+"""Flow telemetry: spans, per-job records, fleet aggregation.
+
+The FlowEngine observer hooks (``FlowObserver`` in ``repro.flow.task``)
+emit one span per executed task -- task name, A/T/CG/O kind, Fig. 4
+scope, wall time -- and one event per PSA branch decision.
+:class:`Tracer` collects them for a single flow run; the service rolls
+the per-job traces plus cache/dedup counters into a
+:class:`FleetTelemetry` that renders as ASCII for the CLI or as JSON
+for dashboards.
+
+Everything here is plain data + a thread-safe aggregator; spans cross
+the process-pool boundary as dicts (``to_dict``/``from_dict``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.flow.task import FlowObserver
+
+#: printable order of the Fig. 4 task kinds
+KIND_ORDER = ("A", "T", "CG", "O")
+KIND_NAMES = {"A": "analysis", "T": "transform",
+              "CG": "codegen", "O": "optimisation"}
+
+
+@dataclass
+class TaskSpan:
+    """One executed flow task."""
+
+    name: str
+    kind: str            # 'A' | 'T' | 'CG' | 'O'
+    scope: str           # Fig. 4 grouping: T-INDEP, GPU, FPGA-S10, ...
+    wall_s: float
+    status: str = "ok"   # 'ok' | 'error'
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "scope": self.scope,
+                "wall_s": self.wall_s, "status": self.status}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskSpan":
+        return cls(data["name"], data["kind"], data["scope"],
+                   data["wall_s"], data.get("status", "ok"))
+
+
+@dataclass
+class BranchEvent:
+    """One recorded PSA branch decision."""
+
+    branch: str
+    selected: List[str]
+    reasons: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"branch": self.branch, "selected": list(self.selected),
+                "reasons": list(self.reasons)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BranchEvent":
+        return cls(data["branch"], list(data["selected"]),
+                   list(data.get("reasons") or ()))
+
+
+class Tracer(FlowObserver):
+    """Collects spans + branch decisions for one flow run."""
+
+    def __init__(self):
+        self.spans: List[TaskSpan] = []
+        self.branches: List[BranchEvent] = []
+
+    # -- FlowObserver hooks ---------------------------------------------
+    def on_task_end(self, task, ctx, wall_s: float,
+                    status: str = "ok") -> None:
+        self.spans.append(TaskSpan(task.name, task.kind.value,
+                                   task.scope, wall_s, status))
+
+    def on_branch(self, decision, ctx) -> None:
+        self.branches.append(BranchEvent(decision.branch,
+                                         list(decision.selected),
+                                         list(decision.reasons)))
+
+    # -- aggregation ----------------------------------------------------
+    @property
+    def wall_total_s(self) -> float:
+        return sum(span.wall_s for span in self.spans)
+
+    def by_kind(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            bucket = out.setdefault(span.kind, {"count": 0, "wall_s": 0.0})
+            bucket["count"] += 1
+            bucket["wall_s"] += span.wall_s
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [s.to_dict() for s in self.spans],
+                "branches": [b.to_dict() for b in self.branches]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Tracer":
+        tracer = cls()
+        tracer.spans = [TaskSpan.from_dict(s)
+                        for s in data.get("spans") or ()]
+        tracer.branches = [BranchEvent.from_dict(b)
+                           for b in data.get("branches") or ()]
+        return tracer
+
+
+@dataclass
+class JobTelemetry:
+    """Per-job record: where the result came from and what it cost."""
+
+    key: str
+    app: str
+    mode: str
+    source: str          # 'run' | 'cache-disk' | 'cache-memory' | 'inflight'
+    status: str          # 'ok' | 'failed' | 'timeout' | 'cancelled'
+    wall_s: float = 0.0
+    attempts: int = 0
+    spans: List[TaskSpan] = field(default_factory=list)
+    branches: List[BranchEvent] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.mode}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key, "app": self.app, "mode": self.mode,
+            "source": self.source, "status": self.status,
+            "wall_s": self.wall_s, "attempts": self.attempts,
+            "spans": [s.to_dict() for s in self.spans],
+            "branches": [b.to_dict() for b in self.branches],
+        }
+
+
+class FleetTelemetry:
+    """Thread-safe aggregate over every job the service touched.
+
+    ``counters`` carries the cache/dedup accounting the acceptance
+    checks read: ``cache_hit_disk``, ``cache_hit_memory``,
+    ``cache_miss``, ``cache_write``, ``cache_invalidated``, ``dedup``,
+    ``jobs_run``, ``jobs_failed``.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs: List[JobTelemetry] = []
+        self.counters: Counter = Counter()
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] += n
+
+    def record_job(self, record: JobTelemetry) -> None:
+        with self._lock:
+            self.jobs.append(record)
+
+    # -- derived views --------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return (self.counters["cache_hit_disk"]
+                + self.counters["cache_hit_memory"])
+
+    def by_kind(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            jobs = list(self.jobs)
+        for job in jobs:
+            for span in job.spans:
+                bucket = out.setdefault(span.kind,
+                                        {"count": 0, "wall_s": 0.0})
+                bucket["count"] += 1
+                bucket["wall_s"] += span.wall_s
+        return out
+
+    def by_source(self) -> Counter:
+        with self._lock:
+            return Counter(job.source for job in self.jobs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            jobs = [job.to_dict() for job in self.jobs]
+            counters = dict(self.counters)
+        return {"jobs": jobs, "counters": counters,
+                "by_kind": self.by_kind()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_ascii(self, top: int = 5) -> str:
+        """Human-readable fleet report for the CLI."""
+        with self._lock:
+            jobs = list(self.jobs)
+            counters = Counter(self.counters)
+        sources = Counter(job.source for job in jobs)
+        failed = sum(1 for job in jobs if job.status != "ok")
+        lines = ["== flow service telemetry =="]
+        lines.append(
+            f"jobs: {len(jobs)} total | run {sources['run']} | "
+            f"cache {sources['cache-disk'] + sources['cache-memory']} | "
+            f"inflight-joins {sources['inflight']} | failed {failed}")
+        lines.append(
+            f"cache: {counters['cache_hit_disk']} disk hits / "
+            f"{counters['cache_hit_memory']} memory hits / "
+            f"{counters['cache_miss']} misses / "
+            f"{counters['cache_write']} writes / "
+            f"{counters['cache_invalidated']} invalidated")
+        kinds = self.by_kind()
+        if kinds:
+            lines.append("task spans by kind:")
+            for kind in KIND_ORDER:
+                if kind not in kinds:
+                    continue
+                bucket = kinds[kind]
+                lines.append(
+                    f"  {kind:2s} {KIND_NAMES[kind]:13s}"
+                    f"{int(bucket['count']):5d} spans"
+                    f"{bucket['wall_s']:9.2f}s")
+        executed = sorted((job for job in jobs if job.source == "run"),
+                          key=lambda job: -job.wall_s)
+        if executed:
+            lines.append(f"slowest jobs (of {len(executed)} executed):")
+            for job in executed[:top]:
+                lines.append(
+                    f"  {job.label:28s}{job.wall_s:8.2f}s  "
+                    f"({job.attempts} attempt"
+                    f"{'s' if job.attempts != 1 else ''}, {job.status})")
+        return "\n".join(lines)

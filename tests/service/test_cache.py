@@ -1,0 +1,96 @@
+"""ResultCache tests: persistence, versioned invalidation, stats."""
+
+import json
+import os
+
+from repro.flow.serialize import FlowResultRecord, result_to_dict
+from repro.service.cache import CACHE_FORMAT_VERSION, ResultCache
+from repro.service.jobs import FlowJob
+
+
+def put_result(cache, result, job):
+    cache.put(job.key(), job.spec(),
+              result_to_dict(result, include_sources=True))
+    return job.key()
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path, kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        job = FlowJob("kmeans", "informed")
+        assert cache.get(job.key()) is None
+        key = put_result(cache, kmeans_informed, job)
+        record = cache.get(key)
+        assert isinstance(record, FlowResultRecord)
+        assert record.app_name == "kmeans"
+        assert record.selected_target == kmeans_informed.selected_target
+        assert record.auto_selected.speedup \
+            == kmeans_informed.auto_selected.speedup
+
+    def test_survives_a_new_cache_instance(self, tmp_path, kmeans_informed):
+        job = FlowJob("kmeans", "informed")
+        key = put_result(ResultCache(str(tmp_path)), kmeans_informed, job)
+        fresh = ResultCache(str(tmp_path))
+        record = fresh.get(key)
+        assert record is not None
+        assert [d.label for d in record.designs] \
+            == [d.label for d in kmeans_informed.designs]
+        assert fresh.stats.hits == 1
+
+    def test_sources_are_kept(self, tmp_path, kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        key = put_result(cache, kmeans_informed,
+                         FlowJob("kmeans", "informed"))
+        record = cache.get(key)
+        assert "#pragma omp parallel for" in record.designs[0].render()
+
+
+class TestInvalidation:
+    def test_stale_format_is_dropped(self, tmp_path, kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        job = FlowJob("kmeans", "informed")
+        key = put_result(cache, kmeans_informed, job)
+        path = cache._path(key)
+        entry = json.load(open(path))
+        entry["format"] = CACHE_FORMAT_VERSION + 1
+        json.dump(entry, open(path, "w"))
+        assert cache.get(key) is None
+        assert cache.stats.invalidated == 1
+        assert not os.path.exists(path)
+
+    def test_corrupt_entry_is_dropped(self, tmp_path, kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        key = put_result(cache, kmeans_informed,
+                         FlowJob("kmeans", "informed"))
+        with open(cache._path(key), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.invalidated == 1
+
+
+class TestStatsAndMaintenance:
+    def test_stats_count_lookups_and_writes(self, tmp_path,
+                                            kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        job = FlowJob("kmeans", "informed")
+        cache.get(job.key())
+        put_result(cache, kmeans_informed, job)
+        cache.get(job.key())
+        cache.get(job.key())
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_rate == 2 / 3
+
+    def test_keys_entries_and_purge(self, tmp_path, kmeans_informed,
+                                    kmeans_uninformed):
+        cache = ResultCache(str(tmp_path))
+        put_result(cache, kmeans_informed, FlowJob("kmeans", "informed"))
+        put_result(cache, kmeans_uninformed,
+                   FlowJob("kmeans", "uninformed"))
+        assert len(cache) == 2
+        modes = {entry["job"]["mode"] for entry in cache.entries()}
+        assert modes == {"informed", "uninformed"}
+        assert cache.size_bytes() > 0
+        assert cache.purge() == 2
+        assert len(cache) == 0

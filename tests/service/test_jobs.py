@@ -1,0 +1,68 @@
+"""FlowJob validation and content-hash key tests."""
+
+import pytest
+
+from repro.service.cache import CACHE_FORMAT_VERSION
+from repro.service.jobs import FlowJob, JobValidationError
+
+
+class TestValidation:
+    def test_accepts_known_app_and_mode(self):
+        job = FlowJob("kmeans", "informed")
+        assert job.label == "kmeans/informed"
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(JobValidationError, match="unknown app"):
+            FlowJob("not_an_app", "informed")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(JobValidationError, match="unknown mode"):
+            FlowJob("kmeans", "clairvoyant")
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(JobValidationError):
+            FlowJob("kmeans", intensity_threshold=0.0)
+        with pytest.raises(JobValidationError):
+            FlowJob("kmeans", scale=-1.0)
+        with pytest.raises(JobValidationError):
+            FlowJob("kmeans", timeout_s=0)
+        with pytest.raises(JobValidationError):
+            FlowJob("kmeans", retries=-1)
+        with pytest.raises(JobValidationError):
+            FlowJob("kmeans", priority="high")
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        assert FlowJob("kmeans", "informed").key() \
+            == FlowJob("kmeans", "informed").key()
+
+    def test_key_varies_with_every_result_determining_field(self):
+        base = FlowJob("kmeans", "informed")
+        variants = [
+            FlowJob("nbody", "informed"),
+            FlowJob("kmeans", "uninformed"),
+            FlowJob("kmeans", "informed", intensity_threshold=0.5),
+            FlowJob("kmeans", "informed", scale=2.0),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_priority_and_limits_do_not_change_the_key(self):
+        """Scheduling knobs are not content -- same work, same key."""
+        base = FlowJob("kmeans", "informed")
+        assert FlowJob("kmeans", "informed", priority=9).key() == base.key()
+        assert FlowJob("kmeans", "informed", timeout_s=60,
+                       retries=2).key() == base.key()
+
+    def test_spec_includes_source_hash_and_format(self):
+        spec = FlowJob("kmeans", "informed").spec()
+        assert spec["format"] == CACHE_FORMAT_VERSION
+        assert len(spec["source_sha"]) == 64
+
+    def test_from_spec_round_trip(self):
+        job = FlowJob("bezier", "uninformed", intensity_threshold=0.3,
+                      scale=1.5)
+        rebuilt = FlowJob.from_spec(job.spec())
+        assert rebuilt == job
+        assert rebuilt.key() == job.key()

@@ -1,0 +1,95 @@
+"""Telemetry tests: engine observer hooks, spans, fleet aggregation."""
+
+from repro.apps.registry import get_app
+from repro.flow.engine import FlowEngine
+from repro.service.telemetry import (
+    FleetTelemetry, JobTelemetry, TaskSpan, Tracer,
+)
+
+
+class TestTracer:
+    def test_engine_hooks_emit_spans(self):
+        tracer = Tracer()
+        FlowEngine().run(get_app("kmeans"), mode="informed",
+                         observer=tracer)
+        assert tracer.spans, "no spans emitted by the flow engine"
+        names = [span.name for span in tracer.spans]
+        assert "Identify Hotspot Loops" in names
+        assert all(span.kind in ("A", "T", "CG", "O")
+                   for span in tracer.spans)
+        assert all(span.wall_s >= 0 for span in tracer.spans)
+        assert all(span.status == "ok" for span in tracer.spans)
+
+    def test_branch_decisions_recorded(self):
+        tracer = Tracer()
+        FlowEngine().run(get_app("kmeans"), mode="uninformed",
+                         observer=tracer)
+        branches = {event.branch: event.selected
+                    for event in tracer.branches}
+        assert set(branches["A"]) == {"gpu", "fpga", "omp"}
+        assert set(branches["B"]) == {"gtx1080ti", "rtx2080ti"}
+        assert set(branches["C"]) == {"arria10", "stratix10"}
+
+    def test_by_kind_and_wall_total(self):
+        tracer = Tracer()
+        FlowEngine().run(get_app("kmeans"), mode="informed",
+                         observer=tracer)
+        kinds = tracer.by_kind()
+        assert kinds["A"]["count"] >= 7     # the T-INDEP analyses alone
+        total = sum(bucket["wall_s"] for bucket in kinds.values())
+        assert abs(total - tracer.wall_total_s) < 1e-9
+
+    def test_dict_round_trip(self):
+        tracer = Tracer()
+        tracer.spans = [TaskSpan("t", "A", "T-INDEP", 0.5)]
+        FlowEngine().run(get_app("kmeans"), mode="informed",
+                         observer=tracer)
+        rebuilt = Tracer.from_dict(tracer.to_dict())
+        assert [s.to_dict() for s in rebuilt.spans] \
+            == [s.to_dict() for s in tracer.spans]
+        assert [b.to_dict() for b in rebuilt.branches] \
+            == [b.to_dict() for b in tracer.branches]
+
+
+class TestFleetTelemetry:
+    def _job(self, app="kmeans", source="run", status="ok", wall=1.0):
+        return JobTelemetry(key="k" * 64, app=app, mode="informed",
+                            source=source, status=status, wall_s=wall,
+                            attempts=1,
+                            spans=[TaskSpan("x", "A", "T-INDEP", wall)])
+
+    def test_counters_and_hits(self):
+        fleet = FleetTelemetry()
+        fleet.count("cache_hit_disk", 3)
+        fleet.count("cache_hit_memory")
+        fleet.count("cache_miss", 2)
+        assert fleet.cache_hits == 4
+        assert fleet.counters["cache_miss"] == 2
+
+    def test_aggregation_by_kind_and_source(self):
+        fleet = FleetTelemetry()
+        fleet.record_job(self._job(wall=1.0))
+        fleet.record_job(self._job(app="nbody", source="cache-disk",
+                                   wall=0.0))
+        kinds = fleet.by_kind()
+        assert kinds["A"]["count"] == 2
+        assert fleet.by_source() == {"run": 1, "cache-disk": 1}
+
+    def test_render_ascii_mentions_the_numbers(self):
+        fleet = FleetTelemetry()
+        fleet.count("cache_hit_disk", 10)
+        fleet.record_job(self._job())
+        text = fleet.render_ascii()
+        assert "10 disk hits" in text
+        assert "kmeans/informed" in text
+        assert "analysis" in text
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        fleet = FleetTelemetry()
+        fleet.record_job(self._job())
+        fleet.count("dedup")
+        data = json.loads(fleet.to_json())
+        assert data["counters"]["dedup"] == 1
+        assert data["jobs"][0]["app"] == "kmeans"
