@@ -31,10 +31,99 @@ def cmd_list(_args) -> int:
     return 0
 
 
+class _PhaseTimer:
+    """Wall-time breakdown of one flow run (``run --time``).
+
+    Task wall times bucket by :class:`TaskKind`; parse and dynamic
+    program execution are measured at their chokepoints
+    (``repro.meta.ast_api.parse`` / ``repro.lang.engine.execute_unit``),
+    so the execution row also counts runs that happen *inside* analysis
+    and DSE tasks."""
+
+    def __init__(self):
+        self.tasks = {}          # TaskKind.value -> seconds
+        self.parse_s = 0.0
+        self.exec_s = 0.0
+        self.exec_runs = 0
+        self.total_s = 0.0
+
+    def observer(self):
+        from repro.flow.task import FlowObserver
+
+        timer = self
+
+        class _Obs(FlowObserver):
+            def on_task_end(self, task, ctx, wall_s, status="ok"):
+                key = task.kind.value
+                timer.tasks[key] = timer.tasks.get(key, 0.0) + wall_s
+        return _Obs()
+
+    def run(self, fn):
+        import time
+
+        import repro.lang.engine as lang_engine
+        import repro.meta.ast_api as ast_api
+
+        orig_parse = ast_api.parse
+        orig_exec = lang_engine.execute_unit
+
+        def timed_parse(*a, **k):
+            t0 = time.perf_counter()
+            try:
+                return orig_parse(*a, **k)
+            finally:
+                self.parse_s += time.perf_counter() - t0
+
+        def timed_exec(*a, **k):
+            t0 = time.perf_counter()
+            try:
+                return orig_exec(*a, **k)
+            finally:
+                self.exec_s += time.perf_counter() - t0
+                self.exec_runs += 1
+
+        ast_api.parse = timed_parse
+        lang_engine.execute_unit = timed_exec
+        t0 = time.perf_counter()
+        try:
+            return fn()
+        finally:
+            self.total_s = time.perf_counter() - t0
+            ast_api.parse = orig_parse
+            lang_engine.execute_unit = orig_exec
+
+    def render(self) -> str:
+        from repro.lang.engine import execution_mode
+
+        rows = [
+            ("parse", self.parse_s, ""),
+            ("analysis exec", self.exec_s,
+             f"({self.exec_runs} program runs, engine={execution_mode()})"),
+            ("analysis tasks", self.tasks.get("A", 0.0), "(incl. exec)"),
+            ("transforms", self.tasks.get("T", 0.0), ""),
+            ("DSE", self.tasks.get("O", 0.0), "(incl. exec)"),
+            ("codegen", self.tasks.get("CG", 0.0), ""),
+            ("total flow", self.total_s, ""),
+        ]
+        width = max(len(name) for name, _, _ in rows)
+        lines = ["phase breakdown (wall):"]
+        for name, secs, note in rows:
+            suffix = f"   {note}" if note else ""
+            lines.append(f"  {name:{width}s} {secs * 1e3:9.1f} ms{suffix}")
+        return "\n".join(lines)
+
+
 def cmd_run(args) -> int:
     app = get_app(args.app)
     engine = FlowEngine()
-    result = engine.run(app, mode=args.mode)
+    if getattr(args, "time", False):
+        timer = _PhaseTimer()
+        result = timer.run(lambda: engine.run(app, mode=args.mode,
+                                              observer=timer.observer()))
+        print(timer.render())
+        print()
+    else:
+        result = engine.run(app, mode=args.mode)
     if args.trace:
         print(result.explain())
         print()
@@ -189,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export every generated design here")
     run.add_argument("--trace", action="store_true",
                      help="print the full decision trace")
+    run.add_argument("--time", action="store_true",
+                     help="print a per-phase wall-time breakdown "
+                          "(parse / analysis exec / DSE / codegen)")
     run.add_argument("--json", default=None, metavar="PATH",
                      help="dump the flow result (designs, decisions, "
                           "profile) as JSON")

@@ -22,6 +22,9 @@ from repro.analysis.data_movement import DataMovementInfo, analyze_data_movement
 from repro.analysis.hotspot import HotspotInfo, identify_hotspot_loops
 from repro.analysis.intensity import IntensityInfo, analyze_intensity
 from repro.analysis.pointer_alias import AliasInfo, analyze_pointer_aliasing
+from repro.analysis.profile import (
+    clear_profile_cache, collect_profile, profile_cache_stats,
+)
 from repro.analysis.trip_count import (
     TripCountInfo, analyze_trip_counts, static_trip_count,
 )
@@ -48,4 +51,7 @@ __all__ = [
     "analyze_data_movement",
     "AliasInfo",
     "analyze_pointer_aliasing",
+    "collect_profile",
+    "clear_profile_cache",
+    "profile_cache_stats",
 ]

@@ -55,7 +55,8 @@ class DataMovementInfo(NamedTuple):
 def analyze_data_movement(ast: Ast, workload: Workload, fn_name: str,
                           entry: str = "main") -> DataMovementInfo:
     """Transfer requirements of offloading ``fn_name`` as observed at runtime."""
-    report = ast.execute(workload.fresh(), entry=entry)
+    from repro.analysis.profile import collect_profile
+    report = collect_profile(ast, workload, entry=entry)
     records = report.arrays_touched_by(fn_name)
     buffers = []
     for rec in records.values():

@@ -58,7 +58,8 @@ def identify_hotspot_loops(ast: Ast, workload: Workload,
                     prologue=[f'timer_start("{timer}");'],
                     epilogue=[f'timer_stop("{timer}");'])
 
-    report = instrumented.execute(workload.fresh(), entry=entry)
+    from repro.analysis.profile import collect_profile
+    report = collect_profile(instrumented, workload, entry=entry)
     total = report.total_cycles() or 1.0
 
     infos = [HotspotInfo(path=path,

@@ -39,7 +39,8 @@ class AliasInfo(NamedTuple):
 def analyze_pointer_aliasing(ast: Ast, workload: Workload, fn_name: str,
                              entry: str = "main") -> AliasInfo:
     """Check every dynamic call of ``fn_name`` for overlapping pointer args."""
-    report = ast.execute(workload.fresh(), entry=entry)
+    from repro.analysis.profile import collect_profile
+    report = collect_profile(ast, workload, entry=entry)
     events = report.calls_of(fn_name)
     conflicts: List[AliasPair] = []
     seen = set()

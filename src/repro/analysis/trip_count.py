@@ -105,7 +105,8 @@ def analyze_trip_counts(ast: Ast, workload: Workload, fn_name: str,
     """
     fn = ast.function(fn_name)
     loops = fn.loops()
-    report = ast.execute(workload.fresh(), entry=entry)
+    from repro.analysis.profile import collect_profile
+    report = collect_profile(ast, workload, entry=entry)
 
     results: Dict[LoopPath, TripCountInfo] = {}
     for loop in loops:

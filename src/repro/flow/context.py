@@ -104,10 +104,14 @@ class FlowContext:
         """One profiled run of the current (extracted) program.
 
         Shared by every dynamic analysis task; invalidated by transforms
-        that change the kernel (``invalidate_kernel_report``).
+        that change the kernel (``invalidate_kernel_report``).  The run
+        goes through :func:`repro.analysis.profile.collect_profile`, so
+        across flows (and across processes, with ``REPRO_CACHE_DIR``)
+        each (source, workload) pair executes at most once.
         """
         if self._kernel_report is None:
-            self._kernel_report = self.ast.execute(self.workload.fresh())
+            from repro.analysis.profile import collect_profile
+            self._kernel_report = collect_profile(self.ast, self.workload)
         return self._kernel_report
 
     def invalidate_kernel_report(self) -> None:

@@ -1,0 +1,1832 @@
+"""UHL -> Python closure compiler.
+
+Lowers a :class:`~repro.meta.ast_nodes.TranslationUnit` to nested Python
+closures -- one compiled callable per function / statement / expression,
+with all dispatch (node kind, operator, scope resolution, static type
+classification) performed once at compile time.  Running a compiled
+program performs no per-node ``isinstance`` checks and no AST traversal.
+
+Profiler accounting is batched: the static event cost of every statement
+(flops, int ops, branches, builtin flops, memory accesses) is computed at
+compile time and flushed into the live :class:`Counter` by a generated
+flush function; loop condition/increment costs are multiplied by the
+observed check/iteration counts on loop exit.  Only genuinely dynamic
+events (bytes moved, access records, pointer-arithmetic ops, calls)
+are counted at run time.
+
+The compiled engine is observationally identical to the interpreter for
+every well-typed program: same ExecReport counters, timers, loop
+profiles, trip counts, pointer events, stdout and return value.  Two
+escape hatches preserve identity for the rest:
+
+- :class:`CompileUnsupported` (compile time): a construct the compiler
+  does not model (malformed builtin call shapes, timer calls in
+  non-statement position) -- the caller runs the interpreter instead.
+- :class:`CompiledBailout` (run time): a value whose runtime type breaks
+  the static kind assumptions (e.g. an ``int*`` passed to a ``double*``
+  parameter) -- the caller discards the partial run and re-executes the
+  same workload under the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.builtins import (
+    ARRAY_BUILTIN_TYPES, LCG, MATH_BUILTINS, SCALAR_WS_BUILTINS, is_builtin,
+)
+from repro.lang.interpreter import (
+    DIV_FLOP_COST, ExecLimitExceeded, RuntimeFault, Workload,
+    _c_int_div, _c_int_mod, _trunc,
+)
+from repro.lang.profiler import (
+    ArrayAccessRecord, Counter, ExecReport, PointerArgEvent,
+)
+from repro.lang.values import ArrayValue, PointerValue, truthy
+from repro.meta.ast_nodes import (
+    Assign, BinaryOp, BoolLit, BreakStmt, Call, Cast, Comment, CompoundStmt,
+    ContinueStmt, CType, DeclStmt, DoWhileStmt, ExprStmt, FloatLit, ForStmt,
+    FunctionDecl, Ident, IfStmt, Index, IntLit, NullStmt, RawStmt, ReturnStmt,
+    StringLit, Ternary, TranslationUnit, UnaryOp, WhileStmt,
+)
+
+DEFAULT_MAX_STEPS = 200_000_000
+_MAX_EVENTS = 10_000
+
+
+class CompileUnsupported(Exception):
+    """The unit uses a construct the compiler does not model."""
+
+
+class CompiledBailout(Exception):
+    """A runtime value broke the compiler's static kind assumptions."""
+
+
+# -------------------------------------------------------------------------
+# Static kinds: compile-time classification of every expression's value.
+# -------------------------------------------------------------------------
+K_UNKNOWN, K_INT, K_FLOAT, K_STR, K_PTR_U, K_PTR_I, K_PTR_F = range(7)
+_PTR_KINDS = (K_PTR_U, K_PTR_I, K_PTR_F)
+_NUM_KINDS = (K_INT, K_FLOAT)
+
+
+def _kind_of_ctype(ctype: CType) -> int:
+    if ctype.is_pointer:
+        if ctype.pointers > 1 or ctype.base == "void":
+            return K_PTR_U
+        return K_PTR_F if ctype.element_type().is_floating else K_PTR_I
+    if ctype.is_floating:
+        return K_FLOAT
+    return K_INT          # int / long / bool
+
+
+def _elem_kind(ptr_kind: int) -> int:
+    if ptr_kind == K_PTR_F:
+        return K_FLOAT
+    if ptr_kind == K_PTR_I:
+        return K_INT
+    return K_UNKNOWN
+
+
+# -------------------------------------------------------------------------
+# Static cost vectors and generated flush functions.
+# -------------------------------------------------------------------------
+F, I, B, BF, MR, MW = range(6)
+_COST_ATTRS = ("flops", "int_ops", "branches", "builtin_flops",
+               "mem_reads", "mem_writes")
+
+
+def _new_cost() -> List[int]:
+    return [0, 0, 0, 0, 0, 0]
+
+
+def _add_cost(into: List[int], cost: Sequence[int]) -> None:
+    for i in range(6):
+        into[i] += cost[i]
+
+
+def _make_flush(cost: Sequence[int]):
+    """A minimal ``flush(counter)`` adding this static cost, or None."""
+    lines = [f"    c.{_COST_ATTRS[i]} += {cost[i]}"
+             for i in range(6) if cost[i]]
+    if not lines:
+        return None
+    src = "def _flush(c):\n" + "\n".join(lines) + "\n"
+    ns: Dict[str, object] = {}
+    exec(src, ns)                                    # noqa: S102
+    return ns["_flush"]
+
+
+def _make_mul_flush(cost: Sequence[int]):
+    """A minimal ``flush(counter, n)`` adding n x this cost, or None."""
+    lines = [f"    c.{_COST_ATTRS[i]} += {cost[i]} * n"
+             for i in range(6) if cost[i]]
+    if not lines:
+        return None
+    src = "def _mflush(c, n):\n" + "\n".join(lines) + "\n"
+    ns: Dict[str, object] = {}
+    exec(src, ns)                                    # noqa: S102
+    return ns["_mflush"]
+
+
+# -------------------------------------------------------------------------
+# Runtime state (one per program run).
+# -------------------------------------------------------------------------
+_BRK = object()     # statement closures return one of these sentinels
+_CNT = object()     # (or None) instead of raising control-flow exceptions
+_RET = object()
+
+
+class _Rt:
+    """Mutable run state threaded through every compiled closure."""
+
+    __slots__ = ("workload", "report", "rng", "counter", "counter_stack",
+                 "frame_arrays", "timer_starts", "globals", "steps",
+                 "max_steps", "ret")
+
+    def __init__(self, workload: Workload, max_steps: int, nglobals: int):
+        self.workload = workload
+        self.report = ExecReport()
+        self.rng = LCG(workload.seed)
+        self.counter = self.report.global_counter
+        self.counter_stack = [self.counter]
+        self.frame_arrays: List[Dict[int, ArrayAccessRecord]] = []
+        self.timer_starts: Dict[str, float] = {}
+        self.globals: List[object] = [None] * nglobals
+        self.steps = 0
+        self.max_steps = max_steps
+        self.ret = None
+
+
+def _clock_rt(rt: _Rt) -> float:
+    return sum(c.cycles() for c in rt.counter_stack)
+
+
+def _check_steps(rt: _Rt) -> None:
+    if rt.steps > rt.max_steps:
+        raise ExecLimitExceeded(
+            f"exceeded {rt.max_steps} interpreter steps")
+
+
+# -------------------------------------------------------------------------
+# Runtime helpers shared by generated closures.  These mirror the
+# interpreter's memory / arithmetic semantics (including fault messages)
+# exactly; static event counts are charged by the callers' flushes.
+# -------------------------------------------------------------------------
+def _record_access(rt: _Rt, array: ArrayValue, write: bool) -> None:
+    array_id = array.array_id
+    for records in rt.frame_arrays:
+        rec = records.get(array_id)
+        if rec is not None:
+            if write:
+                rec.writes += 1
+            else:
+                rec.reads += 1
+                if rec.writes == 0:
+                    rec.read_before_write = True
+
+
+def _as_ptr(base) -> PointerValue:
+    if isinstance(base, ArrayValue):
+        return PointerValue(base, 0)
+    raise RuntimeFault("subscript on a non-pointer value")
+
+
+def _load_el(rt: _Rt, ptr: PointerValue, index: int):
+    arr = ptr.array
+    if not arr.is_local:
+        rt.counter.bytes_read += arr.elem_size
+        if rt.frame_arrays:
+            _record_access(rt, arr, False)
+    try:
+        return arr.data[ptr.offset + index]
+    except IndexError:
+        raise RuntimeFault(
+            f"out-of-bounds read at {arr.name or 'buffer'}"
+            f"[{ptr.offset + index}] (size {len(arr)})") from None
+
+
+def _store_el(rt: _Rt, ptr: PointerValue, index: int, value):
+    arr = ptr.array
+    if not arr.is_local:
+        rt.counter.bytes_written += arr.elem_size
+        if rt.frame_arrays:
+            _record_access(rt, arr, True)
+    if ptr.offset + index < 0:
+        raise RuntimeFault("negative buffer offset")
+    try:
+        return ptr.store(index, value)
+    except IndexError:
+        raise RuntimeFault(
+            f"out-of-bounds write at {arr.name or 'buffer'}"
+            f"[{ptr.offset + index}] (size {len(arr)})") from None
+
+
+def _deref_ptr(value) -> PointerValue:
+    if isinstance(value, ArrayValue):
+        return PointerValue(value, 0)
+    if not isinstance(value, PointerValue):
+        raise RuntimeFault("dereferencing a non-pointer")
+    return value
+
+
+def _pointer_arith_rt(rt: _Rt, op: str, lhs, rhs):
+    if isinstance(lhs, ArrayValue):
+        lhs = PointerValue(lhs, 0)
+    if isinstance(rhs, ArrayValue):
+        rhs = PointerValue(rhs, 0)
+    rt.counter.int_ops += 1
+    if op == "+" and isinstance(lhs, PointerValue) and isinstance(rhs, int):
+        return lhs.add(rhs)
+    if op == "+" and isinstance(rhs, PointerValue) and isinstance(lhs, int):
+        return rhs.add(lhs)
+    if op == "-" and isinstance(lhs, PointerValue) and isinstance(rhs, int):
+        return lhs.add(-rhs)
+    if (op == "-" and isinstance(lhs, PointerValue)
+            and isinstance(rhs, PointerValue)):
+        if lhs.array is not rhs.array:
+            raise RuntimeFault("subtracting pointers into different buffers")
+        return lhs.offset - rhs.offset
+    if op in ("==", "!=") and isinstance(lhs, PointerValue) \
+            and isinstance(rhs, PointerValue):
+        same = lhs.array is rhs.array and lhs.offset == rhs.offset
+        return int(same if op == "==" else not same)
+    raise RuntimeFault(f"unsupported pointer operation {op!r}")
+
+
+def _apply_binary_rt(rt: _Rt, op: str, lhs, rhs):
+    """Dynamic binary op: used when static kinds are unknown/pointer.
+
+    A faithful replica of ``Interpreter._apply_binary`` charging
+    ``rt.counter`` at run time.
+    """
+    counter = rt.counter
+    if isinstance(lhs, (PointerValue, ArrayValue)) or isinstance(
+            rhs, (PointerValue, ArrayValue)):
+        return _pointer_arith_rt(rt, op, lhs, rhs)
+
+    is_float = isinstance(lhs, float) or isinstance(rhs, float)
+    if op == "+":
+        counter.flops += 1 if is_float else 0
+        counter.int_ops += 0 if is_float else 1
+        return lhs + rhs
+    if op == "-":
+        counter.flops += 1 if is_float else 0
+        counter.int_ops += 0 if is_float else 1
+        return lhs - rhs
+    if op == "*":
+        counter.flops += 1 if is_float else 0
+        counter.int_ops += 0 if is_float else 1
+        return lhs * rhs
+    if op == "/":
+        if is_float:
+            counter.flops += DIV_FLOP_COST
+            if rhs == 0:
+                return math.inf if lhs > 0 else (
+                    -math.inf if lhs < 0 else math.nan)
+            return lhs / rhs
+        counter.int_ops += 1
+        return _c_int_div(lhs, rhs)
+    if op == "%":
+        counter.int_ops += 1
+        if is_float:
+            raise RuntimeFault("'%' requires integer operands")
+        return _c_int_mod(lhs, rhs)
+    if op in ("<", ">", "<=", ">=", "==", "!="):
+        if is_float:
+            counter.flops += 1
+        else:
+            counter.int_ops += 1
+        result = {"<": lhs < rhs, ">": lhs > rhs, "<=": lhs <= rhs,
+                  ">=": lhs >= rhs, "==": lhs == rhs, "!=": lhs != rhs}[op]
+        return 1 if result else 0
+    if op in ("&", "|", "^", "<<", ">>"):
+        counter.int_ops += 1
+        if isinstance(lhs, float) or isinstance(rhs, float):
+            raise RuntimeFault(f"bitwise {op!r} requires integers")
+        return {"&": lhs & rhs, "|": lhs | rhs, "^": lhs ^ rhs,
+                "<<": lhs << rhs, ">>": lhs >> rhs}[op]
+    raise RuntimeFault(f"unsupported binary operator {op!r}")
+
+
+def _convert_val(value, ctype: CType):
+    """Replica of ``Interpreter._convert`` (declared-type conversion)."""
+    if ctype.is_pointer:
+        if isinstance(value, ArrayValue):
+            return PointerValue(value, 0)
+        if isinstance(value, PointerValue) or value is None:
+            return value
+        raise RuntimeFault(f"cannot convert {value!r} to {ctype}")
+    if not isinstance(value, (int, float, bool)):
+        raise RuntimeFault(f"cannot convert {value!r} to {ctype}")
+    if ctype.is_floating:
+        return float(value)
+    if ctype.base == "bool":
+        return 1 if value else 0
+    return _trunc(value)
+
+
+def _merge_records(rt: _Rt, fn_name: str,
+                   records: Dict[int, ArrayAccessRecord]) -> None:
+    if not records:
+        return
+    merged = rt.report.fn_array_access.setdefault(fn_name, {})
+    for rec in records.values():
+        into = merged.get(rec.name)
+        if into is None:
+            merged[rec.name] = rec
+        else:
+            into.reads += rec.reads
+            into.writes += rec.writes
+            into.read_before_write |= rec.read_before_write
+            into.nbytes = max(into.nbytes, rec.nbytes)
+
+
+class _CFn:
+    """A compiled function: registered first, body filled in phase 2 so
+    recursive and forward calls can capture the object early."""
+
+    __slots__ = ("name", "nparams", "param_info", "body", "frame_size")
+
+    def __init__(self, name: str, nparams: int):
+        self.name = name
+        self.nparams = nparams
+        self.param_info: List[Tuple[int, str, Optional[bool], str, CType]] = []
+        self.body = None
+        self.frame_size = 0
+
+
+def _call_user(rt: _Rt, cfn: _CFn, args: list):
+    if len(args) != cfn.nparams:
+        raise RuntimeFault(
+            f"{cfn.name}() takes {cfn.nparams} args, got {len(args)}")
+    rt.counter.calls += 1
+    rt.steps += 1
+    if rt.steps > rt.max_steps:
+        raise ExecLimitExceeded(
+            f"exceeded {rt.max_steps} interpreter steps")
+    frame: List[object] = [None] * cfn.frame_size
+    records: Dict[int, ArrayAccessRecord] = {}
+    ptr_args: List[Tuple[str, int, int, int]] = []
+    for slot, mode, want, pname, ctype in cfn.param_info:
+        arg = args[slot]
+        if mode == "p":
+            if isinstance(arg, ArrayValue):
+                arg = PointerValue(arg, 0)
+            if isinstance(arg, PointerValue):
+                arr = arg.array
+                if want is not None and arr.elem_type.is_floating is not want:
+                    raise CompiledBailout(
+                        f"{cfn.name}(): pointer element category mismatch "
+                        f"for param {pname!r}")
+                records[arr.array_id] = ArrayAccessRecord(
+                    pname, arg.extent() * arr.elem_size, arr.elem_size)
+                ptr_args.append((pname, arr.array_id, arg.offset,
+                                 arg.extent()))
+            else:
+                raise RuntimeFault(
+                    f"{cfn.name}(): passing scalar to pointer param "
+                    f"{pname!r}")
+        else:
+            if isinstance(arg, (PointerValue, ArrayValue)):
+                raise RuntimeFault(
+                    f"{cfn.name}(): passing pointer to scalar param "
+                    f"{pname!r}")
+            if not isinstance(arg, (int, float, bool)):
+                raise RuntimeFault(f"cannot convert {arg!r} to {ctype}")
+            if mode == "f":
+                arg = float(arg)
+            elif mode == "b":
+                arg = 1 if arg else 0
+            else:
+                arg = _trunc(arg)
+        frame[slot] = arg
+    if ptr_args and len(rt.report.pointer_events) < _MAX_EVENTS:
+        rt.report.pointer_events.append(PointerArgEvent(cfn.name, ptr_args))
+    rt.frame_arrays.append(records)
+    try:
+        r = cfn.body(rt, frame)
+        if r is _RET:
+            result = rt.ret
+            rt.ret = None
+        else:
+            result = None
+    finally:
+        rt.frame_arrays.pop()
+        _merge_records(rt, cfn.name, records)
+    return result
+
+
+# -------------------------------------------------------------------------
+# Expression compiler.
+# -------------------------------------------------------------------------
+_TIMER_NAMES = ("timer_start", "timer_stop")
+
+
+class _Fc:
+    """Per-function compile context: lexical scopes map names to frame
+    slots at compile time, so compiled code never searches scopes."""
+
+    def __init__(self, comp: "_Compiler", safe: bool):
+        self.comp = comp
+        self.scopes: List[Dict[str, Tuple[int, int, CType]]] = []
+        self.nslots = 0
+        self.cost = _new_cost()
+        self.safe = safe          # unit has timers: no batched accounting
+        self.timer_ok = False     # current call node is a bare statement
+        self.timer_expr_call = False  # stmt calls a timer fn mid-expr
+
+    # -- scopes -----------------------------------------------------------
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, kind: int, ctype: CType) -> int:
+        slot = self.nslots
+        self.nslots += 1
+        self.scopes[-1][name] = (slot, kind, ctype)
+        return slot
+
+    def lookup(self, name: str):
+        """('l'|'g', slot, kind, ctype) or None."""
+        for scope in reversed(self.scopes):
+            hit = scope.get(name)
+            if hit is not None:
+                return ("l",) + hit
+        hit = self.comp.global_vars.get(name)
+        if hit is not None:
+            return ("g",) + hit
+        return None
+
+    # -- dispatch ---------------------------------------------------------
+    def expr(self, e):
+        kind = type(e)
+        if kind is IntLit:
+            v = e.value
+            return (lambda rt, frame: v), K_INT
+        if kind is FloatLit:
+            v = e.value
+            return (lambda rt, frame: v), K_FLOAT
+        if kind is Ident:
+            return self._ident(e.name)
+        if kind is BinaryOp:
+            return self._binary(e)
+        if kind is Index:
+            return self._load(e)
+        if kind is Assign:
+            return self._assign(e)
+        if kind is Call:
+            return self._call(e)
+        if kind is UnaryOp:
+            return self._unary(e)
+        if kind is Ternary:
+            return self._ternary(e)
+        if kind is Cast:
+            return self._cast(e)
+        if kind is BoolLit:
+            v = 1 if e.value else 0
+            return (lambda rt, frame: v), K_INT
+        if kind is StringLit:
+            v = e.value
+            return (lambda rt, frame: v), K_STR
+        name = kind.__name__
+
+        def bad(rt, frame):
+            raise RuntimeFault(f"cannot evaluate {name}")
+        return bad, K_UNKNOWN
+
+    def sealed_expr(self, e):
+        """Compile ``e`` so its static cost is flushed only if it runs
+        (conditional subtrees: &&/|| RHS, ternary and if arms)."""
+        saved = self.cost
+        outer_flag = self.timer_expr_call
+        self.timer_expr_call = False
+        self.cost = _new_cost()
+        cl, kind = self.expr(e)
+        fl = _make_flush(self.cost)
+        self.cost = saved
+        if self.timer_expr_call and fl is not None:
+            raise CompileUnsupported(
+                "timer-bearing call inside a costed conditional subtree")
+        self.timer_expr_call = outer_flag or self.timer_expr_call
+        if fl is None:
+            return cl, kind
+
+        def run(rt, frame):
+            fl(rt.counter)
+            return cl(rt, frame)
+        return run, kind
+
+    # -- names ------------------------------------------------------------
+    def _ident(self, name: str):
+        res = self.lookup(name)
+        if res is None:
+            def cl(rt, frame):
+                raise RuntimeFault(f"undefined variable {name!r}")
+            return cl, K_UNKNOWN
+        where, slot, kind, _ = res
+        if where == "l":
+            return (lambda rt, frame: frame[slot]), kind
+        return (lambda rt, frame: rt.globals[slot]), kind
+
+    # -- binary -----------------------------------------------------------
+    def _binary(self, e: BinaryOp):
+        op = e.op
+        if op == "&&":
+            self.cost[B] += 1
+            lcl, _ = self.expr(e.lhs)
+            rcl, _ = self.sealed_expr(e.rhs)
+
+            def cl(rt, frame):
+                if not truthy(lcl(rt, frame)):
+                    return 0
+                return 1 if truthy(rcl(rt, frame)) else 0
+            return cl, K_INT
+        if op == "||":
+            self.cost[B] += 1
+            lcl, _ = self.expr(e.lhs)
+            rcl, _ = self.sealed_expr(e.rhs)
+
+            def cl(rt, frame):
+                if truthy(lcl(rt, frame)):
+                    return 1
+                return 1 if truthy(rcl(rt, frame)) else 0
+            return cl, K_INT
+        if op == ",":
+            lcl, _ = self.expr(e.lhs)
+            rcl, rk = self.expr(e.rhs)
+
+            def cl(rt, frame):
+                lcl(rt, frame)
+                return rcl(rt, frame)
+            return cl, rk
+
+        lcl, lk = self.expr(e.lhs)
+        rcl, rk = self.expr(e.rhs)
+        if lk in _NUM_KINDS and rk in _NUM_KINDS:
+            return self._static_binop(op, lcl, rcl, lk, rk)
+
+        def cl(rt, frame):
+            return _apply_binary_rt(rt, op, lcl(rt, frame), rcl(rt, frame))
+        kind = K_INT if op in BinaryOp.COMPARE else K_UNKNOWN
+        return cl, kind
+
+    def _static_binop(self, op, lcl, rcl, lk, rk):
+        cost = self.cost
+        is_float = lk is K_FLOAT or rk is K_FLOAT
+        if op in ("+", "-", "*"):
+            cost[F if is_float else I] += 1
+            if op == "+":
+                def cl(rt, frame):
+                    return lcl(rt, frame) + rcl(rt, frame)
+            elif op == "-":
+                def cl(rt, frame):
+                    return lcl(rt, frame) - rcl(rt, frame)
+            else:
+                def cl(rt, frame):
+                    return lcl(rt, frame) * rcl(rt, frame)
+            return cl, (K_FLOAT if is_float else K_INT)
+        if op == "/":
+            if is_float:
+                cost[F] += DIV_FLOP_COST
+
+                def cl(rt, frame):
+                    lhs = lcl(rt, frame)
+                    rhs = rcl(rt, frame)
+                    if rhs == 0:
+                        return math.inf if lhs > 0 else (
+                            -math.inf if lhs < 0 else math.nan)
+                    return lhs / rhs
+                return cl, K_FLOAT
+            cost[I] += 1
+
+            def cl(rt, frame):
+                return _c_int_div(lcl(rt, frame), rcl(rt, frame))
+            return cl, K_INT
+        if op == "%":
+            cost[I] += 1
+            if is_float:
+                def cl(rt, frame):
+                    lcl(rt, frame)
+                    rcl(rt, frame)
+                    raise RuntimeFault("'%' requires integer operands")
+                return cl, K_UNKNOWN
+
+            def cl(rt, frame):
+                return _c_int_mod(lcl(rt, frame), rcl(rt, frame))
+            return cl, K_INT
+        if op in BinaryOp.COMPARE:
+            cost[F if is_float else I] += 1
+            if op == "<":
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) < rcl(rt, frame) else 0
+            elif op == ">":
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) > rcl(rt, frame) else 0
+            elif op == "<=":
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) <= rcl(rt, frame) else 0
+            elif op == ">=":
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) >= rcl(rt, frame) else 0
+            elif op == "==":
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) == rcl(rt, frame) else 0
+            else:
+                def cl(rt, frame):
+                    return 1 if lcl(rt, frame) != rcl(rt, frame) else 0
+            return cl, K_INT
+        if op in BinaryOp.BITWISE:
+            cost[I] += 1
+            if is_float:
+                def cl(rt, frame):
+                    lcl(rt, frame)
+                    rcl(rt, frame)
+                    raise RuntimeFault(f"bitwise {op!r} requires integers")
+                return cl, K_UNKNOWN
+            fn = {"&": lambda a, b: a & b, "|": lambda a, b: a | b,
+                  "^": lambda a, b: a ^ b, "<<": lambda a, b: a << b,
+                  ">>": lambda a, b: a >> b}[op]
+
+            def cl(rt, frame):
+                return fn(lcl(rt, frame), rcl(rt, frame))
+            return cl, K_INT
+
+        def cl(rt, frame):
+            lcl(rt, frame)
+            rcl(rt, frame)
+            raise RuntimeFault(f"unsupported binary operator {op!r}")
+        return cl, K_UNKNOWN
+
+    # -- memory -----------------------------------------------------------
+    def _load(self, e: Index):
+        bcl, bk = self.expr(e.base)
+        icl, ik = self.expr(e.index)
+        self.cost[MR] += 1
+        check_int = ik is not K_INT
+
+        def cl(rt, frame):
+            base = bcl(rt, frame)
+            if type(base) is not PointerValue:
+                base = _as_ptr(base)
+            idx = icl(rt, frame)
+            if check_int and not isinstance(idx, int):
+                raise RuntimeFault("array index must be an integer")
+            return _load_el(rt, base, idx)
+        return cl, (_elem_kind(bk) if bk in _PTR_KINDS else K_UNKNOWN)
+
+    # -- ternary / cast ----------------------------------------------------
+    def _ternary(self, e: Ternary):
+        self.cost[B] += 1
+        ccl, _ = self.expr(e.cond)
+        tcl, tk = self.sealed_expr(e.then)
+        ecl, ek = self.sealed_expr(e.els)
+
+        def cl(rt, frame):
+            if truthy(ccl(rt, frame)):
+                return tcl(rt, frame)
+            return ecl(rt, frame)
+        return cl, (tk if tk == ek else K_UNKNOWN)
+
+    def _cast(self, e: Cast):
+        ocl, ok = self.expr(e.expr)
+        ct = e.ctype
+        kind = _kind_of_ctype(ct)
+        if ct.is_pointer or ct.base == "bool":
+            def cl(rt, frame):
+                return _convert_val(ocl(rt, frame), ct)
+            return cl, (K_INT if ct.base == "bool" else kind)
+        if ct.is_floating:
+            if ok is K_FLOAT:
+                return ocl, K_FLOAT
+            if ok is K_INT:
+                def cl(rt, frame):
+                    return float(ocl(rt, frame))
+                return cl, K_FLOAT
+        else:
+            if ok is K_INT:
+                return ocl, K_INT
+            if ok is K_FLOAT:
+                def cl(rt, frame):
+                    return _trunc(ocl(rt, frame))
+                return cl, K_INT
+
+        def cl(rt, frame):
+            return _convert_val(ocl(rt, frame), ct)
+        return cl, kind
+
+    # -- unary ------------------------------------------------------------
+    def _unary(self, e: UnaryOp):
+        op = e.op
+        if op in ("++", "--"):
+            return self._incdec(e)
+        if op == "*":
+            ocl, ok = self.expr(e.operand)
+            self.cost[MR] += 1
+
+            def cl(rt, frame):
+                return _load_el(rt, _deref_ptr(ocl(rt, frame)), 0)
+            return cl, (_elem_kind(ok) if ok in _PTR_KINDS else K_UNKNOWN)
+        if op == "&":
+            operand = e.operand
+            if isinstance(operand, Index):
+                bcl, bk = self.expr(operand.base)
+                icl, ik = self.expr(operand.index)
+                check_int = ik is not K_INT
+
+                def cl(rt, frame):
+                    base = bcl(rt, frame)
+                    if type(base) is not PointerValue:
+                        base = _as_ptr(base)
+                    idx = icl(rt, frame)
+                    if check_int and not isinstance(idx, int):
+                        raise RuntimeFault("array index must be an integer")
+                    return base.add(idx)
+                return cl, (bk if bk in _PTR_KINDS else K_PTR_U)
+            if isinstance(operand, Ident):
+                vcl, vk = self._ident(operand.name)
+
+                def cl(rt, frame):
+                    value = vcl(rt, frame)
+                    if isinstance(value, ArrayValue):
+                        return PointerValue(value, 0)
+                    raise RuntimeFault(
+                        "'&' is only supported on array elements")
+                return cl, (vk if vk in _PTR_KINDS else K_PTR_U)
+
+            def cl(rt, frame):
+                raise RuntimeFault("'&' is only supported on array elements")
+            return cl, K_PTR_U
+
+        ocl, ok = self.expr(e.operand)
+        if op == "-":
+            if ok is K_FLOAT:
+                self.cost[F] += 1
+
+                def cl(rt, frame):
+                    return -ocl(rt, frame)
+                return cl, K_FLOAT
+            if ok is K_INT:
+                self.cost[I] += 1
+
+                def cl(rt, frame):
+                    return -ocl(rt, frame)
+                return cl, K_INT
+
+            def cl(rt, frame):
+                value = ocl(rt, frame)
+                c = rt.counter
+                if isinstance(value, float):
+                    c.flops += 1
+                else:
+                    c.int_ops += 1
+                return -value
+            return cl, K_UNKNOWN
+        if op == "!":
+            self.cost[I] += 1
+
+            def cl(rt, frame):
+                return 0 if truthy(ocl(rt, frame)) else 1
+            return cl, K_INT
+        if op == "~":
+            self.cost[I] += 1
+
+            def cl(rt, frame):
+                return ~ocl(rt, frame)
+            return cl, K_INT
+
+        def cl(rt, frame):
+            ocl(rt, frame)
+            raise RuntimeFault(f"unsupported unary operator {op!r}")
+        return cl, K_UNKNOWN
+
+    def _incdec(self, e: UnaryOp):
+        delta = 1 if e.op == "++" else -1
+        prefix = e.prefix
+        target = e.operand
+        self.cost[I] += 1
+        if isinstance(target, Ident):
+            res = self.lookup(target.name)
+            if res is None:
+                name = target.name
+
+                def cl(rt, frame):
+                    raise RuntimeFault(f"undefined variable {name!r}")
+                return cl, K_UNKNOWN
+            where, slot, kind, _ = res
+            if where == "l":
+                if kind in _NUM_KINDS:
+                    def cl(rt, frame):
+                        old = frame[slot]
+                        new = old + delta
+                        frame[slot] = new
+                        return new if prefix else old
+                else:
+                    def cl(rt, frame):
+                        old = frame[slot]
+                        if isinstance(old, PointerValue):
+                            new = old.add(delta)
+                        else:
+                            new = old + delta
+                        frame[slot] = new
+                        return new if prefix else old
+            else:
+                if kind in _NUM_KINDS:
+                    def cl(rt, frame):
+                        old = rt.globals[slot]
+                        new = old + delta
+                        rt.globals[slot] = new
+                        return new if prefix else old
+                else:
+                    def cl(rt, frame):
+                        old = rt.globals[slot]
+                        if isinstance(old, PointerValue):
+                            new = old.add(delta)
+                        else:
+                            new = old + delta
+                        rt.globals[slot] = new
+                        return new if prefix else old
+            return cl, kind
+        if isinstance(target, Index):
+            bcl, bk = self.expr(target.base)
+            icl, ik = self.expr(target.index)
+            self.cost[MR] += 1
+            self.cost[MW] += 1
+            check_int = ik is not K_INT
+
+            def cl(rt, frame):
+                base = bcl(rt, frame)
+                if type(base) is not PointerValue:
+                    base = _as_ptr(base)
+                idx = icl(rt, frame)
+                if check_int and not isinstance(idx, int):
+                    raise RuntimeFault("array index must be an integer")
+                old = _load_el(rt, base, idx)
+                new = old + delta
+                _store_el(rt, base, idx, new)
+                return new if prefix else old
+            return cl, (_elem_kind(bk) if bk in _PTR_KINDS else K_UNKNOWN)
+
+        def cl(rt, frame):
+            raise RuntimeFault("++/-- target must be a variable or element")
+        return cl, K_UNKNOWN
+
+    # -- assignment --------------------------------------------------------
+    def _numeric_apply(self, bop: str, is_float: bool):
+        """Static compound-assign combiner; charges self.cost."""
+        cost = self.cost
+        if bop in ("+", "-", "*"):
+            cost[F if is_float else I] += 1
+            return {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                    "*": lambda a, b: a * b}[bop]
+        # bop == "/" (Assign.OPS only allows + - * /)
+        if is_float:
+            cost[F] += DIV_FLOP_COST
+
+            def div(a, b):
+                if b == 0:
+                    return math.inf if a > 0 else (
+                        -math.inf if a < 0 else math.nan)
+                return a / b
+            return div
+        cost[I] += 1
+        return _c_int_div
+
+    def _assign(self, e: Assign):
+        target = e.target
+        if isinstance(target, Index):
+            return self._assign_index(e, target)
+        if isinstance(target, Ident):
+            return self._assign_ident(e, target)
+        if isinstance(target, UnaryOp) and target.op == "*":
+            return self._assign_deref(e, target)
+
+        def cl(rt, frame):
+            raise RuntimeFault("unsupported assignment target")
+        return cl, K_UNKNOWN
+
+    def _assign_index(self, e: Assign, target: Index):
+        bcl, bk = self.expr(target.base)
+        icl, ik = self.expr(target.index)
+        check_int = ik is not K_INT
+        ek = _elem_kind(bk) if bk in _PTR_KINDS else K_UNKNOWN
+        if e.op == "=":
+            vcl, _ = self.expr(e.value)
+            self.cost[MW] += 1
+
+            def cl(rt, frame):
+                base = bcl(rt, frame)
+                if type(base) is not PointerValue:
+                    base = _as_ptr(base)
+                idx = icl(rt, frame)
+                if check_int and not isinstance(idx, int):
+                    raise RuntimeFault("array index must be an integer")
+                return _store_el(rt, base, idx, vcl(rt, frame))
+            return cl, ek
+        bop = e.op[0]
+        self.cost[MR] += 1
+        rcl, rk = self.expr(e.value)
+        self.cost[MW] += 1
+        if ek in _NUM_KINDS and rk in _NUM_KINDS:
+            apply = self._numeric_apply(bop, ek is K_FLOAT or rk is K_FLOAT)
+
+            def cl(rt, frame):
+                base = bcl(rt, frame)
+                if type(base) is not PointerValue:
+                    base = _as_ptr(base)
+                idx = icl(rt, frame)
+                if check_int and not isinstance(idx, int):
+                    raise RuntimeFault("array index must be an integer")
+                old = _load_el(rt, base, idx)
+                return _store_el(rt, base, idx, apply(old, rcl(rt, frame)))
+        else:
+            def cl(rt, frame):
+                base = bcl(rt, frame)
+                if type(base) is not PointerValue:
+                    base = _as_ptr(base)
+                idx = icl(rt, frame)
+                if check_int and not isinstance(idx, int):
+                    raise RuntimeFault("array index must be an integer")
+                old = _load_el(rt, base, idx)
+                value = _apply_binary_rt(rt, bop, old, rcl(rt, frame))
+                return _store_el(rt, base, idx, value)
+        return cl, ek
+
+    def _assign_ident(self, e: Assign, target: Ident):
+        res = self.lookup(target.name)
+        if res is None:
+            vcl, _ = self.expr(e.value)
+            name = target.name
+
+            def cl(rt, frame):
+                vcl(rt, frame)
+                raise RuntimeFault(f"undefined variable {name!r}")
+            return cl, K_UNKNOWN
+        where, slot, tk, _ = res
+        if e.op == "=":
+            vcl, vk = self.expr(e.value)
+        else:
+            bop = e.op[0]
+            rcl, rk = self.expr(e.value)
+            getter = ((lambda rt, frame: frame[slot]) if where == "l"
+                      else (lambda rt, frame: rt.globals[slot]))
+            if tk in _NUM_KINDS and rk in _NUM_KINDS:
+                apply = self._numeric_apply(
+                    bop, tk is K_FLOAT or rk is K_FLOAT)
+
+                def vcl(rt, frame):
+                    return apply(getter(rt, frame), rcl(rt, frame))
+                vk = K_FLOAT if (tk is K_FLOAT or rk is K_FLOAT) else K_INT
+            else:
+                def vcl(rt, frame):
+                    return _apply_binary_rt(
+                        rt, bop, getter(rt, frame), rcl(rt, frame))
+                vk = K_UNKNOWN
+        store = self._make_slot_store(where, slot, tk, vk, vcl)
+        return store, tk
+
+    def _make_slot_store(self, where, slot, tk, vk, vcl):
+        """Storage-preserving assignment specialised on the slot's kind.
+
+        Values whose runtime type falls outside the slot's static kind
+        (e.g. a pointer assigned into an int variable) raise
+        CompiledBailout: the interpreter would store them raw, breaking
+        every static assumption downstream, so the engine re-runs the
+        whole workload under the interpreter instead.
+        """
+        is_local = where == "l"
+        if tk is K_FLOAT:
+            if vk is K_FLOAT:
+                conv = None
+            elif vk is K_INT:
+                conv = float
+            else:
+                def conv(v):
+                    t = type(v)
+                    if t is float:
+                        return v
+                    if t is int:
+                        return float(v)
+                    raise CompiledBailout(
+                        f"non-numeric value in float slot: {v!r}")
+        elif tk is K_INT:
+            if vk is K_INT:
+                conv = None
+            elif vk is K_FLOAT:
+                conv = _trunc
+            else:
+                def conv(v):
+                    if isinstance(v, int):      # includes bool
+                        return v
+                    if isinstance(v, float):
+                        return _trunc(v)
+                    raise CompiledBailout(
+                        f"non-numeric value in int slot: {v!r}")
+        else:                                   # pointer slot: store raw
+            def conv(v):
+                if v is None or isinstance(v, (PointerValue, ArrayValue)):
+                    return v
+                raise CompiledBailout(
+                    f"non-pointer value in pointer slot: {v!r}")
+        if conv is None:
+            if is_local:
+                def cl(rt, frame):
+                    value = vcl(rt, frame)
+                    frame[slot] = value
+                    return value
+            else:
+                def cl(rt, frame):
+                    value = vcl(rt, frame)
+                    rt.globals[slot] = value
+                    return value
+        else:
+            if is_local:
+                def cl(rt, frame):
+                    value = conv(vcl(rt, frame))
+                    frame[slot] = value
+                    return value
+            else:
+                def cl(rt, frame):
+                    value = conv(vcl(rt, frame))
+                    rt.globals[slot] = value
+                    return value
+        return cl
+
+    def _assign_deref(self, e: Assign, target: UnaryOp):
+        pcl, pk = self.expr(target.operand)
+        ek = _elem_kind(pk) if pk in _PTR_KINDS else K_UNKNOWN
+        if e.op == "=":
+            vcl, _ = self.expr(e.value)
+            self.cost[MW] += 1
+
+            def cl(rt, frame):
+                ptr = pcl(rt, frame)
+                if isinstance(ptr, ArrayValue):
+                    ptr = PointerValue(ptr, 0)
+                if not isinstance(ptr, PointerValue):
+                    raise RuntimeFault("assignment through a non-pointer")
+                return _store_el(rt, ptr, 0, vcl(rt, frame))
+            return cl, ek
+        bop = e.op[0]
+        self.cost[MR] += 1
+        rcl, rk = self.expr(e.value)
+        self.cost[MW] += 1
+        if ek in _NUM_KINDS and rk in _NUM_KINDS:
+            apply = self._numeric_apply(bop, ek is K_FLOAT or rk is K_FLOAT)
+
+            def cl(rt, frame):
+                ptr = pcl(rt, frame)
+                if isinstance(ptr, ArrayValue):
+                    ptr = PointerValue(ptr, 0)
+                if not isinstance(ptr, PointerValue):
+                    raise RuntimeFault("assignment through a non-pointer")
+                old = _load_el(rt, ptr, 0)
+                return _store_el(rt, ptr, 0, apply(old, rcl(rt, frame)))
+        else:
+            def cl(rt, frame):
+                ptr = pcl(rt, frame)
+                if isinstance(ptr, ArrayValue):
+                    ptr = PointerValue(ptr, 0)
+                if not isinstance(ptr, PointerValue):
+                    raise RuntimeFault("assignment through a non-pointer")
+                old = _load_el(rt, ptr, 0)
+                value = _apply_binary_rt(rt, bop, old, rcl(rt, frame))
+                return _store_el(rt, ptr, 0, value)
+        return cl, ek
+
+    # -- calls -------------------------------------------------------------
+    def _call(self, e: Call):
+        name = e.name
+        bare = self.timer_ok
+        self.timer_ok = False
+        if name in self.comp.functions:
+            if self.comp.has_timers and name in self.comp.timer_fns \
+                    and not bare:
+                # a timer inside the callee reads the virtual clock while
+                # this statement's batched cost is already flushed; the
+                # enclosing statement must prove its flush is empty
+                self.timer_expr_call = True
+            acls = [self.expr(a)[0] for a in e.args]
+            cfn = self.comp.cfns[name]
+            if len(acls) == 0:
+                def cl(rt, frame):
+                    return _call_user(rt, cfn, [])
+            elif len(acls) == 1:
+                a0 = acls[0]
+
+                def cl(rt, frame):
+                    return _call_user(rt, cfn, [a0(rt, frame)])
+            elif len(acls) == 2:
+                a0, a1 = acls
+
+                def cl(rt, frame):
+                    return _call_user(rt, cfn, [a0(rt, frame),
+                                                a1(rt, frame)])
+            elif len(acls) == 3:
+                a0, a1, a2 = acls
+
+                def cl(rt, frame):
+                    return _call_user(rt, cfn, [a0(rt, frame),
+                                                a1(rt, frame),
+                                                a2(rt, frame)])
+            else:
+                def cl(rt, frame):
+                    return _call_user(rt, cfn,
+                                      [a(rt, frame) for a in acls])
+            return cl, K_UNKNOWN
+
+        spec = MATH_BUILTINS.get(name)
+        if spec is not None:
+            acls = [self.expr(a)[0] for a in e.args]
+            self.cost[BF] += spec.flop_cost
+            fn = spec.fn
+            if len(acls) == 1:
+                a0 = acls[0]
+
+                def cl(rt, frame):
+                    return float(fn(a0(rt, frame)))
+            elif len(acls) == 2:
+                a0, a1 = acls
+
+                def cl(rt, frame):
+                    return float(fn(a0(rt, frame), a1(rt, frame)))
+            else:
+                def cl(rt, frame):
+                    return float(fn(*[a(rt, frame) for a in acls]))
+            return cl, K_FLOAT
+
+        if name in SCALAR_WS_BUILTINS:
+            bad = self._string_arg_fault(e, 0, name)
+            if bad is not None:
+                return bad, K_UNKNOWN
+            key = e.args[0].value
+            if name == "ws_int":
+                def cl(rt, frame):
+                    return int(rt.workload.scalar(key))
+                return cl, K_INT
+
+            def cl(rt, frame):
+                return float(rt.workload.scalar(key))
+            return cl, K_FLOAT
+
+        elem_type = ARRAY_BUILTIN_TYPES.get(name)
+        if elem_type is not None:
+            if len(e.args) < 2:
+                raise CompileUnsupported(f"{name}() needs (name, size)")
+            bad = self._string_arg_fault(e, 0, name)
+            if bad is not None:
+                return bad, K_UNKNOWN
+            key = e.args[0].value
+            scl, sk = self.expr(e.args[1])
+            check_int = sk is not K_INT
+            kind = K_PTR_F if elem_type.is_floating else K_PTR_I
+
+            def cl(rt, frame):
+                size = scl(rt, frame)
+                if check_int and not isinstance(size, int):
+                    raise RuntimeFault(f"{name}() size must be an integer")
+                return PointerValue(
+                    rt.workload.buffer(key, size, elem_type), 0)
+            return cl, kind
+
+        if name == "rand01":
+            self.cost[F] += 2
+
+            def cl(rt, frame):
+                return rt.rng.next01()
+            return cl, K_FLOAT
+
+        if name in _TIMER_NAMES:
+            if not bare:
+                raise CompileUnsupported(
+                    f"{name}() in expression position")
+            bad = self._string_arg_fault(e, 0, name)
+            if bad is not None:
+                return bad, K_UNKNOWN
+            key = e.args[0].value
+            if name == "timer_start":
+                def cl(rt, frame):
+                    rt.timer_starts[key] = _clock_rt(rt)
+                    return 0
+                return cl, K_INT
+
+            def cl(rt, frame):
+                start = rt.timer_starts.pop(key, None)
+                if start is None:
+                    raise RuntimeFault(
+                        f"timer_stop({key!r}) without timer_start")
+                elapsed = _clock_rt(rt) - start
+                rt.report.timers[key] = (
+                    rt.report.timers.get(key, 0.0) + elapsed)
+                return 0
+            return cl, K_INT
+
+        if name == "printf":
+            if not e.args or not isinstance(e.args[0], StringLit):
+                def cl(rt, frame):
+                    raise RuntimeFault("printf() needs a literal "
+                                       "format string")
+                return cl, K_UNKNOWN
+            fmt = e.args[0].value.replace("\\n", "\n").replace("\\t", "\t")
+            acls = [self.expr(a)[0] for a in e.args[1:]]
+
+            def cl(rt, frame):
+                vals = tuple(a(rt, frame) for a in acls)
+                try:
+                    text = fmt % vals if vals else fmt
+                except (TypeError, ValueError) as exc:
+                    raise RuntimeFault(
+                        f"printf format error: {exc}") from None
+                rt.report.stdout.append(text)
+                return len(text)
+            return cl, K_INT
+
+        if is_builtin(name):
+            def cl(rt, frame):
+                raise RuntimeFault(f"unhandled builtin {name!r}")
+            return cl, K_UNKNOWN
+
+        def cl(rt, frame):
+            raise RuntimeFault(f"call to unknown function {name!r}")
+        return cl, K_UNKNOWN
+
+    def _string_arg_fault(self, e: Call, pos: int, name: str):
+        """A raising closure when arg ``pos`` is not a string literal."""
+        if pos < len(e.args) and isinstance(e.args[pos], StringLit):
+            return None
+
+        def cl(rt, frame):
+            raise RuntimeFault(
+                f"{name}() argument {pos} must be a string literal")
+        return cl
+
+    # -- statements --------------------------------------------------------
+    def stmt(self, s):
+        """Compile one statement to a closure returning None / _BRK /
+        _CNT / _RET.  Returns None for statements with no effect."""
+        kind = type(s)
+        if kind in (NullStmt, Comment):
+            return None
+        if kind is CompoundStmt:
+            return self._compound(s)
+        if kind is ForStmt:
+            return self._for(s)
+        if kind is WhileStmt:
+            return self._while(s)
+        if kind is DoWhileStmt:
+            return self._dowhile(s)
+        if kind is IfStmt:
+            return self._if(s)
+        saved = self.cost
+        self.cost = _new_cost()
+        self.timer_expr_call = False
+        try:
+            if kind is ExprStmt:
+                if self.comp.has_timers and isinstance(s.expr, Call):
+                    self.timer_ok = True
+                ecl, _ = self.expr(s.expr)
+                self.timer_ok = False
+
+                def body(rt, frame):
+                    ecl(rt, frame)
+                    return None
+            elif kind is DeclStmt:
+                body = self._decl(s)
+            elif kind is ReturnStmt:
+                if s.expr is not None:
+                    ecl, _ = self.expr(s.expr)
+
+                    def body(rt, frame):
+                        rt.ret = ecl(rt, frame)
+                        return _RET
+                else:
+                    def body(rt, frame):
+                        rt.ret = None
+                        return _RET
+            elif kind is BreakStmt:
+                def body(rt, frame):
+                    return _BRK
+            elif kind is ContinueStmt:
+                def body(rt, frame):
+                    return _CNT
+            elif kind is RawStmt:
+                def body(rt, frame):
+                    raise RuntimeFault(
+                        "generated target-specific code (RawStmt) is not "
+                        "interpretable; run the reference or kernel design "
+                        "instead")
+            else:
+                name = kind.__name__
+
+                def body(rt, frame):
+                    raise RuntimeFault(f"cannot execute {name}")
+            fl = _make_flush(self.cost)
+        finally:
+            self.cost = saved
+        if self.timer_expr_call:
+            self.timer_expr_call = False
+            if fl is not None:
+                # pre-flushing this statement's cost would skew the
+                # virtual clock read by a timer inside the callee
+                raise CompileUnsupported(
+                    "timer-bearing call inside a statement with "
+                    "static cost")
+        if fl is None:
+            return body
+
+        def run(rt, frame):
+            fl(rt.counter)
+            return body(rt, frame)
+        return run
+
+    def _decl(self, s: DeclStmt):
+        setters = []
+        for var in s.decls:
+            vcl = self._init_value(var)
+            slot = self.declare(var.name, _decl_kind(var), var.ctype)
+            setters.append(_make_setter(slot, vcl))
+        if len(setters) == 1:
+            return setters[0]
+
+        def body(rt, frame):
+            for st in setters:
+                st(rt, frame)
+            return None
+        return body
+
+    def _init_value(self, var):
+        """Closure computing a declaration's initial value
+        (mirrors ``Interpreter._init_decl``)."""
+        ctype = var.ctype
+        name = var.name
+        if var.is_array:
+            scl, _ = self.expr(var.array_size)
+
+            def vcl(rt, frame):
+                size = scl(rt, frame)
+                if not isinstance(size, int):
+                    raise RuntimeFault(
+                        f"array {name!r} size must be an integer")
+                return ArrayValue(size, ctype, name, is_local=True)
+            return vcl
+        if var.init is not None:
+            icl, ik = self.expr(var.init)
+            if ctype.is_pointer:
+                def vcl(rt, frame):
+                    value = icl(rt, frame)
+                    if isinstance(value, ArrayValue):
+                        return PointerValue(value, 0)
+                    if not isinstance(value, PointerValue):
+                        raise RuntimeFault(
+                            f"initialising pointer {name!r} with "
+                            "non-pointer")
+                    return value
+                return vcl
+            if ctype.is_floating:
+                if ik is K_FLOAT:
+                    return icl
+                if ik is K_INT:
+                    def vcl(rt, frame):
+                        return float(icl(rt, frame))
+                    return vcl
+            elif ctype.base != "bool":
+                if ik is K_INT:
+                    return icl
+                if ik is K_FLOAT:
+                    def vcl(rt, frame):
+                        return _trunc(icl(rt, frame))
+                    return vcl
+
+            def vcl(rt, frame):
+                return _convert_val(icl(rt, frame), ctype)
+            return vcl
+        if ctype.is_pointer:
+            return lambda rt, frame: None
+        default = 0.0 if ctype.is_floating else 0
+        return lambda rt, frame: default
+
+    def _compound(self, s: CompoundStmt):
+        self.push_scope()
+        try:
+            cls = [c for c in (self.stmt(ch) for ch in s.stmts)
+                   if c is not None]
+        finally:
+            self.pop_scope()
+        if not cls:
+            return None
+        if len(cls) == 1:
+            return cls[0]
+
+        def run(rt, frame):
+            for c in cls:
+                r = c(rt, frame)
+                if r is not None:
+                    return r
+            return None
+        return run
+
+    def _if(self, s: IfStmt):
+        saved = self.cost
+        self.cost = _new_cost()
+        self.cost[B] += 1
+        self.timer_expr_call = False
+        ccl, _ = self.expr(s.cond)
+        if self.timer_expr_call:
+            self.timer_expr_call = False
+            if self.cost != [0, 0, 1, 0, 0, 0]:
+                # the branch event itself is charged before the condition
+                # runs in both engines; anything more would skew a timer
+                raise CompileUnsupported(
+                    "timer-bearing call in a costed if-condition")
+        fl = _make_flush(self.cost)
+        self.cost = saved
+        tcl = self.stmt(s.then) or _nop
+        if s.els is None:
+            def run(rt, frame):
+                fl(rt.counter)
+                if truthy(ccl(rt, frame)):
+                    return tcl(rt, frame)
+                return None
+            return run
+        ecl = self.stmt(s.els) or _nop
+
+        def run(rt, frame):
+            fl(rt.counter)
+            if truthy(ccl(rt, frame)):
+                return tcl(rt, frame)
+            return ecl(rt, frame)
+        return run
+
+    def _loop_needs_seal(self, s) -> bool:
+        """Batched (per-exit) cond/inc accounting is exact unless a
+        timer call can execute inside the loop's dynamic extent: only
+        then can the virtual clock be read while deferred cost is
+        pending.  Timers wrapped *around* a loop (the hotspot
+        instrumentation pattern) never force the slow path."""
+        if not self.safe:
+            return False
+        timer_fns = self.comp.timer_fns
+        for node in s.walk():
+            if isinstance(node, Call) and (node.name in _TIMER_NAMES
+                                           or node.name in timer_fns):
+                return True
+        return False
+
+    def _cond_inc(self, cond, inc, sealed: bool):
+        """Compile loop condition/increment with their own cost vectors
+        (flushed once per observed check/iteration on loop exit, or per
+        evaluation when the loop encloses timer reads)."""
+        ccl = cond_mf = icl = inc_mf = None
+        if cond is not None:
+            saved = self.cost
+            self.cost = _new_cost()
+            self.cost[B] += 1
+            self.timer_expr_call = False
+            ccl, _ = self.expr(cond)
+            if self.timer_expr_call:
+                self.timer_expr_call = False
+                if self.cost != [0, 0, 1, 0, 0, 0]:
+                    raise CompileUnsupported(
+                        "timer-bearing call in a costed loop condition")
+            cond_cost = self.cost
+            self.cost = saved
+            if sealed:
+                ccl = _seal_cl(ccl, cond_cost)
+            else:
+                cond_mf = _make_mul_flush(cond_cost)
+        if inc is not None:
+            saved = self.cost
+            self.cost = _new_cost()
+            self.timer_expr_call = False
+            icl, _ = self.expr(inc)
+            if self.timer_expr_call:
+                self.timer_expr_call = False
+                if any(self.cost):
+                    raise CompileUnsupported(
+                        "timer-bearing call in a costed loop increment")
+            inc_cost = self.cost
+            self.cost = saved
+            if sealed:
+                icl = _seal_cl(icl, inc_cost)
+            else:
+                inc_mf = _make_mul_flush(inc_cost)
+        return ccl, cond_mf, icl, inc_mf
+
+    def _for(self, s: ForStmt):
+        self.push_scope()
+        try:
+            sealed = self._loop_needs_seal(s)
+            init_cl = self.stmt(s.init) if s.init is not None else None
+            ccl, cond_mf, icl, inc_mf = self._cond_inc(s.cond, s.inc, sealed)
+            body_cl = self.stmt(s.body) or _nop
+            plan = None
+            if not sealed:
+                from repro.lang.vectorize import try_vectorize
+                plan = try_vectorize(self, s)
+        finally:
+            self.pop_scope()
+        return _make_for_driver(init_cl, ccl, icl, body_cl, cond_mf,
+                                inc_mf, s.node_id, plan)
+
+    def _while(self, s: WhileStmt):
+        ccl, cond_mf, _, _ = self._cond_inc(s.cond, None,
+                                            self._loop_needs_seal(s))
+        body_cl = self.stmt(s.body) or _nop
+        return _make_while_driver(ccl, body_cl, cond_mf, s.node_id)
+
+    def _dowhile(self, s: DoWhileStmt):
+        ccl, cond_mf, _, _ = self._cond_inc(s.cond, None,
+                                            self._loop_needs_seal(s))
+        body_cl = self.stmt(s.body) or _nop
+        return _make_dowhile_driver(ccl, body_cl, cond_mf, s.node_id)
+
+
+def _nop(rt, frame):
+    return None
+
+
+def _make_setter(slot, vcl):
+    def st(rt, frame):
+        frame[slot] = vcl(rt, frame)
+        return None
+    return st
+
+
+def _seal_cl(cl, cost):
+    fl = _make_flush(cost)
+    if fl is None:
+        return cl
+
+    def run(rt, frame):
+        fl(rt.counter)
+        return cl(rt, frame)
+    return run
+
+
+def _decl_kind(var) -> int:
+    if var.is_array:
+        if var.ctype.is_pointer:
+            return K_PTR_U
+        return K_PTR_F if var.ctype.is_floating else K_PTR_I
+    return _kind_of_ctype(var.ctype)
+
+
+# -------------------------------------------------------------------------
+# Loop drivers.  Exact replicas of the interpreter's trip/check/branch
+# accounting; condition and increment costs are multiplied by the
+# observed counts on exit instead of flushed per iteration.
+# -------------------------------------------------------------------------
+def _loop_exit(rt, c, cond_mf, inc_mf, checks, incs, node_id, trips):
+    if cond_mf is not None and checks:
+        cond_mf(c, checks)
+    if inc_mf is not None and incs:
+        inc_mf(c, incs)
+    rt.counter_stack.pop()
+    parent = rt.counter_stack[-1]
+    rt.counter = parent
+    parent.add(c)
+    prof = rt.report.loop(node_id)
+    prof.entries += 1
+    prof.trip_counts.append(trips)
+    prof.inclusive.add(c)
+
+
+def _make_for_driver(init_cl, ccl, icl, body_cl, cond_mf, inc_mf,
+                     node_id, plan):
+    def run(rt, frame):
+        c = Counter()
+        rt.counter_stack.append(c)
+        rt.counter = c
+        trips = checks = incs = 0
+        res = None
+        try:
+            if init_cl is not None:
+                init_cl(rt, frame)
+            if plan is not None:
+                done = plan(rt, frame, c)
+                if done > 0:
+                    trips = checks = incs = done
+                    rt.steps += done
+                    _check_steps(rt)
+            max_steps = rt.max_steps
+            while True:
+                if ccl is not None:
+                    checks += 1
+                    if not truthy(ccl(rt, frame)):
+                        break
+                rt.steps += 1
+                if rt.steps > max_steps:
+                    raise ExecLimitExceeded(
+                        f"exceeded {max_steps} interpreter steps")
+                r = body_cl(rt, frame)
+                if r is not None:
+                    if r is _BRK:
+                        trips += 1
+                        break
+                    if r is _RET:
+                        res = r
+                        break
+                trips += 1
+                if icl is not None:
+                    incs += 1
+                    icl(rt, frame)
+        finally:
+            _loop_exit(rt, c, cond_mf, inc_mf, checks, incs,
+                       node_id, trips)
+        return res
+    return run
+
+
+def _make_while_driver(ccl, body_cl, cond_mf, node_id):
+    def run(rt, frame):
+        c = Counter()
+        rt.counter_stack.append(c)
+        rt.counter = c
+        trips = checks = 0
+        res = None
+        try:
+            max_steps = rt.max_steps
+            while True:
+                checks += 1
+                if not truthy(ccl(rt, frame)):
+                    break
+                rt.steps += 1
+                if rt.steps > max_steps:
+                    raise ExecLimitExceeded(
+                        f"exceeded {max_steps} interpreter steps")
+                r = body_cl(rt, frame)
+                if r is not None:
+                    if r is _BRK:
+                        trips += 1
+                        break
+                    if r is _RET:
+                        res = r
+                        break
+                trips += 1
+        finally:
+            _loop_exit(rt, c, cond_mf, None, checks, 0, node_id, trips)
+        return res
+    return run
+
+
+def _make_dowhile_driver(ccl, body_cl, cond_mf, node_id):
+    def run(rt, frame):
+        c = Counter()
+        rt.counter_stack.append(c)
+        rt.counter = c
+        trips = checks = 0
+        res = None
+        try:
+            max_steps = rt.max_steps
+            while True:
+                rt.steps += 1
+                if rt.steps > max_steps:
+                    raise ExecLimitExceeded(
+                        f"exceeded {max_steps} interpreter steps")
+                r = body_cl(rt, frame)
+                if r is not None:
+                    if r is _BRK:
+                        trips += 1
+                        break
+                    if r is _RET:
+                        res = r
+                        break
+                trips += 1
+                checks += 1
+                if not truthy(ccl(rt, frame)):
+                    break
+        finally:
+            _loop_exit(rt, c, cond_mf, None, checks, 0, node_id, trips)
+        return res
+    return run
+
+
+# -------------------------------------------------------------------------
+# Program assembly.
+# -------------------------------------------------------------------------
+class _Compiler:
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+        self.functions: Dict[str, FunctionDecl] = {
+            fn.name: fn for fn in unit.functions() if fn.body is not None}
+        self.cfns: Dict[str, _CFn] = {
+            name: _CFn(name, len(fn.params))
+            for name, fn in self.functions.items()}
+        self.global_vars: Dict[str, Tuple[int, int, CType]] = {}
+        self.nglobals = 0
+        self.has_timers = any(
+            isinstance(n, Call) and n.name in _TIMER_NAMES
+            for n in unit.walk())
+        self.timer_fns = self._scan_timer_fns() if self.has_timers else set()
+        self.global_inits: List = []
+        self._compile_globals()
+        for name, fn in self.functions.items():
+            self._compile_fn(fn, self.cfns[name])
+
+    def _scan_timer_fns(self):
+        contains = {}
+        calls = {}
+        for name, fn in self.functions.items():
+            has = False
+            callees = set()
+            for node in fn.body.walk():
+                if isinstance(node, Call):
+                    if node.name in _TIMER_NAMES:
+                        has = True
+                    elif node.name in self.functions:
+                        callees.add(node.name)
+            contains[name] = has
+            calls[name] = callees
+        timer_fns = {n for n, h in contains.items() if h}
+        changed = True
+        while changed:
+            changed = False
+            for n, callees in calls.items():
+                if n not in timer_fns and callees & timer_fns:
+                    timer_fns.add(n)
+                    changed = True
+        return timer_fns
+
+    def _compile_globals(self) -> None:
+        # each initializer sees only the globals declared before it,
+        # matching the interpreter's in-order binding
+        for decl in self.unit.decls:
+            if not isinstance(decl, DeclStmt):
+                continue
+            for var in decl.decls:
+                fc = _Fc(self, self.has_timers)
+                vcl = fc._init_value(var)
+                fl = _make_flush(fc.cost)
+                slot = self.nglobals
+                self.nglobals += 1
+                self.global_vars[var.name] = (slot, _decl_kind(var),
+                                              var.ctype)
+                self.global_inits.append(_make_global_init(slot, vcl, fl))
+
+    def _compile_fn(self, fn: FunctionDecl, cfn: _CFn) -> None:
+        fc = _Fc(self, self.has_timers)
+        fc.push_scope()
+        for param in fn.params:
+            ct = param.ctype
+            slot = fc.declare(param.name, _kind_of_ctype(ct), ct)
+            if ct.is_pointer:
+                mode = "p"
+                want = (ct.element_type().is_floating
+                        if ct.pointers == 1 and ct.base != "void" else None)
+            elif ct.is_floating:
+                mode, want = "f", None
+            elif ct.base == "bool":
+                mode, want = "b", None
+            else:
+                mode, want = "i", None
+            cfn.param_info.append((slot, mode, want, param.name, ct))
+        cfn.body = fc.stmt(fn.body) or _nop
+        fc.pop_scope()
+        cfn.frame_size = max(fc.nslots, 1)
+
+
+def _make_global_init(slot, vcl, fl):
+    if fl is None:
+        def st(rt):
+            rt.globals[slot] = vcl(rt, rt.globals)
+    else:
+        def st(rt):
+            fl(rt.counter)
+            rt.globals[slot] = vcl(rt, rt.globals)
+    return st
+
+
+class CompiledProgram:
+    """A translation unit lowered to closures, runnable many times."""
+
+    def __init__(self, unit: TranslationUnit):
+        comp = _Compiler(unit)
+        self._global_inits = comp.global_inits
+        self._cfns = comp.cfns
+        self._nglobals = comp.nglobals
+
+    def run(self, workload: Optional[Workload] = None, entry: str = "main",
+            max_steps: Optional[int] = None, args: Sequence = ()
+            ) -> ExecReport:
+        if workload is None:
+            workload = Workload()
+        rt = _Rt(workload,
+                 max_steps if max_steps is not None else DEFAULT_MAX_STEPS,
+                 self._nglobals)
+        for st in self._global_inits:
+            st(rt)
+        cfn = self._cfns.get(entry)
+        if cfn is None:
+            raise RuntimeFault(f"no entry function {entry!r}")
+        rt.report.return_value = _call_user(rt, cfn, list(args))
+        rt.report.steps = rt.steps
+        return rt.report
+
+
+def compile_unit(unit: TranslationUnit) -> CompiledProgram:
+    """Compile ``unit``; raises :class:`CompileUnsupported` when the
+    unit uses constructs the compiler cannot model exactly."""
+    return CompiledProgram(unit)

@@ -1,0 +1,76 @@
+"""Execution-engine dispatch: closure-compiled by default, tree-walking
+interpreter on request (``REPRO_EXEC=interp``) or as an exact fallback.
+
+``execute_unit`` is the single entry point every dynamic execution in
+the repo goes through (``Ast.execute`` delegates here).  That makes it
+the natural place to hang *execution observers* -- callbacks notified
+once per dynamic program execution, used by tests and telemetry to
+assert how many executions a flow actually performs.
+
+Fallback rules keeping the two engines observationally identical:
+
+- :class:`CompileUnsupported` (raised while compiling): the unit uses a
+  construct the compiler does not model; run the interpreter instead.
+- :class:`CompiledBailout` (raised mid-run): a runtime value broke the
+  compiler's static typing assumptions.  The partially-mutated workload
+  buffers are discarded and the same workload re-runs interpreted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+from repro.lang.compiler import (
+    CompiledBailout, CompileUnsupported, compile_unit,
+)
+from repro.lang.interpreter import ExecReport, Interpreter, Workload
+from repro.meta.ast_nodes import TranslationUnit
+
+_MODES = ("interp", "compiled")
+
+_observers: List[Callable] = []
+
+
+def add_execution_observer(fn: Callable) -> None:
+    """Register ``fn(unit, workload, entry, mode)`` called once per
+    dynamic program execution."""
+    _observers.append(fn)
+
+
+def remove_execution_observer(fn: Callable) -> None:
+    try:
+        _observers.remove(fn)
+    except ValueError:
+        pass
+
+
+def execution_mode() -> str:
+    """The engine selected by ``REPRO_EXEC`` (default: compiled)."""
+    mode = os.environ.get("REPRO_EXEC", "compiled").strip().lower()
+    return mode if mode in _MODES else "compiled"
+
+
+def execute_unit(unit: TranslationUnit,
+                 workload: Optional[Workload] = None,
+                 entry: str = "main",
+                 max_steps: Optional[int] = None,
+                 args: Sequence = (),
+                 mode: Optional[str] = None) -> ExecReport:
+    """Run ``entry`` in ``unit`` under the selected engine."""
+    if mode is None:
+        mode = execution_mode()
+    if workload is None:
+        workload = Workload()
+    for fn in list(_observers):
+        fn(unit, workload, entry, mode)
+    if mode == "compiled":
+        try:
+            return compile_unit(unit).run(workload, entry, max_steps, args)
+        except CompileUnsupported:
+            pass
+        except CompiledBailout:
+            # discard buffers the aborted compiled run may have touched;
+            # the interpreter re-derives them from the workload spec
+            workload._buffers.clear()
+    return Interpreter(unit, workload).run(entry, max_steps, args)

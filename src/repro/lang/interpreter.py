@@ -50,8 +50,18 @@ class _Continue(Exception):
 
 
 class _Return(Exception):
-    def __init__(self, value: Value):
+    def __init__(self, value: Value = None):
         self.value = value
+
+
+# Control flow is exceptional but frequent: constructing a fresh exception
+# (and its traceback) per loop iteration dominates tight-loop cost, so the
+# three control-flow signals are pre-allocated singletons.  Catch sites
+# drop the traceback so re-raising never chains frames run over run.
+# (The compiled engine goes further and uses plain sentinel returns.)
+_BREAK = _Break()
+_CONTINUE = _Continue()
+_RETURN = _Return()
 
 
 class Workload:
@@ -251,6 +261,7 @@ class Interpreter:
             self.exec_stmt(fn.body)
             result: Value = None
         except _Return as ret:
+            ret.__traceback__ = None
             result = ret.value
         finally:
             self.scopes = saved_scopes
@@ -305,11 +316,12 @@ class Interpreter:
             self._exec_do_while(stmt)
         elif kind is ReturnStmt:
             value = self.eval_expr(stmt.expr) if stmt.expr is not None else None
-            raise _Return(value)
+            _RETURN.value = value
+            raise _RETURN
         elif kind is BreakStmt:
-            raise _Break()
+            raise _BREAK
         elif kind is ContinueStmt:
-            raise _Continue()
+            raise _CONTINUE
         elif kind in (NullStmt, Comment):
             pass
         elif kind is RawStmt:
@@ -368,9 +380,10 @@ class Interpreter:
                         break
                 try:
                     self.exec_stmt(stmt.body)
-                except _Continue:
-                    pass
-                except _Break:
+                except _Continue as sig:
+                    sig.__traceback__ = None
+                except _Break as sig:
+                    sig.__traceback__ = None
                     trips += 1
                     break
                 trips += 1
@@ -390,9 +403,10 @@ class Interpreter:
                     break
                 try:
                     self.exec_stmt(stmt.body)
-                except _Continue:
-                    pass
-                except _Break:
+                except _Continue as sig:
+                    sig.__traceback__ = None
+                except _Break as sig:
+                    sig.__traceback__ = None
                     trips += 1
                     break
                 trips += 1
@@ -406,9 +420,10 @@ class Interpreter:
             while True:
                 try:
                     self.exec_stmt(stmt.body)
-                except _Continue:
-                    pass
-                except _Break:
+                except _Continue as sig:
+                    sig.__traceback__ = None
+                except _Break as sig:
+                    sig.__traceback__ = None
                     trips += 1
                     break
                 trips += 1

@@ -27,13 +27,17 @@ class ArrayValue:
     integer/float coercion applied on store.
     """
 
-    __slots__ = ("data", "elem_type", "name", "array_id", "is_local")
+    __slots__ = ("data", "elem_type", "name", "array_id", "is_local",
+                 "elem_size")
 
     def __init__(self, size: int, elem_type: CType, name: str = "",
                  fill: Scalar = 0, is_local: bool = False):
         if size < 0:
             raise ValueError(f"negative array size {size}")
         self.elem_type = elem_type
+        # cached: sizeof() is consulted on every element access for
+        # byte accounting, millions of times per run
+        self.elem_size = elem_type.sizeof()
         self.name = name
         self.array_id = next(_array_ids)
         # local (stack) arrays live in registers/L1 on every target and
@@ -56,10 +60,6 @@ class ArrayValue:
 
     def __len__(self) -> int:
         return len(self.data)
-
-    @property
-    def elem_size(self) -> int:
-        return self.elem_type.sizeof()
 
     @property
     def nbytes(self) -> int:

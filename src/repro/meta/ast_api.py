@@ -71,18 +71,22 @@ class Ast:
     # -- execution (dynamic tasks) ------------------------------------------
     def execute(self, workload=None, entry: str = "main",
                 max_steps: Optional[int] = None):
-        """Run the program under the interpreter; returns an ExecReport.
+        """Run the program; returns an ExecReport.
 
         ``workload`` is a :class:`repro.lang.interpreter.Workload`-like
         mapping of external buffers/scalars made visible to the program
         through its builtin environment.  Dynamic analysis tasks (hotspot
         detection, trip counts, data movement) call this -- it is the
         ``exec(ast)`` of Fig. 2.
-        """
-        from repro.lang.interpreter import Interpreter
 
-        interp = Interpreter(self.unit, workload=workload)
-        return interp.run(entry=entry, max_steps=max_steps)
+        Execution goes through :mod:`repro.lang.engine`: the closure
+        compiler by default, the tree-walking interpreter under
+        ``REPRO_EXEC=interp`` (both produce identical reports).
+        """
+        from repro.lang.engine import execute_unit
+
+        return execute_unit(self.unit, workload=workload, entry=entry,
+                            max_steps=max_steps)
 
     # -- output --------------------------------------------------------------
     @property

@@ -172,17 +172,31 @@ class Node:
 
     def clone(self) -> "Node":
         """Deep copy of the subtree with fresh node ids and parents."""
-        import copy
-
-        def strip(node: Node):
-            node.parent = None
-            node.node_id = next(_node_ids)
-            for child in node.children():
-                strip(child)
-
-        dup = copy.deepcopy(self)
-        strip(dup)
+        dup = self._clone_subtree()
         set_parents(dup)
+        return dup
+
+    def _clone_subtree(self) -> "Node":
+        """Structural copy: child nodes are cloned, every other
+        attribute (names, operators, types, spans) is shared -- they
+        are treated as immutable throughout the codebase.  Avoids
+        ``copy.deepcopy``, which both runs an order of magnitude
+        slower and drags the entire enclosing tree along through the
+        ``parent`` backrefs when cloning a subtree."""
+        cls = type(self)
+        dup = cls.__new__(cls)
+        d = dup.__dict__
+        for name, value in self.__dict__.items():
+            if name == "parent":
+                continue
+            if isinstance(value, Node):
+                value = value._clone_subtree()
+            elif isinstance(value, list):
+                value = [item._clone_subtree() if isinstance(item, Node)
+                         else item for item in value]
+            d[name] = value
+        d["parent"] = None
+        d["node_id"] = next(_node_ids)
         return dup
 
     def __repr__(self):
