@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.lang.profiler import (
@@ -48,6 +49,11 @@ _LOOP_KINDS = (ForStmt, WhileStmt, DoWhileStmt)
 # key -> serialized profile dict (unit-independent form)
 _memory: Dict[str, Dict[str, Any]] = {}
 
+# guards _memory and _stats: the service runs jobs on threads.  The lock
+# is never held across an execution, so two threads missing on the same
+# key may both execute -- benign, the second store is idempotent.
+_lock = threading.Lock()
+
 
 class ProfileCacheStats:
     """Counters for tests and telemetry."""
@@ -56,6 +62,9 @@ class ProfileCacheStats:
                  "executions", "stores", "uncacheable")
 
     def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
         self.lookups = 0
         self.memory_hits = 0
         self.disk_hits = 0
@@ -80,10 +89,14 @@ def profile_cache_stats() -> ProfileCacheStats:
 
 
 def clear_profile_cache() -> None:
-    """Drop the in-memory layer and reset stats (tests)."""
-    _memory.clear()
-    global _stats
-    _stats = ProfileCacheStats()
+    """Drop the in-memory layer and reset stats (tests).
+
+    Stats are reset in place so observers holding the object returned
+    by :func:`profile_cache_stats` keep seeing the live counters.
+    """
+    with _lock:
+        _memory.clear()
+        _stats.reset()
 
 
 # -------------------------------------------------------------------------
@@ -122,8 +135,14 @@ def workload_fingerprint(workload) -> Optional[str]:
         return None
 
 
-def profile_key(source: str, wfp: str, entry: str, mode: str) -> str:
-    blob = "\x00".join((source, wfp, entry, mode))
+def profile_key(source: str, wfp: str, entry: str, mode: str,
+                max_steps: Optional[int] = None) -> str:
+    parts = [source, wfp, entry, mode]
+    if max_steps is not None:
+        # a step-limited run is not interchangeable with a full run: a
+        # cached full report would silently un-enforce the limit
+        parts.append(f"max_steps={max_steps}")
+    blob = "\x00".join(parts)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -293,39 +312,47 @@ def collect_profile(ast, workload, entry: str = "main",
     unit = ast.unit if hasattr(ast, "unit") else ast
     if os.environ.get("REPRO_PROFILE_CACHE", "1").strip() == "0":
         # escape hatch: every analysis re-executes, as before this layer
-        _stats.executions += 1
+        with _lock:
+            _stats.executions += 1
         return execute_unit(unit, workload=workload.fresh(), entry=entry,
                             max_steps=max_steps)
     wfp = workload_fingerprint(workload)
     if wfp is None:  # exotic workload object: execute uncached
-        _stats.uncacheable += 1
-        _stats.executions += 1
+        with _lock:
+            _stats.uncacheable += 1
+            _stats.executions += 1
         return execute_unit(unit, workload=workload.fresh(), entry=entry,
                             max_steps=max_steps)
-    key = profile_key(unparse(unit), wfp, entry, execution_mode())
-    _stats.lookups += 1
-    data = _memory.get(key)
+    key = profile_key(unparse(unit), wfp, entry, execution_mode(), max_steps)
+    with _lock:
+        _stats.lookups += 1
+        data = _memory.get(key)
     if data is not None:
         report = deserialize_report(data, unit)
         if report is not None:
-            _stats.memory_hits += 1
+            with _lock:
+                _stats.memory_hits += 1
             return report
     data = _disk_get(key)
     if data is not None:
         report = deserialize_report(data, unit)
         if report is not None:
-            _stats.disk_hits += 1
-            _memory[key] = data
+            with _lock:
+                _stats.disk_hits += 1
+                _memory[key] = data
             return report
-    _stats.misses += 1
-    _stats.executions += 1
+    with _lock:
+        _stats.misses += 1
+        _stats.executions += 1
     report = execute_unit(unit, workload=workload.fresh(), entry=entry,
                           max_steps=max_steps)
     data = serialize_report(report, unit)
     if data is not None:
-        _memory[key] = data
+        with _lock:
+            _memory[key] = data
+            _stats.stores += 1
         _disk_put(key, data)
-        _stats.stores += 1
     else:
-        _stats.uncacheable += 1
+        with _lock:
+            _stats.uncacheable += 1
     return report

@@ -34,8 +34,16 @@ _observers: List[Callable] = []
 
 def add_execution_observer(fn: Callable) -> None:
     """Register ``fn(unit, workload, entry, mode)`` called once per
-    dynamic program execution."""
+    dynamic program execution.  ``mode`` names the engine that actually
+    runs: ``"compiled"``, ``"interp"``, or ``"interp-fallback"`` for the
+    interpreter re-run after a mid-run :class:`CompiledBailout` (which
+    therefore notifies twice -- two executions really happen)."""
     _observers.append(fn)
+
+
+def _notify(unit, workload, entry: str, mode: str) -> None:
+    for fn in list(_observers):
+        fn(unit, workload, entry, mode)
 
 
 def remove_execution_observer(fn: Callable) -> None:
@@ -62,15 +70,21 @@ def execute_unit(unit: TranslationUnit,
         mode = execution_mode()
     if workload is None:
         workload = Workload()
-    for fn in list(_observers):
-        fn(unit, workload, entry, mode)
     if mode == "compiled":
         try:
-            return compile_unit(unit).run(workload, entry, max_steps, args)
+            program = compile_unit(unit)
         except CompileUnsupported:
-            pass
-        except CompiledBailout:
-            # discard buffers the aborted compiled run may have touched;
-            # the interpreter re-derives them from the workload spec
-            workload._buffers.clear()
+            program = None  # nothing ran yet; fall through to interp
+        if program is not None:
+            _notify(unit, workload, entry, "compiled")
+            try:
+                return program.run(workload, entry, max_steps, args)
+            except CompiledBailout:
+                # discard buffers the aborted compiled run may have
+                # touched; the interpreter re-derives them from the
+                # workload spec
+                workload.reset_buffers()
+                _notify(unit, workload, entry, "interp-fallback")
+            return Interpreter(unit, workload).run(entry, max_steps, args)
+    _notify(unit, workload, entry, "interp")
     return Interpreter(unit, workload).run(entry, max_steps, args)

@@ -55,13 +55,12 @@ class _Return(Exception):
 
 
 # Control flow is exceptional but frequent: constructing a fresh exception
-# (and its traceback) per loop iteration dominates tight-loop cost, so the
-# three control-flow signals are pre-allocated singletons.  Catch sites
-# drop the traceback so re-raising never chains frames run over run.
-# (The compiled engine goes further and uses plain sentinel returns.)
-_BREAK = _Break()
-_CONTINUE = _Continue()
-_RETURN = _Return()
+# (and its traceback) per loop iteration dominates tight-loop cost, so each
+# Interpreter pre-allocates its three control-flow signals once per run.
+# Per-instance (not module-level) because the service runs jobs on a thread
+# pool: a shared _Return.value would race between concurrent runs.  Catch
+# sites drop the traceback so re-raising never chains frames iteration over
+# iteration.  (The compiled engine goes further and uses sentinel returns.)
 
 
 class Workload:
@@ -114,6 +113,11 @@ class Workload:
         except KeyError:
             raise RuntimeFault(f"program never requested buffer {name!r}") from None
 
+    def reset_buffers(self) -> None:
+        """Drop cached buffers so the next run re-derives them from the
+        inputs (used when an aborted run may have left them mutated)."""
+        self._buffers.clear()
+
     def fresh(self) -> "Workload":
         """A new workload with the same inputs and no cached buffers."""
         return Workload(self.scalars, self._initial_arrays, self.seed)
@@ -153,6 +157,9 @@ class Interpreter:
         self._timer_starts: Dict[str, float] = {}
         self.max_steps = self.DEFAULT_MAX_STEPS
         self._steps = 0
+        self._break = _Break()
+        self._continue = _Continue()
+        self._return = _Return()
 
     # ------------------------------------------------------------------
     # Entry
@@ -316,12 +323,12 @@ class Interpreter:
             self._exec_do_while(stmt)
         elif kind is ReturnStmt:
             value = self.eval_expr(stmt.expr) if stmt.expr is not None else None
-            _RETURN.value = value
-            raise _RETURN
+            self._return.value = value
+            raise self._return
         elif kind is BreakStmt:
-            raise _BREAK
+            raise self._break
         elif kind is ContinueStmt:
-            raise _CONTINUE
+            raise self._continue
         elif kind in (NullStmt, Comment):
             pass
         elif kind is RawStmt:

@@ -192,8 +192,15 @@ class Node:
             if isinstance(value, Node):
                 value = value._clone_subtree()
             elif isinstance(value, list):
+                # fast path: flat list of nodes/scalars (stmt bodies,
+                # arg lists); containers nested inside recurse
                 value = [item._clone_subtree() if isinstance(item, Node)
-                         else item for item in value]
+                         else (_clone_field(item)
+                               if isinstance(item, (list, tuple, dict))
+                               else item)
+                         for item in value]
+            elif isinstance(value, (tuple, dict)):
+                value = _clone_field(value)
             d[name] = value
         d["parent"] = None
         d["node_id"] = next(_node_ids)
@@ -201,6 +208,21 @@ class Node:
 
     def __repr__(self):
         return f"<{type(self).__name__} #{self.node_id} @{self.span}>"
+
+
+def _clone_field(value):
+    """Copy any container shape that may hold :class:`Node` objects so a
+    clone never aliases nodes with its original; non-node leaves are
+    shared (they are treated as immutable throughout the codebase)."""
+    if isinstance(value, Node):
+        return value._clone_subtree()
+    if isinstance(value, list):
+        return [_clone_field(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_field(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _clone_field(item) for key, item in value.items()}
+    return value
 
 
 def set_parents(root: Node, parent: Optional[Node] = None) -> Node:

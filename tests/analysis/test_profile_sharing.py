@@ -16,7 +16,7 @@ from repro.analysis.profile import (
 from repro.apps import get_app
 from repro.flow.engine import FlowEngine
 from repro.lang import engine as eng
-from repro.lang.interpreter import Interpreter, Workload
+from repro.lang.interpreter import ExecLimitExceeded, Interpreter, Workload
 from repro.meta.ast_api import Ast
 from repro.meta.unparse import unparse
 
@@ -108,6 +108,27 @@ class TestEngineSelection:
             lambda: Ast("int main() { return 3; }").execute())
         assert [m for _, _, _, m in seen] == ["compiled"]
 
+    def test_bailout_notifies_the_interpreter_re_run(self, monkeypatch):
+        # passing int* to a double* param compiles but bails out at run
+        # time; the interpreter re-run is a second real execution, so
+        # observers must hear about both (tagged as the fallback)
+        monkeypatch.delenv("REPRO_EXEC", raising=False)
+        source = """
+        double first(double* p) { p[0] = p[0] + 1.0; return p[0]; }
+        int main() {
+            int* a = ws_array_int("a", 3);
+            a[0] = 6;
+            double v = first(a);
+            return (int)v;
+        }
+        """
+        reports = []
+        seen = observe_executions(
+            lambda: reports.append(Ast(source).execute()))
+        assert [m for _, _, _, m in seen] == ["compiled", "interp-fallback"]
+        # the fallback re-derived the buffers: no double-increment
+        assert reports[0].return_value == 7
+
 
 SOURCE = """
 int work(const double* x, double* y, int n) {
@@ -175,6 +196,15 @@ class TestSerialization:
         ast = Ast(SOURCE)
         collect_profile(ast, make_workload())
         collect_profile(ast, Workload(scalars={"n": 4}))
+        assert profile_cache_stats().executions == 2
+
+    def test_max_steps_is_part_of_the_cache_key(self):
+        # a cached full run must not satisfy a step-limited request:
+        # the limit would be silently un-enforced on the hit
+        ast = Ast(SOURCE)
+        collect_profile(ast, make_workload())
+        with pytest.raises(ExecLimitExceeded):
+            collect_profile(ast, make_workload(), max_steps=3)
         assert profile_cache_stats().executions == 2
 
     def test_disk_layer_survives_memory_clear(self, tmp_path, monkeypatch):

@@ -1,6 +1,7 @@
 """Interpreter semantics tests: the UHL subset must behave like C."""
 
 import math
+import threading
 
 import pytest
 
@@ -180,6 +181,45 @@ class TestControlFlow:
     def test_step_limit(self):
         with pytest.raises(ExecLimitExceeded):
             run("int main() { while (1) { } return 0; }", max_steps=10_000)
+
+
+class TestConcurrency:
+    def test_concurrent_runs_keep_return_values_isolated(self):
+        # regression: the control-flow signal exceptions were once
+        # module-level singletons, so two interpreter runs on different
+        # threads (the service's thread-pool scheduler does this) raced
+        # on _Return.value and could return the wrong function's value
+        source = """
+        int ident(int x) { return x; }
+        int main() {
+            int k = ws_int("k");
+            int acc = 0;
+            for (int i = 0; i < 2000; i++) {
+                acc = ident(k);
+            }
+            return acc;
+        }
+        """
+        unit = Ast(source).unit
+        results = {}
+        errors = []
+
+        def worker(k):
+            try:
+                report = Interpreter(
+                    unit, Workload(scalars={"k": k})).run("main")
+                results[k] = report.return_value
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert results == {k: k for k in range(8)}
 
 
 class TestPointersAndArrays:

@@ -116,6 +116,21 @@ class TestMutation:
         assert ast.has_function("knl")
         assert not ast.has_function("other")
 
+    def test_clone_copies_nodes_inside_containers(self):
+        # no current node type keeps child nodes in tuples/dicts/nested
+        # lists, but clone() must not silently alias them if one ever
+        # does (copy.deepcopy, which clone() replaced, handled any shape)
+        root = IntLit(1)
+        held = IntLit(2)
+        root.extras = (held, {"k": held}, [[held]])
+        dup = root.clone()
+        in_tuple, mapping, nested = dup.extras
+        for copied in (in_tuple, mapping["k"], nested[0][0]):
+            assert isinstance(copied, IntLit)
+            assert copied.value == 2
+            assert copied is not held
+            assert copied.node_id != held.node_id
+
     def test_replace_child(self, ast):
         fn = ast.function("knl")
         outer = fn.loops()[0]
