@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""CI validator for ``--trace-out`` / ``--metrics-out`` artifacts.
+
+    python scripts/validate_trace.py TRACE.json [METRICS.prom]
+
+Checks the Chrome trace is well-formed and Perfetto-loadable (complete
+``X`` events with non-negative, non-decreasing timestamps and span ids
+in ``args``), that the span hierarchy nests at least ``--min-depth``
+levels (default 3), and -- when a metrics dump is given -- that the
+Prometheus text parses and carries the expected counter families.
+
+Exit code 0 on success; prints the first violation and exits 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'               # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' -?[0-9.einfEINF+-]+$')
+
+#: counter families an instrumented flow run must emit
+REQUIRED_METRICS = (
+    "repro_exec_total",
+    "repro_profile_cache_total",
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 (py<3.11 typing)
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def validate_trace(path: str, min_depth: int) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        fail(f"{path}: not readable JSON ({exc})")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    xs = [e for e in events if e.get("ph") == "X"]
+    if not xs:
+        fail(f"{path}: no complete ('X') events")
+    last_ts = None
+    for i, e in enumerate(xs):
+        for key in ("name", "ts", "dur", "pid", "tid", "args"):
+            if key not in e:
+                fail(f"{path}: X event #{i} missing {key!r}: {e}")
+        if e["ts"] < 0:
+            fail(f"{path}: negative ts on {e['name']!r}")
+        if e["dur"] < 0:
+            fail(f"{path}: negative dur on {e['name']!r}")
+        if last_ts is not None and e["ts"] < last_ts:
+            fail(f"{path}: X event timestamps not sorted at "
+                 f"{e['name']!r} ({e['ts']} < {last_ts})")
+        last_ts = e["ts"]
+        if not e["args"].get("span_id"):
+            fail(f"{path}: X event {e['name']!r} lacks args.span_id")
+    parents = {e["args"]["span_id"]: e["args"].get("parent_id")
+               for e in xs}
+    deepest = 0
+    for span_id in parents:
+        depth, cursor = 0, span_id
+        while cursor is not None and depth <= len(parents):
+            depth += 1
+            cursor = parents.get(cursor)
+        deepest = max(deepest, depth)
+    if deepest < min_depth:
+        fail(f"{path}: span nesting {deepest} < required {min_depth}")
+    instants = sum(1 for e in events if e.get("ph") == "i")
+    print(f"validate_trace: {path}: {len(xs)} spans "
+          f"({instants} instant events), depth {deepest}: OK")
+
+
+def validate_metrics(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        fail(f"{path}: unreadable ({exc})")
+    typed = set()
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "untyped"):
+                fail(f"{path}:{lineno}: malformed TYPE line: {line}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"{path}:{lineno}: unparseable sample: {line}")
+        samples += 1
+    if not samples:
+        fail(f"{path}: no samples")
+    for name in REQUIRED_METRICS:
+        if name not in typed:
+            fail(f"{path}: required metric {name!r} missing "
+                 f"(have: {sorted(typed)})")
+    print(f"validate_trace: {path}: {samples} samples, "
+          f"{len(typed)} metrics: OK")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON")
+    parser.add_argument("metrics", nargs="?", default=None,
+                        help="Prometheus text dump (optional)")
+    parser.add_argument("--min-depth", type=int, default=3,
+                        help="required span nesting depth (default 3)")
+    args = parser.parse_args(argv)
+    validate_trace(args.trace, args.min_depth)
+    if args.metrics:
+        validate_metrics(args.metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,13 +2,18 @@
 
     python -m repro list
     python -m repro run <app> [--mode informed|uninformed]
-                             [--export-dir DIR] [--trace]
+                             [--export-dir DIR] [--trace] [--time]
+                             [--timeline]
     python -m repro eval <fig5|table1|fig6|table2|energy|report|all>
     python -m repro batch [--all | --apps a,b] [--modes m1,m2]
                           [--jobs N] [--cache-dir DIR] [--pool auto]
                           [--timeout S] [--retries N]
                           [--telemetry] [--json PATH]
     python -m repro service <stats|ls|purge> --cache-dir DIR
+
+``run``, ``eval`` and ``batch`` all accept ``--trace-out PATH`` (write
+a Perfetto-loadable Chrome trace of the run) and ``--metrics-out PATH``
+(write the Prometheus text dump of the ``repro.obs`` registry).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.apps.registry import ALL_APPS, get_app
 from repro.flow.engine import FlowEngine
 
@@ -31,99 +37,60 @@ def cmd_list(_args) -> int:
     return 0
 
 
-class _PhaseTimer:
-    """Wall-time breakdown of one flow run (``run --time``).
+def _render_phases(spans) -> str:
+    """``run --time``: phase breakdown computed from ``repro.obs`` spans.
 
-    Task wall times bucket by :class:`TaskKind`; parse and dynamic
-    program execution are measured at their chokepoints
-    (``repro.meta.ast_api.parse`` / ``repro.lang.engine.execute_unit``),
-    so the execution row also counts runs that happen *inside* analysis
-    and DSE tasks."""
+    Parse and dynamic program execution come from the ``parse`` /
+    ``execute_unit`` chokepoint spans (so the execution row also counts
+    runs that happen *inside* analysis and DSE tasks); task wall times
+    bucket by the ``kind`` attribute the flow-task spans carry; the
+    total is the root flow span."""
+    from repro.lang.engine import execution_mode
 
-    def __init__(self):
-        self.tasks = {}          # TaskKind.value -> seconds
-        self.parse_s = 0.0
-        self.exec_s = 0.0
-        self.exec_runs = 0
-        self.total_s = 0.0
-
-    def observer(self):
-        from repro.flow.task import FlowObserver
-
-        timer = self
-
-        class _Obs(FlowObserver):
-            def on_task_end(self, task, ctx, wall_s, status="ok"):
-                key = task.kind.value
-                timer.tasks[key] = timer.tasks.get(key, 0.0) + wall_s
-        return _Obs()
-
-    def run(self, fn):
-        import time
-
-        import repro.lang.engine as lang_engine
-        import repro.meta.ast_api as ast_api
-
-        orig_parse = ast_api.parse
-        orig_exec = lang_engine.execute_unit
-
-        def timed_parse(*a, **k):
-            t0 = time.perf_counter()
-            try:
-                return orig_parse(*a, **k)
-            finally:
-                self.parse_s += time.perf_counter() - t0
-
-        def timed_exec(*a, **k):
-            t0 = time.perf_counter()
-            try:
-                return orig_exec(*a, **k)
-            finally:
-                self.exec_s += time.perf_counter() - t0
-                self.exec_runs += 1
-
-        ast_api.parse = timed_parse
-        lang_engine.execute_unit = timed_exec
-        t0 = time.perf_counter()
-        try:
-            return fn()
-        finally:
-            self.total_s = time.perf_counter() - t0
-            ast_api.parse = orig_parse
-            lang_engine.execute_unit = orig_exec
-
-    def render(self) -> str:
-        from repro.lang.engine import execution_mode
-
-        rows = [
-            ("parse", self.parse_s, ""),
-            ("analysis exec", self.exec_s,
-             f"({self.exec_runs} program runs, engine={execution_mode()})"),
-            ("analysis tasks", self.tasks.get("A", 0.0), "(incl. exec)"),
-            ("transforms", self.tasks.get("T", 0.0), ""),
-            ("DSE", self.tasks.get("O", 0.0), "(incl. exec)"),
-            ("codegen", self.tasks.get("CG", 0.0), ""),
-            ("total flow", self.total_s, ""),
-        ]
-        width = max(len(name) for name, _, _ in rows)
-        lines = ["phase breakdown (wall):"]
-        for name, secs, note in rows:
-            suffix = f"   {note}" if note else ""
-            lines.append(f"  {name:{width}s} {secs * 1e3:9.1f} ms{suffix}")
-        return "\n".join(lines)
+    parse_s = sum(s.wall_s for s in spans if s.name == "parse")
+    execs = [s for s in spans if s.name == "execute_unit"]
+    kinds = {}
+    for s in spans:
+        kind = s.attrs.get("kind")
+        if kind:
+            kinds[kind] = kinds.get(kind, 0.0) + s.wall_s
+    total_s = sum(s.wall_s for s in spans if s.parent_id is None)
+    rows = [
+        ("parse", parse_s, ""),
+        ("analysis exec", sum(s.wall_s for s in execs),
+         f"({len(execs)} program runs, engine={execution_mode()})"),
+        ("analysis tasks", kinds.get("A", 0.0), "(incl. exec)"),
+        ("transforms", kinds.get("T", 0.0), ""),
+        ("DSE", kinds.get("O", 0.0), "(incl. exec)"),
+        ("codegen", kinds.get("CG", 0.0), ""),
+        ("total flow", total_s, ""),
+    ]
+    width = max(len(name) for name, _, _ in rows)
+    lines = ["phase breakdown (wall):"]
+    for name, secs, note in rows:
+        suffix = f"   {note}" if note else ""
+        lines.append(f"  {name:{width}s} {secs * 1e3:9.1f} ms{suffix}")
+    return "\n".join(lines)
 
 
 def cmd_run(args) -> int:
     app = get_app(args.app)
     engine = FlowEngine()
-    if getattr(args, "time", False):
-        timer = _PhaseTimer()
-        result = timer.run(lambda: engine.run(app, mode=args.mode,
-                                              observer=timer.observer()))
-        print(timer.render())
-        print()
-    else:
+    want_spans = (getattr(args, "time", False) or args.trace_out
+                  or args.timeline)
+    collector = obs.add_sink(obs.SpanCollector()) if want_spans else None
+    try:
         result = engine.run(app, mode=args.mode)
+    finally:
+        if collector is not None:
+            obs.remove_sink(collector)
+    spans = collector.snapshot() if collector is not None else []
+    if getattr(args, "time", False):
+        print(_render_phases(spans))
+        print()
+    if args.timeline:
+        print(obs.ascii_timeline(spans))
+        print()
     if args.trace:
         print(result.explain())
         print()
@@ -153,13 +120,26 @@ def cmd_run(args) -> int:
                                 f"{app.name}_{label}.cpp")
             design.export(path)
             print(f"  exported {path}")
+    if args.trace_out:
+        obs.write_chrome_trace(spans, args.trace_out)
+        print(f"  chrome trace ({len(spans)} spans) written to "
+              f"{args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.REGISTRY.to_prometheus())
+        print(f"  metrics written to {args.metrics_out}")
     return 0
 
 
 def cmd_eval(args) -> int:
     from repro.evalharness.__main__ import main as eval_main
 
-    return eval_main([args.experiment])
+    argv = [args.experiment]
+    if args.trace_out:
+        argv += ["--trace-out", args.trace_out]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    return eval_main(argv)
 
 
 def cmd_batch(args) -> int:
@@ -202,7 +182,9 @@ def cmd_batch(args) -> int:
             print(f"[{item.source:12s}] {item.job.label:26s} "
                   f"FAILED: {item.error}")
 
-    with DesignService(cache_dir=args.cache_dir, workers=args.jobs,
+    with obs.trace_session(args.trace_out, args.metrics_out,
+                           root="batch", jobs=len(jobs)), \
+         DesignService(cache_dir=args.cache_dir, workers=args.jobs,
                        pool=args.pool) as service:
         if service.scheduler.fallback_note:
             print(f"note: {service.scheduler.fallback_note}")
@@ -260,6 +242,14 @@ def cmd_service(args) -> int:
     return 0
 
 
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(load in Perfetto / chrome://tracing)")
+    sub.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the Prometheus text metrics dump")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -284,12 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", default=None, metavar="PATH",
                      help="dump the flow result (designs, decisions, "
                           "profile) as JSON")
+    run.add_argument("--timeline", action="store_true",
+                     help="print an ASCII span timeline of the run")
+    _add_obs_flags(run)
     run.set_defaults(func=cmd_run)
 
     ev = sub.add_parser("eval", help="regenerate the paper's experiments")
     ev.add_argument("experiment",
                     choices=("fig5", "table1", "fig6", "table2",
                              "energy", "report", "all"))
+    _add_obs_flags(ev)
     ev.set_defaults(func=cmd_eval)
 
     batch = sub.add_parser(
@@ -317,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the fleet telemetry report")
     batch.add_argument("--json", default=None, metavar="PATH",
                        help="dump fleet telemetry as JSON")
+    _add_obs_flags(batch)
     batch.set_defaults(func=cmd_batch)
 
     svc = sub.add_parser(

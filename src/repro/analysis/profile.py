@@ -34,6 +34,7 @@ import tempfile
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.lang.profiler import (
     ArrayAccessRecord, Counter, ExecReport, LoopProfile, PointerArgEvent,
 )
@@ -82,6 +83,25 @@ class ProfileCacheStats:
 
 
 _stats = ProfileCacheStats()
+
+#: push-side tier accounting (memory / disk / miss / uncacheable /
+#: bypass); ``_stats`` remains the exact source of truth for tests
+_TIER_TOTAL = obs.REGISTRY.counter(
+    "repro_profile_cache_total",
+    "profile-cache lookups by resolution tier",
+    ("tier",))
+
+
+def _export_stats(registry: "obs.MetricsRegistry") -> None:
+    """Pull collector: mirror ProfileCacheStats into the registry."""
+    gauge = registry.gauge("repro_profile_cache_stats",
+                           "live ProfileCacheStats fields",
+                           ("field",))
+    for name, value in _stats.as_dict().items():
+        gauge.set(value, field=name)
+
+
+obs.REGISTRY.register_collector(_export_stats)
 
 
 def profile_cache_stats() -> ProfileCacheStats:
@@ -310,49 +330,62 @@ def collect_profile(ast, workload, entry: str = "main",
     from repro.lang.engine import execute_unit, execution_mode
 
     unit = ast.unit if hasattr(ast, "unit") else ast
-    if os.environ.get("REPRO_PROFILE_CACHE", "1").strip() == "0":
-        # escape hatch: every analysis re-executes, as before this layer
-        with _lock:
-            _stats.executions += 1
-        return execute_unit(unit, workload=workload.fresh(), entry=entry,
-                            max_steps=max_steps)
-    wfp = workload_fingerprint(workload)
-    if wfp is None:  # exotic workload object: execute uncached
-        with _lock:
-            _stats.uncacheable += 1
-            _stats.executions += 1
-        return execute_unit(unit, workload=workload.fresh(), entry=entry,
-                            max_steps=max_steps)
-    key = profile_key(unparse(unit), wfp, entry, execution_mode(), max_steps)
-    with _lock:
-        _stats.lookups += 1
-        data = _memory.get(key)
-    if data is not None:
-        report = deserialize_report(data, unit)
-        if report is not None:
+    with obs.span("profile.collect", entry=entry) as sp:
+        if os.environ.get("REPRO_PROFILE_CACHE", "1").strip() == "0":
+            # escape hatch: every analysis re-executes, as before this
+            # layer
             with _lock:
-                _stats.memory_hits += 1
-            return report
-    data = _disk_get(key)
-    if data is not None:
-        report = deserialize_report(data, unit)
-        if report is not None:
+                _stats.executions += 1
+            _TIER_TOTAL.inc(tier="bypass")
+            sp.set(tier="bypass")
+            return execute_unit(unit, workload=workload.fresh(),
+                                entry=entry, max_steps=max_steps)
+        wfp = workload_fingerprint(workload)
+        if wfp is None:  # exotic workload object: execute uncached
             with _lock:
-                _stats.disk_hits += 1
+                _stats.uncacheable += 1
+                _stats.executions += 1
+            _TIER_TOTAL.inc(tier="uncacheable")
+            sp.set(tier="uncacheable")
+            return execute_unit(unit, workload=workload.fresh(),
+                                entry=entry, max_steps=max_steps)
+        key = profile_key(unparse(unit), wfp, entry, execution_mode(),
+                          max_steps)
+        with _lock:
+            _stats.lookups += 1
+            data = _memory.get(key)
+        if data is not None:
+            report = deserialize_report(data, unit)
+            if report is not None:
+                with _lock:
+                    _stats.memory_hits += 1
+                _TIER_TOTAL.inc(tier="memory")
+                sp.set(tier="memory")
+                return report
+        data = _disk_get(key)
+        if data is not None:
+            report = deserialize_report(data, unit)
+            if report is not None:
+                with _lock:
+                    _stats.disk_hits += 1
+                    _memory[key] = data
+                _TIER_TOTAL.inc(tier="disk")
+                sp.set(tier="disk")
+                return report
+        with _lock:
+            _stats.misses += 1
+            _stats.executions += 1
+        _TIER_TOTAL.inc(tier="miss")
+        sp.set(tier="miss")
+        report = execute_unit(unit, workload=workload.fresh(),
+                              entry=entry, max_steps=max_steps)
+        data = serialize_report(report, unit)
+        if data is not None:
+            with _lock:
                 _memory[key] = data
-            return report
-    with _lock:
-        _stats.misses += 1
-        _stats.executions += 1
-    report = execute_unit(unit, workload=workload.fresh(), entry=entry,
-                          max_steps=max_steps)
-    data = serialize_report(report, unit)
-    if data is not None:
-        with _lock:
-            _memory[key] = data
-            _stats.stores += 1
-        _disk_put(key, data)
-    else:
-        with _lock:
-            _stats.uncacheable += 1
-    return report
+                _stats.stores += 1
+            _disk_put(key, data)
+        else:
+            with _lock:
+                _stats.uncacheable += 1
+        return report

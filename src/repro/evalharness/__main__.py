@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import sys
 
+from repro import obs
 from repro.evalharness.energy import render_energy, run_energy
 from repro.evalharness.fig5 import render_fig5, run_fig5
 from repro.evalharness.fig6 import render_fig6, run_fig6
@@ -12,7 +13,8 @@ from repro.evalharness.table1 import render_table1, run_table1
 from repro.evalharness.report import write_report
 from repro.evalharness.table2 import render_table2
 
-USAGE = """usage: python -m repro.evalharness <experiment>
+USAGE = """usage: python -m repro.evalharness <experiment> \
+[--trace-out PATH] [--metrics-out PATH]
 
 experiments:
   fig5     hotspot speedups of all generated designs
@@ -22,15 +24,40 @@ experiments:
   energy   energy per hotspot execution (SS IV-D extension)
   report   write the full markdown reproduction report
   all      everything above (flows are run once and shared)
+
+options:
+  --trace-out PATH     write a Chrome trace-event JSON (Perfetto)
+  --metrics-out PATH   write the Prometheus text metrics dump
 """
+
+
+def _pop_option(argv, name):
+    """Extract ``name VALUE`` or ``name=VALUE`` from argv, if present."""
+    for i, arg in enumerate(argv):
+        if arg == name and i + 1 < len(argv):
+            value = argv[i + 1]
+            del argv[i:i + 2]
+            return value
+        if arg.startswith(name + "="):
+            del argv[i]
+            return arg.split("=", 1)[1]
+    return None
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    trace_out = _pop_option(argv, "--trace-out")
+    metrics_out = _pop_option(argv, "--metrics-out")
     if len(argv) != 1 or argv[0] in ("-h", "--help"):
         print(USAGE)
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     which = argv[0]
+    with obs.trace_session(trace_out, metrics_out,
+                           root=f"eval {which}", experiment=which):
+        return _dispatch(which)
+
+
+def _dispatch(which: str) -> int:
     runner = shared_runner()
     if which == "fig5":
         print(render_fig5(run_fig5(runner)))

@@ -62,10 +62,10 @@ class FlowContext:
         if self.observer is not None:
             self.observer.on_task_start(task, self)
 
-    def notify_task_end(self, task, wall_s: float,
-                        status: str = "ok") -> None:
+    def notify_task_end(self, task, wall_s: float, status: str = "ok",
+                        error: Optional[BaseException] = None) -> None:
         if self.observer is not None:
-            self.observer.on_task_end(task, self, wall_s, status)
+            self.observer.on_task_end(task, self, wall_s, status, error)
 
     def notify_branch(self, decision) -> None:
         if self.observer is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.flow.task import FlowError, Task, TaskKind
 from repro.platforms.cpu import CPUModel
 from repro.platforms.gpu import GPUDesignPoint, GPUModel
@@ -68,6 +69,9 @@ class UnrollUntilOvermapDSE(Task):
                 set_unroll_pragma(loop, factor)
             report = self.toolchain.partial_compile(candidate, kernel,
                                                     self.device)
+            obs.event("dse.point", dse="unroll", device=self.device,
+                      factor=factor, alm=report.alm_utilization,
+                      overmapped=report.overmapped)
             if report.overmapped:
                 ctx.log(f"    {self.name}: factor {factor} overmaps "
                         f"({report.utilization:.0%}); keeping {best_factor}")
@@ -135,6 +139,9 @@ class BlocksizeDSE(Task):
             occ = model.occupancy(blocksize,
                                   compile_report.registers_per_thread,
                                   design.metadata.get("shared_bytes", 0))
+            obs.event("dse.point", dse="blocksize", device=self.device,
+                      blocksize=blocksize, time_s=time,
+                      occupancy=occ.occupancy)
             candidates.append((time, blocksize, occ))
         best_time = min(time for time, _, _ in candidates)
         # "minimize execution time and maximize occupancy": among
@@ -176,6 +183,8 @@ class OmpThreadsDSE(Task):
         best_time = float("inf")
         for threads in candidates:
             time = model.omp_time(profile, threads)
+            obs.event("dse.point", dse="omp-threads", threads=threads,
+                      time_s=time)
             if time < best_time:
                 best_time = time
                 best_threads = threads

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.apps.base import AppSpec
 from repro.codegen.design import Design
 from repro.flow.context import FlowContext
@@ -250,6 +251,13 @@ class FlowEngine:
             workload: Optional[Workload] = None,
             scale: float = 1.0,
             observer: Optional["FlowObserver"] = None) -> FlowResult:
+        with obs.span(f"flow {app.name}/{mode}", app=app.name,
+                      mode=mode, scale=scale):
+            return self._run(app, mode, workload, scale, observer)
+
+    def _run(self, app: AppSpec, mode: str,
+             workload: Optional[Workload], scale: float,
+             observer: Optional["FlowObserver"]) -> FlowResult:
         ctx = FlowContext(app, workload=workload, scale=scale,
                           observer=observer)
         ctx.log(f"=== PSA-flow for {app.display_name} (mode={mode}) ===")

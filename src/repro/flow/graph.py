@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence as Seq, Union
 
+from repro import obs
 from repro.flow.context import FlowContext
 from repro.flow.psa import PSADecision, PSAStrategy, SelectAll
 from repro.flow.task import Task
@@ -81,12 +82,19 @@ class BranchPoint(FlowNode):
         ctx.facts[f"psa:{self.name}"] = decision
         ctx.log(f"[PSA] {decision.explain()}")
         ctx.notify_branch(decision)
+        obs.event("psa.branch", branch=self.name,
+                  strategy=type(self.strategy).__name__,
+                  selected=",".join(decision.selected),
+                  offered=",".join(self.paths),
+                  reasons="; ".join(decision.reasons))
         for path_name in decision.selected:
             branch_ctx = ctx.fork(path_name)
             # the branch inherits the in-flight design (device branches
             # specialise a target design; target branches start fresh)
             branch_ctx.design = ctx.design
-            self.paths[path_name].execute(branch_ctx)
+            with obs.span(f"branch {self.name}:{path_name}",
+                          branch=self.name, path=path_name):
+                self.paths[path_name].execute(branch_ctx)
 
     def describe(self, indent: int = 0) -> str:
         pad = "  " * indent

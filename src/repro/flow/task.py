@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
+
+from repro import obs
 
 if TYPE_CHECKING:
     from repro.flow.context import FlowContext
@@ -36,7 +38,8 @@ class FlowObserver:
         pass
 
     def on_task_end(self, task: "Task", ctx: "FlowContext",
-                    wall_s: float, status: str = "ok") -> None:
+                    wall_s: float, status: str = "ok",
+                    error: Optional[BaseException] = None) -> None:
         pass
 
     def on_branch(self, decision: "PSADecision",
@@ -74,13 +77,19 @@ class Task:
         ctx.notify_task_start(self)
         start = time.perf_counter()
         status = "ok"
-        try:
-            self.run(ctx)
-        except Exception:
-            status = "error"
-            raise
-        finally:
-            ctx.notify_task_end(self, time.perf_counter() - start, status)
+        error: Optional[BaseException] = None
+        with obs.span(self.name, kind=self.kind.value, scope=self.scope,
+                      dynamic=self.dynamic, app=ctx.app.name):
+            try:
+                self.run(ctx)
+            except Exception as exc:
+                status = "error"
+                error = exc
+                raise
+            finally:
+                # inside the span so observers can link to it
+                ctx.notify_task_end(self, time.perf_counter() - start,
+                                    status, error)
 
     def __repr__(self):
         return f"<Task {self.name} kind={self.kind.value} scope={self.scope}>"

@@ -1526,6 +1526,14 @@ class _Fc:
             if not sealed:
                 from repro.lang.vectorize import try_vectorize
                 plan = try_vectorize(self, s)
+                if plan is not None:
+                    # compile-time count: the runtime driver stays
+                    # un-instrumented (it is the hot path)
+                    from repro import obs
+                    obs.REGISTRY.counter(
+                        "repro_exec_fastpath_plans_total",
+                        "affine loops lowered to a numpy fast path",
+                    ).inc()
         finally:
             self.pop_scope()
         return _make_for_driver(init_cl, ccl, icl, body_cl, cond_mf,

@@ -5,7 +5,9 @@ interpreter on request (``REPRO_EXEC=interp``) or as an exact fallback.
 the repo goes through (``Ast.execute`` delegates here).  That makes it
 the natural place to hang *execution observers* -- callbacks notified
 once per dynamic program execution, used by tests and telemetry to
-assert how many executions a flow actually performs.
+assert how many executions a flow actually performs -- and the
+``repro.obs`` instrumentation: one span per execution and one
+``repro_exec_total{mode=...}`` count per engine that actually ran.
 
 Fallback rules keeping the two engines observationally identical:
 
@@ -19,8 +21,10 @@ Fallback rules keeping the two engines observationally identical:
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.lang.compiler import (
     CompiledBailout, CompileUnsupported, compile_unit,
 )
@@ -29,7 +33,22 @@ from repro.meta.ast_nodes import TranslationUnit
 
 _MODES = ("interp", "compiled")
 
+# Observer registry: the service notifies from concurrent worker
+# threads, so registration/removal and the notify snapshot are all
+# lock-guarded.  Registration is idempotent -- re-adding a callback
+# (e.g. a module-level telemetry hook imported twice) must not double
+# its notifications.
 _observers: List[Callable] = []
+_observers_lock = threading.Lock()
+
+_EXEC_TOTAL = obs.REGISTRY.counter(
+    "repro_exec_total",
+    "dynamic program executions by engine that actually ran",
+    ("mode",))
+_EXEC_FALLBACKS = obs.REGISTRY.counter(
+    "repro_exec_fallback_total",
+    "compiled-engine fallbacks to the interpreter",
+    ("reason",))
 
 
 def add_execution_observer(fn: Callable) -> None:
@@ -37,20 +56,29 @@ def add_execution_observer(fn: Callable) -> None:
     dynamic program execution.  ``mode`` names the engine that actually
     runs: ``"compiled"``, ``"interp"``, or ``"interp-fallback"`` for the
     interpreter re-run after a mid-run :class:`CompiledBailout` (which
-    therefore notifies twice -- two executions really happen)."""
-    _observers.append(fn)
+    therefore notifies twice -- two executions really happen).
 
-
-def _notify(unit, workload, entry: str, mode: str) -> None:
-    for fn in list(_observers):
-        fn(unit, workload, entry, mode)
+    Thread-safe and idempotent: adding an already-registered callback
+    is a no-op."""
+    with _observers_lock:
+        if fn not in _observers:
+            _observers.append(fn)
 
 
 def remove_execution_observer(fn: Callable) -> None:
-    try:
-        _observers.remove(fn)
-    except ValueError:
-        pass
+    with _observers_lock:
+        try:
+            _observers.remove(fn)
+        except ValueError:
+            pass
+
+
+def _notify(unit, workload, entry: str, mode: str) -> None:
+    _EXEC_TOTAL.inc(mode=mode)
+    with _observers_lock:
+        observers = list(_observers)
+    for fn in observers:
+        fn(unit, workload, entry, mode)
 
 
 def execution_mode() -> str:
@@ -70,21 +98,37 @@ def execute_unit(unit: TranslationUnit,
         mode = execution_mode()
     if workload is None:
         workload = Workload()
+    with obs.span("execute_unit", entry=entry, requested=mode) as sp:
+        return _dispatch(unit, workload, entry, max_steps, args, mode, sp)
+
+
+def _dispatch(unit, workload, entry, max_steps, args, mode, sp) -> ExecReport:
     if mode == "compiled":
         try:
             program = compile_unit(unit)
-        except CompileUnsupported:
-            program = None  # nothing ran yet; fall through to interp
+        except CompileUnsupported as exc:
+            # nothing ran yet; fall through to interp
+            program = None
+            _EXEC_FALLBACKS.inc(reason="compile-unsupported")
+            sp.event("fallback", reason="compile-unsupported",
+                     detail=str(exc))
         if program is not None:
             _notify(unit, workload, entry, "compiled")
             try:
-                return program.run(workload, entry, max_steps, args)
-            except CompiledBailout:
+                report = program.run(workload, entry, max_steps, args)
+                sp.set(mode="compiled")
+                return report
+            except CompiledBailout as exc:
                 # discard buffers the aborted compiled run may have
                 # touched; the interpreter re-derives them from the
                 # workload spec
                 workload.reset_buffers()
+                _EXEC_FALLBACKS.inc(reason="compiled-bailout")
+                sp.event("fallback", reason="compiled-bailout",
+                         detail=str(exc))
                 _notify(unit, workload, entry, "interp-fallback")
+            sp.set(mode="interp-fallback")
             return Interpreter(unit, workload).run(entry, max_steps, args)
     _notify(unit, workload, entry, "interp")
+    sp.set(mode="interp")
     return Interpreter(unit, workload).run(entry, max_steps, args)

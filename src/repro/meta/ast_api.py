@@ -12,10 +12,19 @@ from __future__ import annotations
 import os
 from typing import List, Optional
 
+from repro import obs
 from repro.meta.ast_nodes import ForStmt, FunctionDecl, TranslationUnit
-from repro.meta.parser import parse
+from repro.meta.parser import parse as _parse
 from repro.meta.query import Match, Query
 from repro.meta.unparse import count_loc, unparse
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse UHL source (the ``repro.meta.parser`` front end), emitting
+    one ``parse`` span per call -- the chokepoint ``run --time`` and
+    trace exports read the parse phase from."""
+    with obs.span("parse", phase="parse", chars=len(source)):
+        return _parse(source)
 
 
 class Ast:

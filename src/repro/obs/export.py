@@ -1,0 +1,178 @@
+"""Span exporters: JSONL event sink, Chrome trace events, ASCII timeline.
+
+- :class:`JsonlSink` streams every finished span as one JSON line --
+  attach it from ``$REPRO_TRACE_DIR`` (one file per process, so pool
+  workers never interleave writes) or ``--trace-out``-style CLI flags.
+- :func:`chrome_trace` converts finished spans into the Chrome
+  trace-event format (``{"traceEvents": [...]}`` with complete ``"X"``
+  events and instant ``"i"`` events), loadable in Perfetto and
+  ``chrome://tracing``; :func:`write_chrome_trace` dumps it to a file.
+- :func:`ascii_timeline` renders the span forest as an indented tree
+  with proportional duration bars for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.span import Span
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_span(item: SpanLike) -> Span:
+    return item if isinstance(item, Span) else Span.from_dict(item)
+
+
+class JsonlSink:
+    """Append-one-JSON-line-per-span sink (thread-safe)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps({"type": "span", **span.to_dict()},
+                          sort_keys=True)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Load the spans a :class:`JsonlSink` wrote."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") == "span":
+                spans.append(Span.from_dict(data))
+    return spans
+
+
+# -------------------------------------------------------------------------
+# Chrome trace events (Perfetto / chrome://tracing).
+# -------------------------------------------------------------------------
+def chrome_trace(spans: Iterable[SpanLike]) -> Dict[str, Any]:
+    """Chrome trace-event JSON for ``spans`` (finished spans only).
+
+    Timestamps are rebased to the earliest span start so the trace
+    opens at t=0; span/parent/trace ids travel in ``args`` so tools
+    (and the CI validator) can rebuild the hierarchy exactly instead
+    of inferring it from stack containment.
+    """
+    resolved = [_as_span(s) for s in spans]
+    resolved = [s for s in resolved if s.end is not None]
+    base = min((s.t0 for s in resolved), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for s in sorted(resolved, key=lambda s: s.t0):
+        args = {"span_id": s.span_id, "parent_id": s.parent_id,
+                "trace_id": s.trace_id, "status": s.status}
+        if s.error:
+            args["error"] = s.error
+        args.update({k: v for k, v in s.attrs.items()
+                     if isinstance(v, (str, int, float, bool))
+                     or v is None})
+        events.append({
+            "name": s.name,
+            "cat": str(s.attrs.get("kind", "span")),
+            "ph": "X",
+            "ts": (s.t0 - base) * 1e6,
+            "dur": max(0.0, (s.end - s.t0) * 1e6),
+            "pid": s.pid,
+            "tid": s.tid,
+            "args": args,
+        })
+        for ev in s.events:
+            events.append({
+                "name": ev.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": (ev.t - base) * 1e6,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": {"span_id": s.span_id,
+                         **{k: v for k, v in ev.attrs.items()
+                            if isinstance(v, (str, int, float, bool))
+                            or v is None}},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[SpanLike], path: str) -> int:
+    """Write :func:`chrome_trace` JSON; returns the event count."""
+    trace = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return len(trace["traceEvents"])
+
+
+# -------------------------------------------------------------------------
+# ASCII timeline for the CLI.
+# -------------------------------------------------------------------------
+def span_depth(spans: Sequence[SpanLike]) -> int:
+    """Maximum parent-chain depth of the forest (roots are depth 1)."""
+    resolved = [_as_span(s) for s in spans]
+    parents = {s.span_id: s.parent_id for s in resolved}
+    deepest = 0
+    for span_id in parents:
+        depth, cursor = 0, span_id
+        while cursor is not None and depth <= len(parents):
+            depth += 1
+            cursor = parents.get(cursor)
+        deepest = max(deepest, depth)
+    return deepest
+
+
+def ascii_timeline(spans: Iterable[SpanLike], width: int = 32,
+                   max_spans: int = 200) -> str:
+    """Indented span tree with proportional [##] duration bars."""
+    resolved = sorted((_as_span(s) for s in spans), key=lambda s: s.t0)
+    resolved = [s for s in resolved if s.end is not None]
+    if not resolved:
+        return "(no spans recorded)"
+    ids = {s.span_id for s in resolved}
+    children: Dict[Optional[str], List[Span]] = {}
+    for s in resolved:
+        parent = s.parent_id if s.parent_id in ids else None
+        children.setdefault(parent, []).append(s)
+    t_min = min(s.t0 for s in resolved)
+    t_max = max(s.end for s in resolved)
+    total = max(t_max - t_min, 1e-9)
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        lo = int((span.t0 - t_min) / total * width)
+        hi = max(lo + 1, int((span.end - t_min) / total * width))
+        bar = " " * lo + "#" * (hi - lo)
+        flag = "" if span.status == "ok" else f"  !{span.error}"
+        lines.append(f"[{bar:{width}s}] {'  ' * depth}{span.name} "
+                     f"({span.wall_s * 1e3:.1f} ms){flag}")
+        for child in children.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    if len(lines) >= max_spans:
+        lines.append(f"... ({len(resolved) - max_spans} more spans)")
+    return "\n".join(lines)

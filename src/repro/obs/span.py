@@ -1,0 +1,331 @@
+"""Hierarchical spans with ``contextvars`` propagation.
+
+A :class:`Span` is one timed region of work -- a service job, a flow
+task, a dynamic program execution, a profile-cache lookup -- with a
+trace id shared by every span of one logical request, a unique span id,
+a parent link, monotonic epoch-aligned start/end timestamps, free-form
+attributes and point-in-time events.
+
+``span(name, ...)`` is the single instrumentation primitive.  It is a
+context manager; entering it makes the new span the *current* span (a
+``contextvars.ContextVar``, so nested work nests correctly across
+``with`` blocks and asyncio tasks), exiting records the end timestamp,
+marks errors, restores the previous current span and hands the finished
+span to every registered sink.  When no sink is registered the whole
+layer is off: ``span()`` returns a shared no-op object and the hot
+paths pay one ``if`` per call.
+
+Spans cross thread- and process-pool boundaries as dicts.  Capture
+``current_context()`` on the submitting side, pass the small dict to
+the worker, and either open the worker's root span with
+``span(..., parent=ctx)`` (threads) or collect the worker's spans and
+re-home them with ``adopt_spans(dicts, ctx)`` (processes): orphan roots
+are re-parented under the submitting span and every span is rewritten
+onto the submitter's trace id.  Span ids carry the producing process id
+so merged traces never collide.
+
+Timestamps come from ``perf_counter`` shifted by a process-start epoch
+offset: monotonic within a process, comparable across processes to
+wall-clock accuracy -- good enough to lay sibling process lanes on one
+Chrome-trace timeline.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: aligns the monotonic clock to the epoch, once per process
+_EPOCH_OFFSET = time.time() - time.perf_counter()
+
+
+def now() -> float:
+    """Monotonic, epoch-aligned timestamp (seconds)."""
+    return _EPOCH_OFFSET + time.perf_counter()
+
+
+_counter = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{os.getpid():x}.{next(_counter):x}"
+
+
+def new_trace_id() -> str:
+    import uuid
+
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time marker inside a span (DSE sweep point, PSA
+    decision, cache verdict)."""
+
+    name: str
+    t: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "t": self.t, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanEvent":
+        return cls(data["name"], data["t"], dict(data.get("attrs") or {}))
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    t0: float
+    end: Optional[float] = None
+    status: str = "ok"              # 'ok' | 'error'
+    error: Optional[str] = None     # "ExcType: message" when status=error
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    pid: int = field(default_factory=os.getpid)
+    tid: int = field(default_factory=threading.get_ident)
+
+    @property
+    def wall_s(self) -> float:
+        return (self.end if self.end is not None else now()) - self.t0
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.events.append(SpanEvent(name, now(), attrs))
+
+    def context(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t0": self.t0,
+            "end": self.end,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+            "events": [ev.to_dict() for ev in self.events],
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            t0=data["t0"],
+            end=data.get("end"),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            attrs=dict(data.get("attrs") or {}),
+            events=[SpanEvent.from_dict(ev)
+                    for ev in data.get("events") or ()],
+        )
+        span.pid = data.get("pid", span.pid)
+        span.tid = data.get("tid", span.tid)
+        return span
+
+
+# -------------------------------------------------------------------------
+# Current-span propagation and sinks.
+# -------------------------------------------------------------------------
+_current: "contextvars.ContextVar[Optional[Span]]" = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+_sinks: List[Any] = []
+_sinks_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """True when at least one sink will receive finished spans."""
+    return bool(_sinks)
+
+
+def add_sink(sink: Any) -> Any:
+    """Register ``sink`` (anything with ``emit(span)``); returns it."""
+    with _sinks_lock:
+        if sink not in _sinks:
+            _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: Any) -> None:
+    with _sinks_lock:
+        try:
+            _sinks.remove(sink)
+        except ValueError:
+            pass
+
+
+def _emit(span: Span) -> None:
+    for sink in list(_sinks):
+        try:
+            sink.emit(span)
+        except Exception:
+            pass  # a broken sink must never take down the flow
+
+
+def current_span() -> Optional[Span]:
+    return _current.get()
+
+
+def current_context() -> Optional[Dict[str, str]]:
+    """The (trace_id, span_id) pair to hand across a pool boundary."""
+    span = _current.get()
+    return span.context() if span is not None else None
+
+
+class _NullSpan:
+    """Shared no-op stand-in when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        pass
+
+    @property
+    def wall_s(self):
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanScope:
+    """The context manager returned by :func:`span`."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, name: str, parent: Optional[Dict[str, str]],
+                 attrs: Dict[str, Any]):
+        cur = _current.get()
+        if parent is not None and parent.get("span_id"):
+            trace_id = parent.get("trace_id") or new_trace_id()
+            parent_id = parent["span_id"]
+        elif cur is not None:
+            trace_id = cur.trace_id
+            parent_id = cur.span_id
+        else:
+            trace_id = new_trace_id()
+            parent_id = None
+        self._span = Span(name=name, trace_id=trace_id,
+                          span_id=_new_id(), parent_id=parent_id,
+                          t0=now(), attrs=attrs)
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = now()
+        if exc_type is not None and span.status == "ok":
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        if self._token is not None:
+            _current.reset(self._token)
+        _emit(span)
+        return False
+
+
+def span(name: str, parent: Optional[Dict[str, str]] = None,
+         **attrs: Any):
+    """Open a span (context manager).  No-op while tracing is off."""
+    if not _sinks:
+        return NULL_SPAN
+    return _SpanScope(name, parent, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Attach a point-in-time event to the current span, if any."""
+    if not _sinks:
+        return
+    cur = _current.get()
+    if cur is not None:
+        cur.event(name, **attrs)
+
+
+# -------------------------------------------------------------------------
+# Collection and cross-boundary adoption.
+# -------------------------------------------------------------------------
+class SpanCollector:
+    """Sink keeping finished spans in memory (CLI exports, tests)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+    def snapshot(self) -> List[Span]:
+        with self._lock:
+            return list(self.spans)
+
+    def children_of(self, span_id: Optional[str]) -> List[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.parent_id == span_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+def adopt_spans(dicts: Iterable[Dict[str, Any]],
+                parent: Optional[Dict[str, str]] = None) -> List[Span]:
+    """Re-home serialized spans from a worker under ``parent``.
+
+    Roots of the incoming forest (spans whose parent is not in the
+    batch) are re-parented onto the submitting span; every span is
+    rewritten onto the submitter's trace id so one job's spans share
+    one trace.  The rebuilt spans are emitted to the active sinks and
+    returned.
+    """
+    spans = [Span.from_dict(d) for d in dicts]
+    ids = {s.span_id for s in spans}
+    for s in spans:
+        if parent is not None:
+            if s.parent_id is None or s.parent_id not in ids:
+                s.parent_id = parent.get("span_id")
+            trace_id = parent.get("trace_id")
+            if trace_id:
+                s.trace_id = trace_id
+    if _sinks:
+        for s in spans:
+            _emit(s)
+    return spans

@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.flow.engine import FlowEngine
 from repro.flow.serialize import result_from_dict, result_to_dict
 from repro.service.cache import ResultCache
@@ -48,6 +49,9 @@ class _Pending:
         self.error: Optional[BaseException] = None
         self.event = threading.Event()
         self.handle: Optional[JobHandle] = None
+        # the submitter's span context: worker spans (thread pool) and
+        # adopted payload spans (process pool) parent onto it
+        self.obs_ctx: Optional[Dict[str, str]] = obs.current_context()
 
     def resolve(self, value: Any = None,
                 error: Optional[BaseException] = None) -> None:
@@ -125,6 +129,8 @@ class DesignService:
         key = job.key()
         with self._lock:
             if key in self._memory:
+                obs.event("service.lookup", source="cache-memory",
+                          app=job.app, mode=job.mode)
                 self.telemetry.count("cache_hit_memory")
                 self.telemetry.record_job(JobTelemetry(
                     key=key, app=job.app, mode=job.mode,
@@ -133,6 +139,8 @@ class DesignService:
                                      value=self._memory[key])
             pending = self._pending.get(key)
             if pending is not None:
+                obs.event("service.lookup", source="inflight",
+                          app=job.app, mode=job.mode)
                 self.telemetry.count("dedup")
                 self.telemetry.record_job(JobTelemetry(
                     key=key, app=job.app, mode=job.mode,
@@ -141,6 +149,8 @@ class DesignService:
             if self.cache is not None:
                 record = self.cache.get(key)
                 if record is not None:
+                    obs.event("service.lookup", source="cache-disk",
+                              app=job.app, mode=job.mode)
                     self.telemetry.count("cache_hit_disk")
                     self.telemetry.record_job(JobTelemetry(
                         key=key, app=job.app, mode=job.mode,
@@ -155,13 +165,21 @@ class DesignService:
     def _schedule(self, pending: _Pending) -> ServiceResult:
         job = pending.job
         if self.scheduler.mode == "process":
-            fn, args = execute_job_payload, (job.spec(),)
+            # the extra arg rides outside spec(): it must not perturb
+            # the content hash.  Workers inherit $REPRO_TRACE_DIR sinks
+            # on their own; collect_obs ships spans back for adoption.
+            fn, args = execute_job_payload, (job.spec(), obs.enabled())
         else:
+            parent = pending.obs_ctx
+
             def fn():
-                tracer = Tracer()
-                result = execute_job(job, engine=self._engine_for(job),
-                                     observer=tracer)
-                return result, tracer
+                with obs.span("service.job", parent=parent,
+                              app=job.app, mode=job.mode,
+                              key=pending.key[:12]):
+                    tracer = Tracer()
+                    result = execute_job(job, engine=self._engine_for(job),
+                                         observer=tracer)
+                    return result, tracer
             args = ()
         handle, created = self.scheduler.submit(
             pending.key, fn, *args,
@@ -201,6 +219,8 @@ class DesignService:
                 result_dict = raw["result"]
                 trace_dict = raw.get("telemetry") or {}
                 tracer = Tracer.from_dict(trace_dict)
+                if raw.get("obs_spans"):
+                    obs.adopt_spans(raw["obs_spans"], pending.obs_ctx)
             else:                              # in-process (result, tracer)
                 value, tracer = raw
                 result_dict = None

@@ -126,22 +126,43 @@ def execute_job(job: FlowJob, engine: Optional[FlowEngine] = None,
                       observer=observer)
 
 
-def execute_job_payload(spec: Dict[str, Any]) -> Dict[str, Any]:
+def execute_job_payload(spec: Dict[str, Any],
+                        collect_obs: bool = False) -> Dict[str, Any]:
     """Process-pool worker: run a job spec, return plain data.
 
     Module-level and dict-in/dict-out so it pickles across the process
     boundary; the serialized result (sources included, so the cache
     entry is complete) and the telemetry spans travel back as JSON-
     compatible payload.
+
+    ``collect_obs`` is passed separately from ``spec`` because the spec
+    is the content-hash input -- tracing must not change cache keys.
+    When set, the worker collects its ``repro.obs`` spans and ships
+    them back as ``obs_spans`` dicts for the service to re-home under
+    the submitting span (``obs.adopt_spans``).
     """
+    from repro import obs
     from repro.flow.serialize import result_to_dict
     from repro.service.telemetry import Tracer
 
     job = FlowJob.from_spec(spec)
     tracer = Tracer()
-    result = execute_job(job, observer=tracer)
-    return {
+    collector = obs.add_sink(obs.SpanCollector()) if collect_obs else None
+    try:
+        # same root shape as the thread-pool path; adopt_spans re-homes
+        # this root under the submitting span on the service side
+        with obs.span("service.job", app=job.app, mode=job.mode,
+                      key=job.key()[:12], pool="process"):
+            result = execute_job(job, observer=tracer)
+    finally:
+        if collector is not None:
+            obs.remove_sink(collector)
+    payload = {
         "key": job.key(),
         "result": result_to_dict(result, include_sources=True),
         "telemetry": tracer.to_dict(),
     }
+    if collector is not None:
+        payload["obs_spans"] = [s.to_dict()
+                                for s in collector.snapshot()]
+    return payload

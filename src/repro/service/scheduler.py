@@ -38,6 +38,23 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro import obs
+
+_QUEUE_WAIT = obs.REGISTRY.histogram(
+    "repro_scheduler_queue_wait_seconds",
+    "delay between job submission and its first attempt starting")
+_ATTEMPTS = obs.REGISTRY.counter(
+    "repro_scheduler_attempts_total",
+    "job attempts by per-attempt outcome",
+    ("outcome",))
+_JOBS = obs.REGISTRY.counter(
+    "repro_scheduler_jobs_total",
+    "jobs by terminal status",
+    ("status",))
+_DEDUP = obs.REGISTRY.counter(
+    "repro_scheduler_dedup_joins_total",
+    "submissions that joined an identical in-flight job")
+
 
 class JobStatus(enum.Enum):
     PENDING = "pending"
@@ -73,6 +90,8 @@ class JobHandle:
         self.attempts = 0
         self.error: Optional[JobError] = None
         self.wall_s: float = 0.0
+        self.submitted_at: float = time.perf_counter()
+        self.queue_wait_s: float = 0.0
         self._result: Any = None
         self._done = threading.Event()
         self._lock = threading.Lock()
@@ -222,6 +241,7 @@ class JobScheduler:
             existing = self._inflight.get(key)
             if existing is not None and not existing.done():
                 self.dedup_joins += 1
+                _DEDUP.inc()
                 return existing, False
             handle = JobHandle(key)
             self._inflight[key] = handle
@@ -247,6 +267,8 @@ class JobScheduler:
     def _drive(self, handle: JobHandle, fn: Callable, args, kwargs,
                timeout: Optional[float], retries: int) -> None:
         start = time.perf_counter()
+        handle.queue_wait_s = start - handle.submitted_at
+        _QUEUE_WAIT.observe(handle.queue_wait_s)
         last_error: Optional[JobError] = None
         attempts_allowed = retries + 1
         for attempt in range(attempts_allowed):
@@ -267,19 +289,24 @@ class JobScheduler:
                 handle._attempt_future = future
             try:
                 result = future.result(timeout)
+                _ATTEMPTS.inc(outcome="ok")
+                _JOBS.inc(status="succeeded")
                 handle._finish(JobStatus.SUCCEEDED, result=result,
                                wall_s=time.perf_counter() - start)
                 return
             except FutureTimeout:
                 future.cancel()
+                _ATTEMPTS.inc(outcome="timeout")
                 last_error = JobTimeout(
                     f"job {handle.key[:12]} exceeded {timeout}s "
                     f"(attempt {attempt + 1}/{attempts_allowed})")
             except CancelledError:
+                _ATTEMPTS.inc(outcome="cancelled")
                 last_error = JobCancelled(
                     f"job {handle.key[:12]} attempt cancelled")
                 break
             except BaseException as exc:
+                _ATTEMPTS.inc(outcome="error")
                 failure = JobFailed(
                     f"job {handle.key[:12]} failed "
                     f"(attempt {attempt + 1}/{attempts_allowed}): {exc!r}")

@@ -2,14 +2,24 @@
 
 The FlowEngine observer hooks (``FlowObserver`` in ``repro.flow.task``)
 emit one span per executed task -- task name, A/T/CG/O kind, Fig. 4
-scope, wall time -- and one event per PSA branch decision.
-:class:`Tracer` collects them for a single flow run; the service rolls
-the per-job traces plus cache/dedup counters into a
-:class:`FleetTelemetry` that renders as ASCII for the CLI or as JSON
-for dashboards.
+scope, start timestamp, wall time, error detail -- and one event per
+PSA branch decision.  :class:`Tracer` collects them for a single flow
+run; the service rolls the per-job traces plus cache/dedup counters
+into a :class:`FleetTelemetry` that renders as ASCII for the CLI or as
+JSON for dashboards.
+
+This module sits *on* the ``repro.obs`` span model: a
+:class:`TaskSpan` is the flow-observer view of the same task the
+``repro.obs`` layer traces (``span_id`` links the two when tracing is
+on), and every ``FleetTelemetry.count`` feeds the process-wide
+``repro.obs`` metrics registry
+(``repro_service_events_total{event=...}``) without changing the
+counter API the service and its tests consume.
 
 Everything here is plain data + a thread-safe aggregator; spans cross
-the process-pool boundary as dicts (``to_dict``/``from_dict``).
+the process-pool boundary as dicts (``to_dict``/``from_dict``, with
+``from_dict`` accepting dicts written before the ``t0``/``error``
+fields existed).
 """
 
 from __future__ import annotations
@@ -20,7 +30,18 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.flow.task import FlowObserver
+
+_SERVICE_EVENTS = obs.REGISTRY.counter(
+    "repro_service_events_total",
+    "design-service cache/dedup/run events (mirrors "
+    "FleetTelemetry.counters)",
+    ("event",))
+_JOB_WALL = obs.REGISTRY.histogram(
+    "repro_service_job_wall_seconds",
+    "per-job wall time by result source",
+    ("source",))
 
 #: printable order of the Fig. 4 task kinds
 KIND_ORDER = ("A", "T", "CG", "O")
@@ -30,22 +51,39 @@ KIND_NAMES = {"A": "analysis", "T": "transform",
 
 @dataclass
 class TaskSpan:
-    """One executed flow task."""
+    """One executed flow task.
+
+    ``t0`` (monotonic, epoch-aligned start timestamp), ``error`` (the
+    raising exception as ``"ExcType: message"``) and ``span_id`` (the
+    ``repro.obs`` span recorded for the same task, when tracing is on)
+    are optional: dicts cached before these fields existed still load.
+    """
 
     name: str
     kind: str            # 'A' | 'T' | 'CG' | 'O'
     scope: str           # Fig. 4 grouping: T-INDEP, GPU, FPGA-S10, ...
     wall_s: float
     status: str = "ok"   # 'ok' | 'error'
+    t0: float = 0.0
+    error: Optional[str] = None
+    span_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "kind": self.kind, "scope": self.scope,
-                "wall_s": self.wall_s, "status": self.status}
+        data = {"name": self.name, "kind": self.kind, "scope": self.scope,
+                "wall_s": self.wall_s, "status": self.status,
+                "t0": self.t0}
+        if self.error is not None:
+            data["error"] = self.error
+        if self.span_id is not None:
+            data["span_id"] = self.span_id
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TaskSpan":
         return cls(data["name"], data["kind"], data["scope"],
-                   data["wall_s"], data.get("status", "ok"))
+                   data["wall_s"], data.get("status", "ok"),
+                   t0=data.get("t0", 0.0), error=data.get("error"),
+                   span_id=data.get("span_id"))
 
 
 @dataclass
@@ -74,10 +112,15 @@ class Tracer(FlowObserver):
         self.branches: List[BranchEvent] = []
 
     # -- FlowObserver hooks ---------------------------------------------
-    def on_task_end(self, task, ctx, wall_s: float,
-                    status: str = "ok") -> None:
-        self.spans.append(TaskSpan(task.name, task.kind.value,
-                                   task.scope, wall_s, status))
+    def on_task_end(self, task, ctx, wall_s: float, status: str = "ok",
+                    error: Optional[BaseException] = None) -> None:
+        current = obs.current_span()
+        self.spans.append(TaskSpan(
+            task.name, task.kind.value, task.scope, wall_s, status,
+            t0=obs.now() - wall_s,
+            error=(f"{type(error).__name__}: {error}"
+                   if error is not None else None),
+            span_id=current.span_id if current is not None else None))
 
     def on_branch(self, decision, ctx) -> None:
         self.branches.append(BranchEvent(decision.branch,
@@ -154,10 +197,12 @@ class FleetTelemetry:
         self.counters: Counter = Counter()
 
     def count(self, name: str, n: int = 1) -> None:
+        _SERVICE_EVENTS.inc(n, event=name)
         with self._lock:
             self.counters[name] += n
 
     def record_job(self, record: JobTelemetry) -> None:
+        _JOB_WALL.observe(record.wall_s, source=record.source)
         with self._lock:
             self.jobs.append(record)
 

@@ -1,0 +1,20 @@
+"""Shared obs fixtures: a collector sink that always detaches."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def collector():
+    sink = obs.add_sink(obs.SpanCollector())
+    try:
+        yield sink
+    finally:
+        obs.remove_sink(sink)
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry so tests never fight over the global one."""
+    return obs.MetricsRegistry()

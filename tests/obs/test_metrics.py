@@ -1,0 +1,149 @@
+"""MetricsRegistry: counters/gauges/histograms, dumps, concurrency."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+
+
+class TestCounter:
+    def test_inc_and_get(self, registry):
+        c = registry.counter("jobs_total", "jobs", ("status",))
+        c.inc(status="ok")
+        c.inc(2, status="ok")
+        c.inc(status="failed")
+        assert c.get(status="ok") == 3
+        assert c.get(status="failed") == 1
+        assert c.get(status="unseen") == 0
+
+    def test_counters_only_go_up(self, registry):
+        c = registry.counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("x_total", "", ("a",))
+        with pytest.raises(ValueError):
+            c.inc(b=1)
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "", ("bad-label",))
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self, registry):
+        a = registry.counter("same", "help", ("l",))
+        b = registry.counter("same", "other help", ("l",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("clash")
+        with pytest.raises(ValueError):
+            registry.gauge("clash")
+
+    def test_labelnames_mismatch_rejected(self, registry):
+        registry.counter("lbl", "", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("lbl", "", ("a", "b"))
+
+    def test_collector_runs_at_dump_time(self, registry):
+        source = {"value": 1}
+
+        def pull(reg):
+            reg.gauge("pulled").set(source["value"])
+
+        registry.register_collector(pull)
+        assert "pulled 1" in registry.to_prometheus()
+        source["value"] = 7
+        assert "pulled 7" in registry.to_prometheus()
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.get() == 4
+
+    def test_histogram_buckets_cumulative(self, registry):
+        h = registry.histogram("lat", "", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+        text = "\n".join(h.samples())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestDumps:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("a_total", "things done", ("k",)).inc(k="v")
+        registry.histogram("b_seconds", "waits", buckets=(1.0,)) \
+            .observe(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP a_total things done" in text
+        assert "# TYPE a_total counter" in text
+        assert 'a_total{k="v"} 1' in text
+        assert "# TYPE b_seconds histogram" in text
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("esc_total", "", ("v",)).inc(v='say "hi"\n')
+        line = [ln for ln in registry.to_prometheus().splitlines()
+                if ln.startswith("esc_total")][0]
+        assert r'\"hi\"' in line and r"\n" in line
+
+    def test_json_dump_parses(self, registry):
+        registry.counter("c_total", "", ("x",)).inc(3, x="y")
+        data = json.loads(registry.to_json())
+        sample = data["c_total"]["samples"][0]
+        assert sample == {"labels": {"x": "y"}, "value": 3}
+
+
+class TestConcurrency:
+    N_THREADS = 8
+    N_INCS = 500
+
+    def test_counter_exact_total_under_contention(self, registry):
+        c = registry.counter("hot_total", "", ("who",))
+
+        def hammer(who):
+            for _ in range(self.N_INCS):
+                c.inc(who=who)
+
+        threads = [threading.Thread(target=hammer, args=(f"t{i % 2}",))
+                   for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = c.get(who="t0") + c.get(who="t1")
+        assert total == self.N_THREADS * self.N_INCS
+
+    def test_histogram_exact_count_under_contention(self, registry):
+        h = registry.histogram("hot_seconds", "", buckets=(0.5,))
+
+        def hammer():
+            for i in range(self.N_INCS):
+                h.observe(i % 2)  # half below, half above the bucket
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expect = self.N_THREADS * self.N_INCS
+        assert h.count() == expect
+        text = "\n".join(h.samples())
+        assert f'hot_seconds_bucket{{le="0.5"}} {expect // 2}' in text

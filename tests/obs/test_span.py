@@ -1,0 +1,172 @@
+"""Span layer: nesting, ids, serialization, sinks, adoption."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.span import NULL_SPAN
+
+
+class TestDisabled:
+    def test_span_is_noop_without_sinks(self):
+        assert not obs.enabled()
+        scope = obs.span("anything", attr=1)
+        assert scope is NULL_SPAN
+        with scope as sp:
+            sp.set(more=2)
+            sp.event("ignored")
+            assert sp.wall_s == 0.0
+        assert obs.current_span() is None
+
+    def test_module_event_is_noop_without_sinks(self):
+        obs.event("nothing", x=1)  # must not raise
+
+    def test_current_context_none_outside_spans(self):
+        assert obs.current_context() is None
+
+
+class TestNesting:
+    def test_parent_child_ids_and_shared_trace(self, collector):
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            assert obs.current_span() is outer
+        assert obs.current_span() is None
+        spans = collector.snapshot()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[0].span_id != spans[1].span_id
+
+    def test_sibling_spans_share_parent(self, collector):
+        with obs.span("root") as root:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        a, b, _ = collector.snapshot()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_explicit_parent_context(self, collector):
+        ctx = {"trace_id": "feedface00000000", "span_id": "1.2"}
+        with obs.span("adopted", parent=ctx) as sp:
+            assert sp.parent_id == "1.2"
+            assert sp.trace_id == "feedface00000000"
+
+    def test_timestamps_monotonic(self, collector):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = collector.snapshot()
+        assert outer.t0 <= inner.t0
+        assert inner.end <= outer.end
+        assert outer.wall_s >= inner.wall_s >= 0
+
+    def test_threads_do_not_inherit_each_other(self, collector):
+        seen = []
+
+        def worker():
+            seen.append(obs.current_span())
+
+        with obs.span("main-only"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestErrorsAndEvents:
+    def test_exception_marks_error_and_propagates(self, collector):
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("bad input")
+        (sp,) = collector.snapshot()
+        assert sp.status == "error"
+        assert sp.error == "ValueError: bad input"
+
+    def test_events_attach_to_current_span(self, collector):
+        with obs.span("host") as sp:
+            sp.event("direct", n=1)
+            obs.event("ambient", n=2)
+        (done,) = collector.snapshot()
+        assert [(ev.name, ev.attrs["n"]) for ev in done.events] == \
+            [("direct", 1), ("ambient", 2)]
+        assert all(done.t0 <= ev.t <= done.end for ev in done.events)
+
+    def test_set_merges_attrs(self, collector):
+        with obs.span("s", a=1) as sp:
+            sp.set(b=2).set(a=3)
+        (done,) = collector.snapshot()
+        assert done.attrs == {"a": 3, "b": 2}
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, collector):
+        with pytest.raises(RuntimeError):
+            with obs.span("outer", k="v") as sp:
+                sp.event("mark", at=1)
+                raise RuntimeError("x")
+        (orig,) = collector.snapshot()
+        clone = obs.Span.from_dict(orig.to_dict())
+        assert clone.to_dict() == orig.to_dict()
+        assert clone.span_id == orig.span_id
+        assert clone.events[0].attrs == {"at": 1}
+
+    def test_span_ids_carry_pid(self, collector):
+        import os
+
+        with obs.span("x") as sp:
+            pass
+        assert sp.span_id.startswith(f"{os.getpid():x}.")
+        assert sp.pid == os.getpid()
+
+
+class TestAdoption:
+    def test_orphan_roots_reparented_and_trace_rewritten(self, collector):
+        with obs.span("worker-root"):
+            with obs.span("worker-leaf"):
+                pass
+        forest = [s.to_dict() for s in collector.snapshot()]
+        collector.clear()
+        ctx = {"trace_id": "abcd1234abcd1234", "span_id": "99.1"}
+        adopted = obs.adopt_spans(forest, ctx)
+        by_name = {s.name: s for s in adopted}
+        assert by_name["worker-root"].parent_id == "99.1"
+        # internal link preserved
+        assert (by_name["worker-leaf"].parent_id
+                == by_name["worker-root"].span_id)
+        assert all(s.trace_id == "abcd1234abcd1234" for s in adopted)
+        # adopted spans are re-emitted to the active sinks
+        assert len(collector) == 2
+
+    def test_adopt_without_parent_keeps_shape(self):
+        dicts = [obs.Span("n", "t" * 16, "1.1", None, 0.0, end=1.0)
+                 .to_dict()]
+        (span,) = obs.adopt_spans(dicts, None)
+        assert span.parent_id is None
+        assert span.trace_id == "t" * 16
+
+
+class TestSinks:
+    def test_broken_sink_never_breaks_the_flow(self, collector):
+        class Broken:
+            def emit(self, span):
+                raise RuntimeError("sink down")
+
+        broken = obs.add_sink(Broken())
+        try:
+            with obs.span("still-works"):
+                pass
+        finally:
+            obs.remove_sink(broken)
+        assert len(collector) == 1
+
+    def test_add_sink_idempotent_remove_tolerant(self, collector):
+        again = obs.add_sink(collector)
+        assert again is collector
+        with obs.span("once"):
+            pass
+        assert len(collector) == 1
+        obs.remove_sink(object())  # unknown: no error

@@ -1,10 +1,61 @@
 """Telemetry tests: engine observer hooks, spans, fleet aggregation."""
 
+import threading
+
 from repro.apps.registry import get_app
 from repro.flow.engine import FlowEngine
 from repro.service.telemetry import (
     FleetTelemetry, JobTelemetry, TaskSpan, Tracer,
 )
+
+
+class TestTaskSpan:
+    def test_from_dict_accepts_pre_t0_dicts(self):
+        """Dicts cached before the t0/error/span_id fields existed."""
+        legacy = {"name": "x", "kind": "A", "scope": "T-INDEP",
+                  "wall_s": 0.25, "status": "ok"}
+        span = TaskSpan.from_dict(legacy)
+        assert span.t0 == 0.0
+        assert span.error is None
+        assert span.span_id is None
+        assert span.wall_s == 0.25
+
+    def test_round_trip_with_error_detail(self):
+        span = TaskSpan("x", "A", "T-INDEP", 0.5, status="error",
+                        t0=123.4, error="ValueError: nope",
+                        span_id="1f.2")
+        data = span.to_dict()
+        assert data["t0"] == 123.4
+        assert data["error"] == "ValueError: nope"
+        rebuilt = TaskSpan.from_dict(data)
+        assert rebuilt == span
+
+    def test_optional_fields_omitted_when_unset(self):
+        data = TaskSpan("x", "A", "T-INDEP", 0.5).to_dict()
+        assert "error" not in data and "span_id" not in data
+
+    def test_tracer_records_error_detail(self):
+        from repro.flow.context import FlowContext
+        from repro.flow.task import Task, TaskKind
+
+        class Boom(Task):
+            kind = TaskKind.ANALYSIS
+            name = "Boom"
+            scope = "T-INDEP"
+
+            def run(self, ctx):
+                raise ValueError("nope")
+
+        tracer = Tracer()
+        ctx = FlowContext(get_app("kmeans"), observer=tracer)
+        try:
+            Boom()(ctx)
+        except ValueError:
+            pass
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.error == "ValueError: nope"
+        assert span.t0 > 0
 
 
 class TestTracer:
@@ -93,3 +144,25 @@ class TestFleetTelemetry:
         data = json.loads(fleet.to_json())
         assert data["counters"]["dedup"] == 1
         assert data["jobs"][0]["app"] == "kmeans"
+
+    def test_concurrent_counts_and_records_are_exact(self):
+        fleet = FleetTelemetry()
+        n_threads, n_ops = 8, 200
+
+        def hammer(i):
+            for _ in range(n_ops):
+                fleet.count("cache_miss")
+                fleet.count("jobs_run", 2)
+                fleet.record_job(self._job(app="kmeans" if i % 2
+                                           else "nbody"))
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fleet.counters["cache_miss"] == n_threads * n_ops
+        assert fleet.counters["jobs_run"] == 2 * n_threads * n_ops
+        assert len(fleet.jobs) == n_threads * n_ops
+        assert fleet.by_kind()["A"]["count"] == n_threads * n_ops
