@@ -81,7 +81,7 @@ def validate_trace(path: str, min_depth: int) -> None:
           f"({instants} instant events), depth {deepest}: OK")
 
 
-def validate_metrics(path: str) -> None:
+def validate_metrics(path: str, require=()) -> None:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
@@ -106,7 +106,7 @@ def validate_metrics(path: str) -> None:
         samples += 1
     if not samples:
         fail(f"{path}: no samples")
-    for name in REQUIRED_METRICS:
+    for name in (*REQUIRED_METRICS, *require):
         if name not in typed:
             fail(f"{path}: required metric {name!r} missing "
                  f"(have: {sorted(typed)})")
@@ -121,10 +121,17 @@ def main(argv=None) -> int:
                         help="Prometheus text dump (optional)")
     parser.add_argument("--min-depth", type=int, default=3,
                         help="required span nesting depth (default 3)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="METRIC",
+                        help="additional metric family that must be "
+                             "present (repeatable; chaos runs require "
+                             "repro_faults_injected_total)")
     args = parser.parse_args(argv)
     validate_trace(args.trace, args.min_depth)
     if args.metrics:
-        validate_metrics(args.metrics)
+        validate_metrics(args.metrics, require=args.require)
+    elif args.require:
+        fail("--require needs a metrics dump argument")
     return 0
 
 

@@ -9,7 +9,8 @@
                           [--jobs N] [--cache-dir DIR] [--pool auto]
                           [--timeout S] [--retries N]
                           [--telemetry] [--json PATH]
-    python -m repro service <stats|ls|purge> --cache-dir DIR
+    python -m repro service <stats|ls|purge|dead-letter> --cache-dir DIR
+                            [--clear]
 
 ``run``, ``eval`` and ``batch`` all accept ``--trace-out PATH`` (write
 a Perfetto-loadable Chrome trace of the run) and ``--metrics-out PATH``
@@ -239,6 +240,30 @@ def cmd_service(args) -> int:
     elif args.action == "purge":
         removed = cache.purge()
         print(f"purged {removed} entry(ies) from {cache.root}")
+    elif args.action == "dead-letter":
+        from repro.resilience import DEAD_LETTER_DIRNAME, DeadLetterQueue
+
+        dlq = DeadLetterQueue(os.path.join(args.cache_dir,
+                                           DEAD_LETTER_DIRNAME))
+        if args.clear:
+            released = dlq.purge()
+            print(f"released {released} dead-lettered job(s)")
+            return 0
+        entries = dlq.entries()
+        quarantined_files = list(cache.quarantined())
+        if not entries and not quarantined_files:
+            print(f"dead-letter queue at {dlq.root}: empty")
+            return 0
+        for record in entries:
+            job = record.get("job") or {}
+            print(f"{record.get('key', '?')[:12]}  "
+                  f"{job.get('app', '?'):12s} {job.get('mode', '?'):11s} "
+                  f"crashes={record.get('crashes', 0)} "
+                  f"attempts={record.get('attempts', 0)}  "
+                  f"{record.get('reason', '?')}")
+        if quarantined_files:
+            print(f"({len(quarantined_files)} corrupt cache file(s) "
+                  f"in {os.path.join(cache.root, '.quarantine')})")
     return 0
 
 
@@ -316,8 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     svc = sub.add_parser(
         "service", help="inspect/maintain the persistent result cache")
-    svc.add_argument("action", choices=("stats", "ls", "purge"))
+    svc.add_argument("action",
+                     choices=("stats", "ls", "purge", "dead-letter"))
     svc.add_argument("--cache-dir", required=True, metavar="DIR")
+    svc.add_argument("--clear", action="store_true",
+                     help="with dead-letter: release every "
+                          "quarantined job")
     svc.set_defaults(func=cmd_service)
     return parser
 

@@ -42,6 +42,7 @@ from repro.meta.ast_nodes import (
     DoWhileStmt, ForStmt, TranslationUnit, WhileStmt,
 )
 from repro.meta.unparse import unparse
+from repro.resilience import faults
 
 PROFILE_FORMAT_VERSION = 1
 
@@ -286,9 +287,13 @@ def _disk_get(key: str) -> Optional[Dict[str, Any]]:
     if root is None:
         return None
     try:
+        faults.inject("profile.disk")
         with open(_disk_path(root, key), "r", encoding="utf-8") as fh:
             return json.load(fh)
-    except (OSError, json.JSONDecodeError, ValueError):
+    except (faults.InjectedFault, OSError, json.JSONDecodeError,
+            ValueError):
+        # the disk tier is an accelerator, never a dependency: any
+        # read problem is a miss and the profile re-derives
         return None
 
 
@@ -298,6 +303,7 @@ def _disk_put(key: str, data: Dict[str, Any]) -> None:
         return
     path = _disk_path(root, key)
     try:
+        faults.inject("profile.disk")
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    prefix=".tmp-", suffix=".json")
@@ -311,7 +317,7 @@ def _disk_put(key: str, data: Dict[str, Any]) -> None:
             except OSError:
                 pass
             raise
-    except OSError:
+    except (faults.InjectedFault, OSError):
         pass  # cache persistence is best-effort
 
 

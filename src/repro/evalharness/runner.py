@@ -41,8 +41,13 @@ class EvaluationRunner:
                 cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
             if workers is None:
                 workers = int(os.environ.get("REPRO_WORKERS", "1"))
+            # retry budget for transient faults -- chaos runs set this
+            # alongside $REPRO_FAULTS so injected worker errors are
+            # absorbed instead of failing the experiment
+            retries = int(os.environ.get("REPRO_RETRIES", "0"))
             service = DesignService(engine=engine, cache_dir=cache_dir,
-                                    workers=workers)
+                                    workers=workers,
+                                    default_retries=retries)
         self.service = service
         self.engine = service.engine
 

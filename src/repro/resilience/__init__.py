@@ -1,0 +1,39 @@
+"""repro.resilience -- fault injection, containment, graceful degradation.
+
+The harden-then-chaos-test toolkit the service stack leans on:
+
+- :mod:`repro.resilience.faults` -- a process-global seeded
+  :class:`FaultPlan` with named injection sites threaded through the
+  result cache, scheduler payloads, execution engines and profile
+  cache; off by default, configured via API or ``$REPRO_FAULTS``,
+  deterministic per (seed, site, invocation index) so chaos runs
+  replay;
+- :mod:`repro.resilience.breaker` -- :class:`CircuitBreaker`
+  (closed/open/half-open, wall-clock cooldown) guarding compiled
+  execution and service admission;
+- :mod:`repro.resilience.deadletter` -- :class:`DeadLetterQueue`, the
+  persisted quarantine for payloads that keep crashing workers,
+  inspectable via ``python -m repro service dead-letter``.
+
+Quick chaos run::
+
+    REPRO_FAULTS="seed=7,rate=0.05" REPRO_RETRIES=3 \\
+        python -m repro eval fig5 --trace-out chaos.json
+"""
+
+from repro.resilience.breaker import (
+    CLOSED, HALF_OPEN, OPEN, CircuitBreaker, STATE_VALUES,
+)
+from repro.resilience.deadletter import DEAD_LETTER_DIRNAME, DeadLetterQueue
+from repro.resilience.faults import (
+    FaultPlan, InjectedFault, KNOWN_SITES, active_plan, clear_plan,
+    configure_from_env, current_plan, inject, install_plan,
+)
+
+__all__ = [
+    "CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker", "STATE_VALUES",
+    "DEAD_LETTER_DIRNAME", "DeadLetterQueue",
+    "FaultPlan", "InjectedFault", "KNOWN_SITES", "active_plan",
+    "clear_plan", "configure_from_env", "current_plan", "inject",
+    "install_plan",
+]

@@ -1,0 +1,135 @@
+"""Circuit breaker: fail fast instead of failing repeatedly.
+
+The classic three-state machine:
+
+::
+
+    CLOSED --(failure_threshold consecutive failures)--> OPEN
+    OPEN   --(cooldown_s of wall clock elapses)--------> HALF-OPEN
+    HALF-OPEN --(one success)--> CLOSED
+    HALF-OPEN --(one failure)--> OPEN (cooldown restarts)
+
+``allow()`` is the guard callers place in front of the protected
+operation: it returns False while the breaker is OPEN (the caller takes
+its degraded path -- interpreter instead of compiled engine, fast-fail
+instead of enqueue) and True otherwise.  In HALF-OPEN every ``allow()``
+is a probe; the first recorded outcome decides whether the breaker
+closes or re-opens.  Successes in CLOSED reset the consecutive-failure
+count, so only *sustained* failure trips the breaker.
+
+State transitions update the ``repro_breaker_state`` gauge (0 closed,
+1 half-open, 2 open, labelled by breaker name) and attach a
+``breaker.transition`` event to the current span, so a trip is always
+visible in telemetry even when the degraded path hides the errors.
+
+Thread-safe; time injection (``clock=``) keeps the tests off
+``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro import obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: gauge encoding of the states, for dashboards/alerts
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+_BREAKER_STATE = obs.REGISTRY.gauge(
+    "repro_breaker_state",
+    "circuit-breaker state by name (0 closed, 1 half-open, 2 open)",
+    ("name",))
+_BREAKER_TRIPS = obs.REGISTRY.counter(
+    "repro_breaker_transitions_total",
+    "circuit-breaker state transitions",
+    ("name", "to"))
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker with wall-clock cooldown."""
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0          # consecutive, while CLOSED
+        self._opened_at: Optional[float] = None
+        self.trips = 0              # CLOSED/HALF-OPEN -> OPEN count
+        _BREAKER_STATE.set(STATE_VALUES[CLOSED], name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # lock held: promote OPEN to HALF-OPEN once the cooldown passed
+        if self._state == OPEN and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.cooldown_s:
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def _transition(self, to: str) -> None:
+        # lock held
+        if self._state == to:
+            return
+        self._state = to
+        if to == OPEN:
+            self._opened_at = self._clock()
+            self.trips += 1
+        elif to == CLOSED:
+            self._failures = 0
+            self._opened_at = None
+        _BREAKER_STATE.set(STATE_VALUES[to], name=self.name)
+        _BREAKER_TRIPS.inc(name=self.name, to=to)
+        obs.event("breaker.transition", breaker=self.name, to=to)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the protected operation run now?"""
+        with self._lock:
+            return self._effective_state() != OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                self._transition(CLOSED)
+            elif state == CLOSED:
+                self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                self._transition(OPEN)
+            elif state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Force-close (operator override / tests)."""
+        with self._lock:
+            self._transition(CLOSED)
+
+    def __repr__(self):
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"failures={self._failures} trips={self.trips}>")

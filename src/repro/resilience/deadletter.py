@@ -1,0 +1,158 @@
+"""Dead-letter quarantine: jobs the service refuses to keep retrying.
+
+A payload that keeps crashing pool workers (or is otherwise declared
+poisonous) is *excluded* from further scheduling and parked here with
+everything an operator needs to diagnose it: the job spec, the reason,
+crash/attempt counts and a timestamp.  The queue persists as one JSON
+file per job key under ``<cache root>/.deadletter/`` -- next to the
+result cache, so one directory holds the whole service state -- and is
+inspectable via ``python -m repro service dead-letter --cache-dir DIR``.
+
+With no cache root the queue is memory-only (same API), which is what
+uncached services and tests get.  ``contains`` answers from an
+in-memory key set loaded once at construction, so the scheduler-path
+exclusion check costs a set lookup, not a stat.
+
+``repro_dead_letter_total`` counts additions; the
+``repro_dead_letter_size`` gauge tracks the live size -- the service's
+overload breaker watches additions to decide when to shed load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+
+#: subdirectory of the cache root holding quarantined job records
+DEAD_LETTER_DIRNAME = ".deadletter"
+
+_DEAD_LETTERS = obs.REGISTRY.counter(
+    "repro_dead_letter_total",
+    "jobs quarantined into the dead-letter queue")
+_DEAD_LETTER_SIZE = obs.REGISTRY.gauge(
+    "repro_dead_letter_size",
+    "jobs currently dead-lettered")
+
+
+class DeadLetterQueue:
+    """Persisted (or memory-only) quarantine keyed by job content hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = str(root) if root else None
+        self._lock = threading.Lock()
+        self._records: Dict[str, Dict[str, Any]] = {}
+        if self.root is not None:
+            os.makedirs(self.root, exist_ok=True)
+            self._load()
+        _DEAD_LETTER_SIZE.set(len(self._records))
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, f"{key}.json")
+
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json") or name.startswith(".tmp-"):
+                continue
+            try:
+                with open(os.path.join(self.root, name), "r",
+                          encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue  # unreadable quarantine record: skip, keep file
+            key = record.get("key") or name[:-len(".json")]
+            self._records[key] = record
+
+    # ------------------------------------------------------------------
+    def add(self, key: str, job_spec: Optional[Dict[str, Any]],
+            reason: str, attempts: int = 0,
+            crashes: int = 0) -> Dict[str, Any]:
+        """Quarantine ``key``; idempotent (last reason wins)."""
+        record = {
+            "key": key,
+            "job": job_spec or {},
+            "reason": reason,
+            "attempts": attempts,
+            "crashes": crashes,
+            "quarantined_at": time.time(),
+        }
+        with self._lock:
+            created = key not in self._records
+            self._records[key] = record
+            size = len(self._records)
+        if self.root is not None:
+            path = self._path(key)
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-",
+                                       suffix=".json")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, indent=2)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        if created:
+            _DEAD_LETTERS.inc()
+        _DEAD_LETTER_SIZE.set(size)
+        obs.event("deadletter.add", key=key[:12], reason=reason)
+        return record
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._records
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._records.get(key)
+            return dict(record) if record is not None else None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every quarantined record, oldest first."""
+        with self._lock:
+            records = [dict(r) for r in self._records.values()]
+        return sorted(records, key=lambda r: r.get("quarantined_at", 0.0))
+
+    def remove(self, key: str) -> bool:
+        """Release one job from quarantine (it may be scheduled again)."""
+        with self._lock:
+            found = self._records.pop(key, None) is not None
+            size = len(self._records)
+        if found and self.root is not None:
+            try:
+                os.remove(self._path(key))
+            except OSError:
+                pass
+        if found:
+            _DEAD_LETTER_SIZE.set(size)
+        return found
+
+    def purge(self) -> int:
+        """Release everything; returns the number removed."""
+        with self._lock:
+            keys = list(self._records)
+            self._records.clear()
+        if self.root is not None:
+            for key in keys:
+                try:
+                    os.remove(self._path(key))
+                except OSError:
+                    pass
+        _DEAD_LETTER_SIZE.set(0)
+        return len(keys)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self):
+        where = self.root or "memory"
+        return f"<DeadLetterQueue {where} entries={len(self)}>"

@@ -31,13 +31,13 @@ from repro.service.batch import (
     BatchItem, BatchReport, expand_jobs, iter_batch, run_batch,
 )
 from repro.service.cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache
-from repro.service.core import DesignService, ServiceResult
+from repro.service.core import DesignService, ServiceOverloaded, ServiceResult
 from repro.service.jobs import (
     FlowJob, JobValidationError, execute_job, execute_job_payload,
 )
 from repro.service.scheduler import (
-    JobCancelled, JobError, JobFailed, JobHandle, JobScheduler,
-    JobStatus, JobTimeout,
+    JobCancelled, JobError, JobFailed, JobHandle, JobQuarantined,
+    JobResultPending, JobScheduler, JobStatus, JobTimeout,
 )
 from repro.service.telemetry import (
     BranchEvent, FleetTelemetry, JobTelemetry, TaskSpan, Tracer,
@@ -46,9 +46,9 @@ from repro.service.telemetry import (
 __all__ = [
     "BatchItem", "BatchReport", "expand_jobs", "iter_batch", "run_batch",
     "CACHE_FORMAT_VERSION", "CacheStats", "ResultCache",
-    "DesignService", "ServiceResult",
+    "DesignService", "ServiceOverloaded", "ServiceResult",
     "FlowJob", "JobValidationError", "execute_job", "execute_job_payload",
-    "JobCancelled", "JobError", "JobFailed", "JobHandle", "JobScheduler",
-    "JobStatus", "JobTimeout",
+    "JobCancelled", "JobError", "JobFailed", "JobHandle", "JobQuarantined",
+    "JobResultPending", "JobScheduler", "JobStatus", "JobTimeout",
     "BranchEvent", "FleetTelemetry", "JobTelemetry", "TaskSpan", "Tracer",
 ]

@@ -8,7 +8,8 @@ holding::
      "key": "<sha256>",
      "job": {...job spec...},
      "result": {...flow.serialize.result_to_dict(..., sources=True)...},
-     "telemetry": {...spans of the run that produced it...}}
+     "telemetry": {...spans of the run that produced it...},
+     "crc32": <checksum of the canonical entry body>}
 
 Keys are the :meth:`FlowJob.key` content hashes, which already include
 the format version and the app source hash -- so *semantic* staleness
@@ -17,22 +18,55 @@ file guards the other direction: an old process reading a newer (or a
 newer process reading an older) entry detects the mismatch, deletes
 the file and reports a miss (`stats.invalidated`).
 
+Integrity is separate from staleness.  Every entry carries a CRC32 of
+its canonical body, verified on read; a truncated, bit-flipped or
+otherwise unreadable entry is **quarantined** -- moved to a
+``.quarantine/`` sibling directory (evidence kept for diagnosis, never
+silently deleted), logged with the offending path, and counted in
+``stats.corrupt`` and ``repro_cache_corrupt_total{reason=...}`` --
+then reported as a miss so the caller re-runs and re-caches.
+
 Writes are atomic (temp file + ``os.replace``) so a parallel reader
-never sees a half-written entry.
+never sees a half-written entry.  The ``cache.read`` / ``cache.write``
+fault-injection sites let chaos tests drive the corruption and
+write-failure paths deterministically (:mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
+from repro import obs
 from repro.flow.serialize import FlowResultRecord, result_from_dict
+from repro.resilience import faults
 
 #: bump when the serialized result schema or flow semantics change
-CACHE_FORMAT_VERSION = 1
+#: (2: entries carry a ``crc32`` integrity checksum)
+CACHE_FORMAT_VERSION = 2
+
+#: sibling directory corrupt entries are moved into (never a key shard:
+#: :meth:`ResultCache.keys` skips dot-directories)
+QUARANTINE_DIRNAME = ".quarantine"
+
+logger = logging.getLogger(__name__)
+
+_CORRUPT_TOTAL = obs.REGISTRY.counter(
+    "repro_cache_corrupt_total",
+    "result-cache entries quarantined on failed read verification",
+    ("reason",))
+
+
+def entry_crc32(entry: Dict[str, Any]) -> int:
+    """Checksum of the canonical JSON body, ``crc32`` field excluded."""
+    body = {k: v for k, v in entry.items() if k != "crc32"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 @dataclass
@@ -41,6 +75,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     invalidated: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -69,20 +104,27 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
+            faults.inject("cache.read")
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            # unreadable/corrupt entry: drop it and treat as a miss
-            self._discard(path)
-            self.stats.invalidated += 1
-            self.stats.misses += 1
-            return None
+        except faults.InjectedFault as exc:
+            return self._corrupt_miss(path, "injected", exc)
+        except json.JSONDecodeError as exc:
+            return self._corrupt_miss(path, "json", exc)
+        except OSError as exc:
+            return self._corrupt_miss(path, "os", exc)
         if entry.get("format") != CACHE_FORMAT_VERSION:
+            # stale schema, not damage: no evidence worth keeping
             self._discard(path)
             self.stats.invalidated += 1
             self.stats.misses += 1
             return None
+        if entry.get("crc32") != entry_crc32(entry):
+            return self._corrupt_miss(
+                path, "crc",
+                ValueError(f"crc32 mismatch (stored "
+                           f"{entry.get('crc32')!r})"))
         self.stats.hits += 1
         return entry
 
@@ -97,6 +139,7 @@ class ResultCache:
             result_dict: Dict[str, Any],
             telemetry: Optional[Dict[str, Any]] = None) -> str:
         """Atomically persist one result; returns the file path."""
+        faults.inject("cache.write")
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {
@@ -106,6 +149,7 @@ class ResultCache:
             "result": result_dict,
             "telemetry": telemetry or {},
         }
+        entry["crc32"] = entry_crc32(entry)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    prefix=".tmp-", suffix=".json")
         try:
@@ -119,10 +163,48 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+    def _corrupt_miss(self, path: str, reason: str,
+                      exc: BaseException) -> None:
+        """Quarantine a damaged entry and account it as a miss."""
+        moved = self._quarantine(path)
+        logger.warning(
+            "result cache: corrupt entry at %s (%s: %s); %s",
+            path, reason, exc,
+            f"quarantined to {moved}" if moved else "could not move it")
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        _CORRUPT_TOTAL.inc(reason=reason)
+        obs.event("cache.corrupt", path=path, reason=reason)
+        return None
+
+    def _quarantine(self, path: str) -> Optional[str]:
+        """Move ``path`` under ``.quarantine/``; None when impossible."""
+        dest_dir = os.path.join(self.root, QUARANTINE_DIRNAME)
+        dest = os.path.join(dest_dir, os.path.basename(path))
+        try:
+            os.makedirs(dest_dir, exist_ok=True)
+            os.replace(path, dest)
+            return dest
+        except OSError:
+            return None
+
+    def quarantined(self) -> Iterator[str]:
+        """Paths of quarantined entry files, sorted."""
+        dest_dir = os.path.join(self.root, QUARANTINE_DIRNAME)
+        try:
+            names = sorted(os.listdir(dest_dir))
+        except OSError:
+            return
+        for name in names:
+            yield os.path.join(dest_dir, name)
+
+    # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
+            # dot-dirs are service state (.quarantine, .deadletter),
+            # not key shards
+            if shard.startswith(".") or not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(".json") and not name.startswith(".tmp-"):

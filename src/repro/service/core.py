@@ -20,10 +20,20 @@ worker; both expose the read API the evaluation harness consumes.
 An engine carrying a custom ``strategy_a`` override cannot be content-
 hashed or pickled, so such a service runs uncached and in-process --
 correctness over throughput for experimental strategies.
+
+Resilience (see :mod:`repro.resilience`): jobs whose payloads keep
+crashing pool workers resolve :class:`JobQuarantined` and land in the
+**dead-letter queue** next to the result cache; re-submitting a
+dead-lettered job fast-fails without touching the pool.  A spike of
+dead-letters trips the service's **overload breaker**: new work is
+shed with :class:`ServiceOverloaded` (cache reads and in-flight joins
+still serve) until the cooldown passes.  A failed cache write degrades
+to an uncached result instead of failing the job.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -31,12 +41,29 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro import obs
 from repro.flow.engine import FlowEngine
 from repro.flow.serialize import result_from_dict, result_to_dict
+from repro.resilience import (
+    CircuitBreaker, DEAD_LETTER_DIRNAME, DeadLetterQueue, faults,
+)
 from repro.service.cache import ResultCache
 from repro.service.jobs import FlowJob, execute_job, execute_job_payload
-from repro.service.scheduler import JobHandle, JobScheduler, JobStatus
+from repro.service.scheduler import (
+    JobHandle, JobQuarantined, JobResultPending, JobScheduler, JobStatus,
+)
 from repro.service.telemetry import (
     FleetTelemetry, JobTelemetry, Tracer,
 )
+
+
+class ServiceOverloaded(RuntimeError):
+    """The overload breaker is open: new work is being shed.
+
+    Raised by :meth:`DesignService.submit` for jobs that would need to
+    *run*; cached results and in-flight joins are still served.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class _Pending:
@@ -77,8 +104,12 @@ class ServiceResult:
         if self._pending is None:
             return self._value
         if not self._pending.event.wait(timeout):
-            raise TimeoutError(
-                f"{self.job.label} not done within {timeout}s")
+            handle = self._pending.handle
+            raise JobResultPending(
+                self._pending.key,
+                handle.status.value if handle else "pending",
+                handle.attempts if handle else 0,
+                timeout, label=self.job.label)
         if self._pending.error is not None:
             raise self._pending.error
         return self._pending.value
@@ -102,6 +133,9 @@ class DesignService:
                  workers: int = 1, pool: str = "auto",
                  default_timeout: Optional[float] = None,
                  default_retries: int = 0,
+                 crash_retries: int = 2,
+                 overload_threshold: int = 3,
+                 overload_cooldown_s: float = 30.0,
                  telemetry: Optional[FleetTelemetry] = None):
         self.engine = engine or FlowEngine()
         # a custom strategy object defeats content hashing and pickling
@@ -112,11 +146,29 @@ class DesignService:
             workers=workers,
             mode="thread" if not self._cacheable else pool,
             default_timeout=default_timeout,
-            default_retries=default_retries)
+            default_retries=default_retries,
+            crash_retries=crash_retries)
+        # dead-letter records persist next to the result cache so one
+        # directory carries the whole service state; memory-only else
+        self.dead_letter = DeadLetterQueue(
+            os.path.join(cache_dir, DEAD_LETTER_DIRNAME)
+            if self.cache is not None else None)
+        # trips after `overload_threshold` dead-letters with no
+        # successful completion in between; while open, submit() sheds
+        # work that would need to run
+        self._overload = CircuitBreaker(
+            "service.admission",
+            failure_threshold=overload_threshold,
+            cooldown_s=overload_cooldown_s)
         self.telemetry = telemetry or FleetTelemetry()
         self._memory: Dict[str, Any] = {}
         self._pending: Dict[str, _Pending] = {}
         self._lock = threading.Lock()
+
+    @property
+    def overload_state(self) -> str:
+        """Admission breaker state: 'closed', 'half-open' or 'open'."""
+        return self._overload.state
 
     # ------------------------------------------------------------------
     def job_for(self, app: str, mode: str, **kwargs) -> FlowJob:
@@ -158,6 +210,30 @@ class DesignService:
                     self._memory[key] = record
                     return ServiceResult(job, "cache-disk", value=record)
                 self.telemetry.count("cache_miss")
+            if self.dead_letter.contains(key):
+                # quarantined payloads never reach the pool again
+                obs.event("service.lookup", source="dead-letter",
+                          app=job.app, mode=job.mode)
+                self.telemetry.count("dead_letter_hit")
+                self.telemetry.record_job(JobTelemetry(
+                    key=key, app=job.app, mode=job.mode,
+                    source="dead-letter", status="quarantined"))
+                record = self.dead_letter.get(key) or {}
+                refused = _Pending(job, key)
+                refused.resolve(error=JobQuarantined(
+                    f"{job.label} is dead-lettered "
+                    f"({record.get('reason', 'unknown')}); "
+                    f"release it via `repro service dead-letter --clear`",
+                    key=key, crashes=record.get("crashes", 0)))
+                return ServiceResult(job, "dead-letter", pending=refused)
+            if not self._overload.allow():
+                obs.event("service.overloaded", app=job.app, mode=job.mode)
+                self.telemetry.count("overload_rejected")
+                raise ServiceOverloaded(
+                    f"service overloaded (admission breaker open after "
+                    f"{self._overload.trips} trip(s)); shedding "
+                    f"{job.label}",
+                    retry_after_s=self._overload.cooldown_s)
             pending = _Pending(job, key)
             self._pending[key] = pending
         return self._schedule(pending)
@@ -203,6 +279,14 @@ class DesignService:
         """Driver-thread callback: convert, persist, account, release."""
         job = pending.job
         if handle.status is not JobStatus.SUCCEEDED:
+            if handle.status is JobStatus.QUARANTINED:
+                self.dead_letter.add(
+                    pending.key, job.spec(),
+                    reason=str(handle.error), attempts=handle.attempts,
+                    crashes=handle.crashes)
+                self.telemetry.count("dead_letter")
+                # each dead-letter is an admission-breaker strike
+                self._overload.record_failure()
             self.telemetry.count("jobs_failed")
             self.telemetry.record_job(JobTelemetry(
                 key=pending.key, app=job.app, mode=job.mode,
@@ -229,9 +313,18 @@ class DesignService:
                 if result_dict is None:
                     result_dict = result_to_dict(value,
                                                  include_sources=True)
-                self.cache.put(pending.key, job.spec(), result_dict,
-                               telemetry=trace_dict)
-                self.telemetry.count("cache_write")
+                try:
+                    self.cache.put(pending.key, job.spec(), result_dict,
+                                   telemetry=trace_dict)
+                    self.telemetry.count("cache_write")
+                except (faults.InjectedFault, OSError) as exc:
+                    # degrade to an uncached result: the computed value
+                    # must never be lost to a persistence failure
+                    obs.event("service.cache_write_failed",
+                              key=pending.key[:12],
+                              error=type(exc).__name__)
+                    self.telemetry.count("cache_write_failed")
+            self._overload.record_success()
             self.telemetry.record_job(JobTelemetry(
                 key=pending.key, app=job.app, mode=job.mode,
                 source="run", status="ok",

@@ -120,6 +120,10 @@ class FlowJob:
 def execute_job(job: FlowJob, engine: Optional[FlowEngine] = None,
                 observer=None) -> FlowResult:
     """Run one job in this process and return the live FlowResult."""
+    from repro.resilience import faults
+
+    # chaos site: a transient worker error the retry policy absorbs
+    faults.inject("worker.exec")
     engine = engine or FlowEngine(
         intensity_threshold=job.intensity_threshold)
     return engine.run(get_app(job.app), mode=job.mode, scale=job.scale,
@@ -141,9 +145,22 @@ def execute_job_payload(spec: Dict[str, Any],
     them back as ``obs_spans`` dicts for the service to re-home under
     the submitting span (``obs.adopt_spans``).
     """
+    import multiprocessing
+    import os
+
     from repro import obs
     from repro.flow.serialize import result_to_dict
+    from repro.resilience import faults
     from repro.service.telemetry import Tracer
+
+    # chaos site: hard worker death (BrokenProcessPool on the driver
+    # side).  Gated to real pool children so a thread-pool or direct
+    # caller can never take the whole process down.
+    if multiprocessing.parent_process() is not None:
+        try:
+            faults.inject("worker.crash")
+        except faults.InjectedFault:
+            os._exit(13)
 
     job = FlowJob.from_spec(spec)
     tracer = Tracer()

@@ -1,4 +1,5 @@
-"""Worker-pool job scheduler: parallelism, dedup, timeout, retry.
+"""Worker-pool job scheduler: parallelism, dedup, timeout, retry,
+crash containment.
 
 Two executor layers:
 
@@ -15,9 +16,26 @@ persistent cache handles the across-run case, this handles the
 within-run case.
 
 Timeout semantics: a timed-out attempt is *abandoned* (neither threads
-nor pool processes can be killed mid-task portably); the slot frees up
-when the stuck callable returns.  The handle still resolves promptly
-with :class:`JobTimeout` so callers never block on a hung job.
+nor pool processes can be killed mid-task portably); the handle still
+resolves promptly with :class:`JobTimeout` so callers never block on a
+hung job.  An abandoned attempt that is still running occupies a pool
+slot, tracked by the ``repro_scheduler_abandoned_slots`` gauge until
+the stuck callable returns.  In **process** mode the slot is
+*reclaimed*: the pool is recycled (fresh workers swapped in, the old
+workers terminated), so a hung payload cannot starve the pool --
+attempts that were in flight on the old pool are re-queued through the
+crash-recovery path below.  In thread mode the gauge is the only
+remedy (threads cannot be killed).
+
+Worker-crash containment: a dead worker process surfaces as
+``BrokenProcessPool`` (on submit or while waiting on an attempt).  The
+scheduler rebuilds the pool exactly once per breakage and re-queues
+the interrupted attempt *without* consuming one of the job's regular
+retries -- the job did not fail, the worker did.  A payload whose
+attempts crash the pool more than ``crash_retries`` times is presumed
+poisonous and resolved with :class:`JobQuarantined`; the service layer
+moves such jobs to the dead-letter queue and excludes them from
+further scheduling.
 
 Flow execution is pure Python, so the thread pool gives concurrency
 but not CPU parallelism (GIL); the process pool gives real parallelism
@@ -33,7 +51,7 @@ import queue
 import threading
 import time
 from concurrent.futures import (
-    CancelledError, Future, ThreadPoolExecutor,
+    BrokenExecutor, CancelledError, Future, ThreadPoolExecutor,
     TimeoutError as FutureTimeout,
 )
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -54,6 +72,13 @@ _JOBS = obs.REGISTRY.counter(
 _DEDUP = obs.REGISTRY.counter(
     "repro_scheduler_dedup_joins_total",
     "submissions that joined an identical in-flight job")
+_ABANDONED = obs.REGISTRY.gauge(
+    "repro_scheduler_abandoned_slots",
+    "pool slots occupied by timed-out attempts still running")
+_POOL_REBUILDS = obs.REGISTRY.counter(
+    "repro_scheduler_pool_rebuilds_total",
+    "work-pool replacements by trigger",
+    ("reason",))
 
 
 class JobStatus(enum.Enum):
@@ -63,6 +88,7 @@ class JobStatus(enum.Enum):
     FAILED = "failed"
     TIMEOUT = "timeout"
     CANCELLED = "cancelled"
+    QUARANTINED = "quarantined"
 
 
 class JobError(Exception):
@@ -81,6 +107,46 @@ class JobCancelled(JobError):
     """The job was cancelled before it produced a result."""
 
 
+class JobQuarantined(JobError):
+    """The job's payload crashed pool workers past the crash budget.
+
+    The service layer dead-letters jobs that resolve this way; see
+    ``python -m repro service dead-letter``.
+    """
+
+    def __init__(self, message: str, key: str = "", crashes: int = 0):
+        super().__init__(message)
+        self.key = key
+        self.crashes = crashes
+
+
+# ``concurrent.futures.TimeoutError`` is the builtin ``TimeoutError``
+# from 3.11 on but a distinct class before; base the pending error on
+# both so every caller's ``except TimeoutError`` keeps working.
+_PENDING_BASES = ((FutureTimeout,) if FutureTimeout is TimeoutError
+                  else (FutureTimeout, TimeoutError))
+
+
+class JobResultPending(*_PENDING_BASES):
+    """``result(timeout)`` expired but the job is still in flight.
+
+    Unlike a bare ``TimeoutError`` this carries the job's live
+    telemetry -- key, status, attempt count, wall time so far -- so
+    callers (and batch error rows) can report something actionable.
+    """
+
+    def __init__(self, key: str, status: str, attempts: int,
+                 wait_s: Optional[float], label: str = ""):
+        what = label or f"job {key[:12]}"
+        super().__init__(
+            f"{what} not done within {wait_s}s "
+            f"(status={status}, attempts={attempts})")
+        self.key = key
+        self.status = status
+        self.attempts = attempts
+        self.wait_s = wait_s
+
+
 class JobHandle:
     """Future-like view of one scheduled job."""
 
@@ -88,6 +154,7 @@ class JobHandle:
         self.key = key
         self.status = JobStatus.PENDING
         self.attempts = 0
+        self.crashes = 0
         self.error: Optional[JobError] = None
         self.wall_s: float = 0.0
         self.submitted_at: float = time.perf_counter()
@@ -108,10 +175,15 @@ class JobHandle:
         return self.status is JobStatus.CANCELLED
 
     def result(self, timeout: Optional[float] = None) -> Any:
-        """Block for the outcome; raises the terminal JobError on failure."""
+        """Block for the outcome; raises the terminal JobError on failure.
+
+        When the wait itself expires the raised
+        :class:`JobResultPending` carries the job's current status and
+        attempt count (it is still a ``TimeoutError``).
+        """
         if not self._done.wait(timeout):
-            raise FutureTimeout(
-                f"job {self.key[:12]} not done within {timeout}s")
+            raise JobResultPending(self.key, self.status.value,
+                                   self.attempts, timeout)
         if self.status is JobStatus.SUCCEEDED:
             return self._result
         raise self.error
@@ -207,15 +279,24 @@ class JobScheduler:
                  default_retries: int = 0,
                  backoff_s: float = 0.05,
                  backoff_factor: float = 2.0,
-                 max_backoff_s: float = 2.0):
+                 max_backoff_s: float = 2.0,
+                 crash_retries: int = 2,
+                 reclaim_timeouts: bool = True):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if crash_retries < 0:
+            raise ValueError(
+                f"crash_retries must be >= 0, got {crash_retries}")
         self.workers = workers
         self.default_timeout = default_timeout
         self.default_retries = default_retries
         self.backoff_s = backoff_s
         self.backoff_factor = backoff_factor
         self.max_backoff_s = max_backoff_s
+        #: times one job's payload may crash the pool before quarantine
+        self.crash_retries = crash_retries
+        #: recycle the process pool when a timed-out attempt hangs
+        self.reclaim_timeouts = reclaim_timeouts
         self._pool, self.mode, self.fallback_note = \
             _make_work_pool(mode, workers)
         self._drivers = ThreadPoolExecutor(
@@ -223,6 +304,7 @@ class JobScheduler:
         self._lock = threading.Lock()
         self._inflight: Dict[str, JobHandle] = {}
         self.dedup_joins = 0
+        self.pool_rebuilds = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -264,6 +346,47 @@ class JobScheduler:
                 del self._inflight[handle.key]
 
     # ------------------------------------------------------------------
+    # Pool replacement (worker death / hung-slot reclamation).
+    # ------------------------------------------------------------------
+    def _current_pool(self):
+        with self._lock:
+            return self._pool
+
+    def _replace_pool(self, dead, reason: str,
+                      kill_workers: bool = False) -> bool:
+        """Swap a fresh work pool in for ``dead``; idempotent per pool.
+
+        Several driver threads may observe the same breakage; only the
+        first to arrive rebuilds (the swap is compare-and-set on the
+        pool object).  With ``kill_workers`` the old pool's worker
+        processes are terminated best-effort -- that is what turns a
+        hung-slot recycle into a reclaimed slot, and it deliberately
+        breaks the old pool so any attempt still riding it re-queues
+        through the crash path onto the new pool.
+        """
+        with self._lock:
+            if self._closed or self._pool is not dead:
+                return False
+            self._pool, _resolved, _note = _make_work_pool(
+                self.mode, self.workers)
+            self.pool_rebuilds += 1
+        _POOL_REBUILDS.inc(reason=reason)
+        obs.event("scheduler.pool_rebuild", reason=reason)
+        if kill_workers:
+            procs = getattr(dead, "_processes", None)
+            if procs:
+                for proc in list(procs.values()):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+        try:
+            dead.shutdown(wait=False)
+        except Exception:
+            pass
+        return True
+
+    # ------------------------------------------------------------------
     def _drive(self, handle: JobHandle, fn: Callable, args, kwargs,
                timeout: Optional[float], retries: int) -> None:
         start = time.perf_counter()
@@ -271,16 +394,29 @@ class JobScheduler:
         _QUEUE_WAIT.observe(handle.queue_wait_s)
         last_error: Optional[JobError] = None
         attempts_allowed = retries + 1
-        for attempt in range(attempts_allowed):
+        attempt = 0       # failures consumed against the retry budget
+        tries = 0         # actual submissions (crash re-queues included)
+        crashes = 0
+        while attempt < attempts_allowed:
             if handle._cancel_requested:
                 last_error = JobCancelled(
                     f"job {handle.key[:12]} cancelled after "
-                    f"{attempt} attempt{'s' if attempt != 1 else ''}")
+                    f"{tries} attempt{'s' if tries != 1 else ''}")
                 break
             handle.status = JobStatus.RUNNING
-            handle.attempts = attempt + 1
+            tries += 1
+            handle.attempts = tries
+            pool = self._current_pool()
             try:
-                future = self._pool.submit(fn, *args, **kwargs)
+                future = pool.submit(fn, *args, **kwargs)
+            except BrokenExecutor:
+                # the pool died before this attempt even queued
+                crash = self._on_crash(handle, pool, crashes)
+                crashes = handle.crashes = crash[0]
+                if crash[1] is not None:
+                    last_error = crash[1]
+                    break
+                continue
             except RuntimeError as exc:       # pool shut down under us
                 last_error = JobCancelled(
                     f"job {handle.key[:12]}: {exc}")
@@ -289,13 +425,28 @@ class JobScheduler:
                 handle._attempt_future = future
             try:
                 result = future.result(timeout)
+                if handle._cancel_requested:
+                    # cancel() already promised "no result" to its
+                    # caller; the attempt racing to completion must
+                    # not un-cancel the job
+                    _ATTEMPTS.inc(outcome="cancelled")
+                    last_error = JobCancelled(
+                        f"job {handle.key[:12]} cancelled while running")
+                    break
                 _ATTEMPTS.inc(outcome="ok")
                 _JOBS.inc(status="succeeded")
                 handle._finish(JobStatus.SUCCEEDED, result=result,
                                wall_s=time.perf_counter() - start)
                 return
             except FutureTimeout:
-                future.cancel()
+                if not future.cancel():
+                    # the attempt is genuinely running: its slot is
+                    # occupied until the stuck callable returns
+                    _ABANDONED.inc()
+                    future.add_done_callback(lambda _f: _ABANDONED.dec())
+                    if self.mode == "process" and self.reclaim_timeouts:
+                        self._replace_pool(pool, reason="timeout-reclaim",
+                                           kill_workers=True)
                 _ATTEMPTS.inc(outcome="timeout")
                 last_error = JobTimeout(
                     f"job {handle.key[:12]} exceeded {timeout}s "
@@ -305,6 +456,15 @@ class JobScheduler:
                 last_error = JobCancelled(
                     f"job {handle.key[:12]} attempt cancelled")
                 break
+            except BrokenExecutor:
+                # a worker died mid-attempt: recover the pool and
+                # re-queue without consuming a regular retry
+                crash = self._on_crash(handle, pool, crashes)
+                crashes = handle.crashes = crash[0]
+                if crash[1] is not None:
+                    last_error = crash[1]
+                    break
+                continue
             except BaseException as exc:
                 _ATTEMPTS.inc(outcome="error")
                 failure = JobFailed(
@@ -312,22 +472,46 @@ class JobScheduler:
                     f"(attempt {attempt + 1}/{attempts_allowed}): {exc!r}")
                 failure.__cause__ = exc
                 last_error = failure
-            if attempt + 1 < attempts_allowed \
+            attempt += 1
+            if attempt < attempts_allowed \
                     and not handle._cancel_requested:
                 time.sleep(min(
                     self.backoff_s * self.backoff_factor ** attempt,
                     self.max_backoff_s))
         if handle._cancel_requested \
-                and not isinstance(last_error, JobCancelled):
+                and not isinstance(last_error,
+                                   (JobCancelled, JobQuarantined)):
             last_error = JobCancelled(
                 f"job {handle.key[:12]} cancelled")
         status = (JobStatus.CANCELLED
                   if isinstance(last_error, JobCancelled)
+                  else JobStatus.QUARANTINED
+                  if isinstance(last_error, JobQuarantined)
                   else JobStatus.TIMEOUT
                   if isinstance(last_error, JobTimeout)
                   else JobStatus.FAILED)
+        _JOBS.inc(status=status.value)
         handle._finish(status, error=last_error,
                        wall_s=time.perf_counter() - start)
+
+    def _on_crash(self, handle: JobHandle, pool,
+                  crashes: int) -> Tuple[int, Optional[JobError]]:
+        """One pool breakage observed by ``handle``'s driver.
+
+        Returns ``(new crash count, terminal error or None)``; None
+        means the attempt should be re-queued on the rebuilt pool.
+        """
+        crashes += 1
+        _ATTEMPTS.inc(outcome="crash")
+        obs.event("scheduler.worker_crash", key=handle.key[:12],
+                  crashes=crashes)
+        self._replace_pool(pool, reason="worker-crash")
+        if crashes > self.crash_retries:
+            return crashes, JobQuarantined(
+                f"job {handle.key[:12]} crashed the worker pool "
+                f"{crashes} times (budget {self.crash_retries}); "
+                f"quarantined", key=handle.key, crashes=crashes)
+        return crashes, None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -354,11 +538,12 @@ class JobScheduler:
         with self._lock:
             self._closed = True
             inflight = list(self._inflight.values())
+            pool = self._pool
         if cancel_pending:
             for handle in inflight:
                 handle.cancel()
         self._drivers.shutdown(wait=wait)
-        self._pool.shutdown(wait=wait)
+        pool.shutdown(wait=wait)
 
     def __enter__(self):
         return self

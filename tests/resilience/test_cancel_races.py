@@ -1,0 +1,146 @@
+"""Cancellation races: cancel landing in the scheduler's windows.
+
+Each test aims ``cancel()`` at a specific gap in the job lifecycle --
+between retry attempts, behind a dedup join, racing submission itself
+-- and asserts the invariant that matters: every handle resolves, no
+waiter hangs, and a cancelled job reports CANCELLED exactly once.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.scheduler import (
+    JobCancelled, JobScheduler, JobStatus,
+)
+
+
+@pytest.fixture
+def scheduler():
+    sched = JobScheduler(workers=2, mode="thread",
+                         backoff_s=0.05, max_backoff_s=0.05)
+    yield sched
+    sched.shutdown(wait=True)
+
+
+class TestCancelBetweenAttempts:
+    def test_cancel_during_backoff_stops_the_retry(self, scheduler):
+        """First attempt fails; cancel lands in the backoff window; the
+        second attempt must never start."""
+        first_failed = threading.Event()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            first_failed.set()
+            raise RuntimeError("boom")
+
+        handle, _ = scheduler.submit("racy", flaky, retries=5)
+        assert first_failed.wait(5)
+        handle.cancel()
+        with pytest.raises(JobCancelled):
+            handle.result(timeout=5)
+        assert handle.status is JobStatus.CANCELLED
+        # the 50ms backoff gave cancel() its window: at most one more
+        # attempt could have squeezed in, the other four must not run
+        assert len(attempts) <= 2
+
+
+class TestCancelBehindDedupJoin:
+    def test_joiner_sees_cancellation_of_the_shared_job(self, scheduler):
+        release = threading.Event()
+        started = threading.Event()
+
+        def task():
+            started.set()
+            release.wait(5)
+            return "x"
+
+        first, created1 = scheduler.submit("shared", task)
+        assert started.wait(5)
+        joined, created2 = scheduler.submit("shared", task)
+        assert created1 and not created2
+        assert joined is first          # one handle, two waiters
+        waiter_error = []
+        waiter_done = threading.Event()
+
+        def wait_on_join():
+            try:
+                joined.result(timeout=5)
+            except BaseException as exc:
+                waiter_error.append(exc)
+            waiter_done.set()
+
+        thread = threading.Thread(target=wait_on_join)
+        thread.start()
+        first.cancel()
+        release.set()                   # in-flight attempt drains
+        assert waiter_done.wait(5)
+        thread.join(5)
+        assert waiter_error and isinstance(waiter_error[0], JobCancelled)
+        assert first.status is JobStatus.CANCELLED
+
+    def test_cancelled_key_can_be_resubmitted(self, scheduler):
+        release = threading.Event()
+        handle, _ = scheduler.submit("key", release.wait, 5)
+        handle.cancel()
+        release.set()
+        with pytest.raises(JobCancelled):
+            handle.result(timeout=5)
+        fresh, created = scheduler.submit("key", lambda: "second life")
+        assert created and fresh is not handle
+        assert fresh.result(timeout=5) == "second life"
+
+
+class TestCancelDuringSubmission:
+    def test_cancel_racing_submit_never_hangs(self, scheduler):
+        """Hammer the submit/cancel race; every handle must resolve."""
+        outcomes = []
+        for i in range(50):
+            handle, _ = scheduler.submit(f"race{i}", lambda: "ran")
+            handle.cancel()
+            try:
+                outcomes.append(handle.result(timeout=5))
+            except JobCancelled:
+                outcomes.append("cancelled")
+        assert len(outcomes) == 50
+        assert set(outcomes) <= {"ran", "cancelled"}
+
+    def test_cancel_from_another_thread_during_submit(self, scheduler):
+        """Cancel fired concurrently with submit() itself."""
+        for i in range(20):
+            barrier = threading.Barrier(2, timeout=5)
+            holder = {}
+            ready = threading.Event()
+
+            def canceller():
+                barrier.wait()
+                ready.wait(5)
+                holder["handle"].cancel()
+
+            thread = threading.Thread(target=canceller)
+            thread.start()
+            barrier.wait()
+            handle, _ = scheduler.submit(f"t{i}", lambda: "ran")
+            holder["handle"] = handle
+            ready.set()
+            try:
+                result = handle.result(timeout=5)
+                assert result == "ran"
+            except JobCancelled:
+                assert handle.status is JobStatus.CANCELLED
+            thread.join(5)
+
+    def test_queued_behind_busy_pool_cancels_cleanly(self):
+        sched = JobScheduler(workers=1, mode="thread")
+        try:
+            block = threading.Event()
+            busy, _ = sched.submit("busy", block.wait, 5)
+            queued, _ = sched.submit("queued", lambda: "never")
+            assert queued.cancel()
+            with pytest.raises(JobCancelled):
+                queued.result(timeout=5)
+            block.set()
+            assert busy.result(timeout=5) is True
+        finally:
+            sched.shutdown(wait=True)

@@ -1,0 +1,256 @@
+"""Chaos tests: the real flow stack under seeded fault storms.
+
+The headline suite for ``repro.resilience``: runs the actual fig5
+workload (5 apps x 2 modes) with a deterministic fault plan installed
+and asserts the three resilience guarantees end to end --
+
+1. **correctness**: every job completes and its designs are identical
+   to a fault-free run (retries + fallbacks absorb the faults);
+2. **visibility**: every fired fault shows up in telemetry
+   (``repro_faults_injected_total`` and ``fault.injected`` events);
+3. **containment**: poisonous payloads are dead-lettered, corrupt
+   cache entries quarantined, tripped breakers degrade gracefully.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.lang import engine as lang_engine
+from repro.meta.ast_api import Ast
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+from repro.service import (
+    DesignService, JobQuarantined, ServiceOverloaded, expand_jobs,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos_state():
+    """No plan and no tripped engine breakers leak between tests."""
+    previous = faults.current_plan()
+    faults.clear_plan()
+    lang_engine.reset_breakers()
+    yield
+    faults.install_plan(previous)
+    lang_engine.reset_breakers()
+
+
+def _fault_counter_total():
+    counter = obs.REGISTRY.counter(
+        "repro_faults_injected_total",
+        "deterministic faults fired by injection site", ("site",))
+    return sum(counter.get(site=site) for site in faults.KNOWN_SITES)
+
+
+def _design_signature(result):
+    """The observable outcome of one flow run, engine-independent."""
+    return (result.selected_target,
+            [(d.metadata.get("device_label"), d.synthesizable,
+              round(d.speedup, 9) if d.speedup is not None else None)
+             for d in result.designs])
+
+
+class TestFig5UnderStorm:
+    def test_fig5_storm_is_absorbed_and_visible(self, tmp_path,
+                                                all_informed,
+                                                all_uninformed):
+        """The acceptance run: fig5 under seed=7/rate=5%, with retries
+        absorbing worker faults, must produce results identical to the
+        fault-free session fixtures -- and every fault must be visible
+        in the metrics."""
+        plan = FaultPlan(seed=7, rate=0.05)
+        before = _fault_counter_total()
+        collector = obs.add_sink(obs.SpanCollector())
+        try:
+            with faults.active_plan(plan), \
+                 DesignService(cache_dir=str(tmp_path / "cache"),
+                               workers=4, pool="thread",
+                               default_timeout=60.0,
+                               default_retries=3) as service:
+                outcomes = {}
+                for submission, value, error in service.stream(
+                        expand_jobs(), timeout=300):
+                    assert error is None, \
+                        f"{submission.job.label} failed under chaos: " \
+                        f"{error}"
+                    outcomes[(submission.job.app,
+                              submission.job.mode)] = value
+        finally:
+            obs.remove_sink(collector)
+        # 1. correctness: identical to the fault-free references
+        assert len(outcomes) == 10
+        for app, reference in all_informed.items():
+            assert _design_signature(outcomes[(app, "informed")]) == \
+                _design_signature(reference), f"{app}/informed diverged"
+        for app, reference in all_uninformed.items():
+            assert _design_signature(outcomes[(app, "uninformed")]) == \
+                _design_signature(reference), \
+                f"{app}/uninformed diverged"
+        # 2. the storm actually stormed, deterministically
+        assert plan.fired > 0, \
+            f"no faults fired; invocations: {plan.counts()}"
+        # 3. visibility: one counter increment per fired fault...
+        assert _fault_counter_total() - before == plan.fired
+        # ...and faults that fire inside a span also leave an event
+        # there (ones in span-less driver callbacks only hit the
+        # counter)
+        events = [e for s in collector.snapshot() for e in s.events
+                  if e.name == "fault.injected"]
+        assert 1 <= len(events) <= plan.fired
+        assert all(e.attrs["seed"] == 7 for e in events)
+
+    def test_storm_replays_identically(self, tmp_path):
+        """Same seed, same code path => same fault schedule."""
+        def run_once(subdir):
+            plan = FaultPlan(seed=11, rate=0.1,
+                             sites=("worker.exec", "exec.compiled"))
+            with faults.active_plan(plan), \
+                 DesignService(cache_dir=str(tmp_path / subdir),
+                               workers=1, pool="thread",
+                               default_retries=3) as service:
+                service.run(service.job_for("kmeans", "informed"),
+                            timeout=120)
+            return plan.counts(), plan.fired
+
+        counts_a, fired_a = run_once("a")
+        counts_b, fired_b = run_once("b")
+        assert counts_a == counts_b
+        assert fired_a == fired_b
+
+
+class TestCacheCorruptionChaos:
+    def test_injected_corruption_self_heals(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with DesignService(cache_dir=cache_dir, workers=1,
+                           pool="thread") as service:
+            job = service.job_for("kmeans", "informed")
+            clean = service.run(job, timeout=120)
+        # a fresh service reads the entry under a read-fault plan: the
+        # entry is treated as corrupt, quarantined, and the job re-runs
+        plan = FaultPlan(seed=0, rate=1.0, sites=("cache.read",),
+                         max_faults=1)
+        with faults.active_plan(plan), \
+             DesignService(cache_dir=cache_dir, workers=1,
+                           pool="thread") as service:
+            job = service.job_for("kmeans", "informed")
+            submission = service.submit(job)
+            assert submission.source == "run"     # not served corrupt
+            healed = submission.result(timeout=120)
+            assert service.cache.stats.corrupt == 1
+            quarantined = list(service.cache.quarantined())
+            assert len(quarantined) == 1
+        assert _design_signature(healed) == _design_signature(clean)
+        # the re-run re-cached: a third service gets a clean disk hit
+        with DesignService(cache_dir=cache_dir, workers=1,
+                           pool="thread") as service:
+            submission = service.submit(
+                service.job_for("kmeans", "informed"))
+            assert submission.source == "cache-disk"
+
+
+class TestEngineBreakerChaos:
+    SOURCE = """
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 10; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+    """
+
+    def test_compiled_faults_trip_the_unit_breaker(self):
+        unit = Ast(self.SOURCE).unit
+        plan = FaultPlan(seed=0, rate=1.0, sites=("exec.compiled",))
+        with faults.active_plan(plan):
+            # every compiled attempt faults; each run still succeeds
+            # on the interpreter and strikes the breaker
+            for _ in range(lang_engine.BREAKER_THRESHOLD):
+                report = lang_engine.execute_unit(unit, mode="compiled")
+                assert repr(report.return_value) == "45"
+        assert lang_engine.breaker_state(unit) == "open"
+        invocations = plan.counts()["exec.compiled"]
+        assert invocations == lang_engine.BREAKER_THRESHOLD
+        # breaker open: the next run goes straight to the interpreter
+        # without even consulting the fault site
+        with faults.active_plan(plan):
+            report = lang_engine.execute_unit(unit, mode="compiled")
+            assert repr(report.return_value) == "45"
+        assert plan.counts()["exec.compiled"] == invocations
+
+    def test_unrelated_unit_keeps_its_own_breaker(self):
+        unit_a = Ast(self.SOURCE).unit
+        unit_b = Ast(self.SOURCE).unit
+        plan = FaultPlan(seed=0, rate=1.0, sites=("exec.compiled",))
+        with faults.active_plan(plan):
+            for _ in range(lang_engine.BREAKER_THRESHOLD):
+                lang_engine.execute_unit(unit_a, mode="compiled")
+        assert lang_engine.breaker_state(unit_a) == "open"
+        assert lang_engine.breaker_state(unit_b) == "closed"
+        report = lang_engine.execute_unit(unit_b, mode="compiled")
+        assert repr(report.return_value) == "45"
+
+
+@pytest.fixture
+def crash_service(tmp_path):
+    """A process-pool service whose workers die on every payload.
+
+    The worker.crash site is gated to pool child processes, so the
+    plan is harmless in this (parent) test process; forked workers
+    inherit it and hard-exit on entry.
+    """
+    plan = FaultPlan(seed=0, rate=1.0, sites=("worker.crash",))
+    service = DesignService(cache_dir=str(tmp_path / "cache"),
+                            workers=2, pool="process",
+                            crash_retries=1, overload_threshold=1)
+    if service.scheduler.mode != "process":
+        service.close()
+        pytest.skip("process pool unavailable on this host")
+    with faults.active_plan(plan):
+        yield service
+    service.close(cancel_pending=True)
+
+
+class TestDeadLetterChaos:
+    def test_crash_loop_lands_in_dead_letter_and_sheds_load(
+            self, crash_service, tmp_path):
+        service = crash_service
+        job = service.job_for("kmeans", "informed")
+        submission = service.submit(job)
+        with pytest.raises(JobQuarantined):
+            submission.result(timeout=120)
+        # containment: the job is enumerable in the persisted queue
+        assert service.dead_letter.contains(job.key())
+        record = service.dead_letter.get(job.key())
+        assert record["job"]["app"] == "kmeans"
+        assert record["crashes"] >= 2
+        # exclusion: resubmitting never touches the pool again
+        resubmitted = service.submit(job)
+        assert resubmitted.source == "dead-letter"
+        with pytest.raises(JobQuarantined):
+            resubmitted.result(timeout=5)
+        # degradation: the overload breaker is now shedding new work
+        assert service.overload_state == "open"
+        with pytest.raises(ServiceOverloaded):
+            service.submit(service.job_for("nbody", "informed"))
+
+    def test_dead_letter_cli_enumerates_and_clears(self, crash_service,
+                                                   tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+
+        service = crash_service
+        job = service.job_for("kmeans", "informed")
+        with pytest.raises(JobQuarantined):
+            service.submit(job).result(timeout=120)
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["service", "dead-letter",
+                         "--cache-dir", cache_dir]) == 0
+        listing = capsys.readouterr().out
+        assert job.key()[:12] in listing
+        assert "kmeans" in listing
+        assert cli_main(["service", "dead-letter",
+                         "--cache-dir", cache_dir, "--clear"]) == 0
+        assert "released 1" in capsys.readouterr().out
+        assert cli_main(["service", "dead-letter",
+                         "--cache-dir", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out

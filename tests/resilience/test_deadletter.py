@@ -1,0 +1,71 @@
+"""DeadLetterQueue persistence and bookkeeping."""
+
+from repro.resilience import DeadLetterQueue
+
+
+class TestMemoryOnly:
+    def test_add_contains_get_remove(self):
+        dlq = DeadLetterQueue()
+        assert not dlq.contains("k1")
+        record = dlq.add("k1", {"app": "kmeans"}, reason="crash loop",
+                         attempts=3, crashes=3)
+        assert record["reason"] == "crash loop"
+        assert dlq.contains("k1")
+        assert dlq.get("k1")["crashes"] == 3
+        assert len(dlq) == 1
+        assert dlq.remove("k1")
+        assert not dlq.contains("k1")
+        assert not dlq.remove("k1")
+
+    def test_add_is_idempotent_last_reason_wins(self):
+        dlq = DeadLetterQueue()
+        dlq.add("k", None, reason="first")
+        dlq.add("k", None, reason="second")
+        assert len(dlq) == 1
+        assert dlq.get("k")["reason"] == "second"
+
+    def test_entries_oldest_first(self):
+        dlq = DeadLetterQueue()
+        dlq.add("a", None, reason="ra")
+        dlq.add("b", None, reason="rb")
+        # force a deterministic order even at equal clock resolution
+        dlq._records["a"]["quarantined_at"] = 1.0
+        dlq._records["b"]["quarantined_at"] = 2.0
+        assert [r["key"] for r in dlq.entries()] == ["a", "b"]
+
+
+class TestPersistence:
+    def test_records_survive_reconstruction(self, tmp_path):
+        root = str(tmp_path / "dl")
+        dlq = DeadLetterQueue(root)
+        dlq.add("deadbeef", {"app": "nbody", "mode": "informed"},
+                reason="crashed the pool", attempts=4, crashes=3)
+        reloaded = DeadLetterQueue(root)
+        assert reloaded.contains("deadbeef")
+        record = reloaded.get("deadbeef")
+        assert record["job"]["app"] == "nbody"
+        assert record["crashes"] == 3
+
+    def test_remove_deletes_the_file(self, tmp_path):
+        root = str(tmp_path / "dl")
+        dlq = DeadLetterQueue(root)
+        dlq.add("k1", None, reason="r")
+        assert dlq.remove("k1")
+        assert not DeadLetterQueue(root).contains("k1")
+
+    def test_purge_clears_disk_and_memory(self, tmp_path):
+        root = str(tmp_path / "dl")
+        dlq = DeadLetterQueue(root)
+        dlq.add("k1", None, reason="r")
+        dlq.add("k2", None, reason="r")
+        assert dlq.purge() == 2
+        assert len(dlq) == 0
+        assert len(DeadLetterQueue(root)) == 0
+
+    def test_unreadable_record_is_skipped_not_fatal(self, tmp_path):
+        root = tmp_path / "dl"
+        root.mkdir()
+        (root / "bad.json").write_text("{nope")
+        dlq = DeadLetterQueue(str(root))
+        assert len(dlq) == 0
+        assert (root / "bad.json").exists()   # evidence kept

@@ -58,14 +58,36 @@ class TestInvalidation:
         assert cache.stats.invalidated == 1
         assert not os.path.exists(path)
 
-    def test_corrupt_entry_is_dropped(self, tmp_path, kmeans_informed):
+    def test_corrupt_entry_is_quarantined(self, tmp_path,
+                                          kmeans_informed):
         cache = ResultCache(str(tmp_path))
         key = put_result(cache, kmeans_informed,
                          FlowJob("kmeans", "informed"))
-        with open(cache._path(key), "w") as fh:
+        path = cache._path(key)
+        with open(path, "w") as fh:
             fh.write("{not json")
         assert cache.get(key) is None
-        assert cache.stats.invalidated == 1
+        assert cache.stats.corrupt == 1
+        assert cache.stats.invalidated == 0
+        # evidence moved aside, not deleted; no longer a live entry
+        assert not os.path.exists(path)
+        quarantined = list(cache.quarantined())
+        assert len(quarantined) == 1
+        assert quarantined[0].endswith(os.path.basename(path))
+        assert key not in list(cache.keys())
+
+    def test_crc_mismatch_is_quarantined(self, tmp_path, kmeans_informed):
+        cache = ResultCache(str(tmp_path))
+        key = put_result(cache, kmeans_informed,
+                         FlowJob("kmeans", "informed"))
+        path = cache._path(key)
+        entry = json.load(open(path))
+        # valid JSON, right format, silently flipped payload bit
+        entry["result"]["app"] = entry["result"].get("app", "") + "x"
+        json.dump(entry, open(path, "w"))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert len(list(cache.quarantined())) == 1
 
 
 class TestStatsAndMaintenance:
