@@ -5,16 +5,30 @@
                              [--export-dir DIR] [--trace] [--time]
                              [--timeline]
     python -m repro eval <fig5|table1|fig6|table2|energy|report|all>
+                         [--server URL]
     python -m repro batch [--all | --apps a,b] [--modes m1,m2]
-                          [--jobs N] [--cache-dir DIR] [--pool auto]
-                          [--timeout S] [--retries N]
-                          [--telemetry] [--json PATH]
+                          [--jobs N] [--pool auto] [--timeout S]
+                          [--telemetry] [--json PATH] [--server URL]
+    python -m repro serve [--host H] [--port P] [--max-queue N]
+                          [--drain-timeout S]
+    python -m repro config
     python -m repro service <stats|ls|purge|dead-letter> --cache-dir DIR
                             [--clear]
 
-``run``, ``eval`` and ``batch`` all accept ``--trace-out PATH`` (write
-a Perfetto-loadable Chrome trace of the run) and ``--metrics-out PATH``
-(write the Prometheus text dump of the ``repro.obs`` registry).
+Every flow-running subcommand (``run``, ``eval``, ``batch``,
+``serve``, ``config``) shares one flag vocabulary, layered over the
+``REPRO_*`` environment by :class:`repro.config.ReproConfig`
+(env < flag < explicit kwarg):
+
+    --cache-dir DIR    persistent result cache
+    --workers N        service worker pool size
+    --exec MODE        UHL execution engine (compiled|interp)
+    --retries N        per-job retry budget
+    --trace-out PATH   write a Perfetto-loadable Chrome trace
+    --metrics-out PATH write the Prometheus text dump
+
+``python -m repro config`` prints the fully-resolved configuration as
+JSON, so an operator can check what any process would run with.
 """
 
 from __future__ import annotations
@@ -26,7 +40,17 @@ from typing import List, Optional
 
 from repro import obs
 from repro.apps.registry import ALL_APPS, get_app
-from repro.flow.engine import FlowEngine
+from repro.config import ConfigError, ReproConfig
+
+
+def _config_from_args(args) -> ReproConfig:
+    """env < CLI flag, for the flags every subcommand shares."""
+    return ReproConfig.resolve(cli={
+        "cache_dir": getattr(args, "cache_dir", None),
+        "workers": getattr(args, "workers", None),
+        "exec_mode": getattr(args, "exec_mode", None),
+        "retries": getattr(args, "retries", None),
+    })
 
 
 def cmd_list(_args) -> int:
@@ -35,6 +59,11 @@ def cmd_list(_args) -> int:
         app = ALL_APPS[name]
         print(f"{name:14s} {app.display_name:14s} "
               f"{app.reference_loc:7d}  {app.summary}")
+    return 0
+
+
+def cmd_config(args) -> int:
+    print(_config_from_args(args).to_json())
     return 0
 
 
@@ -74,14 +103,31 @@ def _render_phases(spans) -> str:
     return "\n".join(lines)
 
 
+def _export_design(design, path: str) -> Optional[str]:
+    """Write one design's source; returns an error note or None."""
+    export = getattr(design, "export", None)
+    if export is not None:
+        export(path)
+        return None
+    try:
+        source = design.render()       # FlowResultRecord designs
+    except ValueError as exc:
+        return str(exc)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(source)
+    return None
+
+
 def cmd_run(args) -> int:
+    from repro import api
+
+    cfg = _config_from_args(args).apply()
     app = get_app(args.app)
-    engine = FlowEngine()
     want_spans = (getattr(args, "time", False) or args.trace_out
                   or args.timeline)
     collector = obs.add_sink(obs.SpanCollector()) if want_spans else None
     try:
-        result = engine.run(app, mode=args.mode)
+        result = api.run_flow(args.app, args.mode, config=cfg)
     finally:
         if collector is not None:
             obs.remove_sink(collector)
@@ -119,8 +165,11 @@ def cmd_run(args) -> int:
             label = design.metadata.get("device_label", "design")
             path = os.path.join(args.export_dir,
                                 f"{app.name}_{label}.cpp")
-            design.export(path)
-            print(f"  exported {path}")
+            note = _export_design(design, path)
+            if note is None:
+                print(f"  exported {path}")
+            else:
+                print(f"  cannot export {label}: {note}")
     if args.trace_out:
         obs.write_chrome_trace(spans, args.trace_out)
         print(f"  chrome trace ({len(spans)} spans) written to "
@@ -135,12 +184,42 @@ def cmd_run(args) -> int:
 def cmd_eval(args) -> int:
     from repro.evalharness.__main__ import main as eval_main
 
+    _config_from_args(args).apply()
+    if args.server:
+        # the shared EvaluationRunner picks this up and routes every
+        # flow through ReproClient instead of the local service
+        os.environ["REPRO_SERVER"] = args.server
     argv = [args.experiment]
     if args.trace_out:
         argv += ["--trace-out", args.trace_out]
     if args.metrics_out:
         argv += ["--metrics-out", args.metrics_out]
     return eval_main(argv)
+
+
+def _batch_remote(args, jobs) -> int:
+    """``batch --server``: run the job list through a remote server."""
+    from repro.client import ReproClient
+    from repro.service.scheduler import JobError
+
+    client = ReproClient(args.server)
+    print(f"batch: {len(jobs)} jobs on {args.server}")
+    failed = 0
+    for job in jobs:
+        try:
+            record = client.run_flow(job.app, job.mode,
+                                     timeout=args.timeout)
+        except (JobError, OSError) as exc:
+            failed += 1
+            print(f"[{'remote':12s}] {job.label:26s} FAILED: {exc}")
+            continue
+        speedups = [(d.speedup, d.label) for d in record.designs
+                    if d.synthesizable and d.speedup is not None]
+        best = (f"best {max(speedups)[0]:7.1f}x ({max(speedups)[1]})"
+                if speedups else "no synthesizable design")
+        print(f"[{'remote':12s}] {job.label:26s} {best}")
+    print(f"done: {len(jobs) - failed}/{len(jobs)} ok")
+    return 0 if failed == 0 else 1
 
 
 def cmd_batch(args) -> int:
@@ -150,15 +229,16 @@ def cmd_batch(args) -> int:
         DesignService, JobValidationError, expand_jobs, run_batch,
     )
 
+    try:
+        cfg = _config_from_args(args).apply()
+    except ConfigError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
     apps = args.apps.split(",") if args.apps else None
     modes = args.modes.split(",") if args.modes else None
     if not args.all and apps is None:
         print("batch: select work with --all or --apps a,b "
               "(optionally --modes informed,uninformed)")
-        return 2
-    if args.jobs < 1:
-        print(f"batch: --jobs must be >= 1, got {args.jobs}",
-              file=sys.stderr)
         return 2
     job_kwargs = {}
     if args.timeout is not None:
@@ -171,6 +251,8 @@ def cmd_batch(args) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(f"batch: {message}", file=sys.stderr)
         return 2
+    if args.server:
+        return _batch_remote(args, jobs)
 
     def show(item):
         if item.ok:
@@ -185,13 +267,13 @@ def cmd_batch(args) -> int:
 
     with obs.trace_session(args.trace_out, args.metrics_out,
                            root="batch", jobs=len(jobs)), \
-         DesignService(cache_dir=args.cache_dir, workers=args.jobs,
+         DesignService(cache_dir=cfg.cache_dir, workers=cfg.workers,
                        pool=args.pool) as service:
         if service.scheduler.fallback_note:
             print(f"note: {service.scheduler.fallback_note}")
-        print(f"batch: {len(jobs)} jobs on {args.jobs} "
+        print(f"batch: {len(jobs)} jobs on {cfg.workers} "
               f"{service.scheduler.mode} worker(s)"
-              + (f", cache at {args.cache_dir}" if args.cache_dir else ""))
+              + (f", cache at {cfg.cache_dir}" if cfg.cache_dir else ""))
         report = run_batch(service, jobs, on_item=show)
         counters = service.telemetry.counters
         print(f"done: {len(report.items) - len(report.failed)}/"
@@ -209,6 +291,27 @@ def cmd_batch(args) -> int:
                 _json.dump(service.telemetry.to_dict(), fh, indent=2)
             print(f"telemetry JSON written to {args.json}")
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    import logging
+
+    from repro import api
+    from repro.server import ReproServer
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    cfg = _config_from_args(args).apply()
+    service = api.open_service(cfg)
+    server = ReproServer(service, host=args.host, port=args.port,
+                         max_queue=args.max_queue,
+                         drain_timeout_s=args.drain_timeout)
+    try:
+        server.run()
+    finally:
+        service.close()
+    return 0
 
 
 def cmd_service(args) -> int:
@@ -275,17 +378,43 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
                      help="write the Prometheus text metrics dump")
 
 
+def _common_parent() -> argparse.ArgumentParser:
+    """The flag vocabulary every flow-running subcommand shares.
+
+    Defaults are all ``None`` ("not given") so
+    :meth:`ReproConfig.resolve` can layer them over the environment.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("shared configuration "
+                                      "(env < flag; see `repro config`)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache directory "
+                            "($REPRO_CACHE_DIR)")
+    group.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="service worker pool size ($REPRO_WORKERS)")
+    group.add_argument("--exec", dest="exec_mode", default=None,
+                       choices=("compiled", "interp"),
+                       help="UHL execution engine ($REPRO_EXEC)")
+    group.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry failed/timed-out jobs up to N times "
+                            "($REPRO_RETRIES)")
+    _add_obs_flags(group)
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="PSA-flows: auto-generate diverse heterogeneous "
                     "designs from a single high-level source")
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
 
     sub.add_parser("list", help="list the benchmark applications") \
         .set_defaults(func=cmd_list)
 
-    run = sub.add_parser("run", help="run the Fig. 4 PSA-flow on an app")
+    run = sub.add_parser("run", parents=[common],
+                         help="run the Fig. 4 PSA-flow on an app")
     run.add_argument("app", choices=sorted(ALL_APPS))
     run.add_argument("--mode", choices=("informed", "uninformed"),
                      default="informed")
@@ -301,18 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "profile) as JSON")
     run.add_argument("--timeline", action="store_true",
                      help="print an ASCII span timeline of the run")
-    _add_obs_flags(run)
     run.set_defaults(func=cmd_run)
 
-    ev = sub.add_parser("eval", help="regenerate the paper's experiments")
+    ev = sub.add_parser("eval", parents=[common],
+                        help="regenerate the paper's experiments")
     ev.add_argument("experiment",
                     choices=("fig5", "table1", "fig6", "table2",
                              "energy", "report", "all"))
-    _add_obs_flags(ev)
+    ev.add_argument("--server", default=None, metavar="URL",
+                    help="run every flow on a `repro serve` instance "
+                         "($REPRO_SERVER)")
     ev.set_defaults(func=cmd_eval)
 
     batch = sub.add_parser(
-        "batch", help="run many PSA-flows through the design service")
+        "batch", parents=[common],
+        help="run many PSA-flows through the design service")
     batch.add_argument("--all", action="store_true",
                        help="all apps x all modes (10 jobs)")
     batch.add_argument("--apps", default=None, metavar="A,B",
@@ -320,24 +452,42 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--modes", default=None, metavar="M1,M2",
                        help="comma-separated mode subset "
                             "(informed,uninformed)")
-    batch.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker count (default 1)")
+    batch.add_argument("--jobs", type=int, default=None, metavar="N",
+                       dest="workers",
+                       help="worker count (alias for --workers)")
     batch.add_argument("--pool", choices=("auto", "thread", "process"),
                        default="auto",
                        help="worker pool kind (auto: processes when "
-                            "--jobs > 1, thread fallback)")
-    batch.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="persistent result cache directory")
+                            "workers > 1, thread fallback)")
     batch.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-job attempt timeout in seconds")
-    batch.add_argument("--retries", type=int, default=None, metavar="N",
-                       help="retry failed/timed-out jobs up to N times")
     batch.add_argument("--telemetry", action="store_true",
                        help="print the fleet telemetry report")
     batch.add_argument("--json", default=None, metavar="PATH",
                        help="dump fleet telemetry as JSON")
-    _add_obs_flags(batch)
+    batch.add_argument("--server", default=None, metavar="URL",
+                       help="run the batch against a `repro serve` "
+                            "instance instead of a local service")
     batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve the /v1 design-job HTTP API over a DesignService")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-queue", type=int, default=8, metavar="N",
+                       help="max uncached jobs in flight before "
+                            "shedding with 429 (default 8)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="graceful-shutdown drain budget (default 30)")
+    serve.set_defaults(func=cmd_serve)
+
+    config = sub.add_parser(
+        "config", parents=[common],
+        help="print the resolved REPRO_* configuration as JSON")
+    config.set_defaults(func=cmd_config)
 
     svc = sub.add_parser(
         "service", help="inspect/maintain the persistent result cache")
@@ -355,6 +505,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # e.g. `... service ls | head`; die quietly like other CLIs
         devnull = os.open(os.devnull, os.O_WRONLY)

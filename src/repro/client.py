@@ -1,0 +1,197 @@
+"""repro.client -- the synchronous HTTP client for ``repro serve``.
+
+Stdlib only (``urllib``).  :class:`ReproClient` speaks the ``/v1``
+wire schema from :mod:`repro.server.protocol`, so every error body
+comes back as the **same exception type** the in-process
+:meth:`JobHandle.result` path raises -- remote and local callers share
+one taxonomy.  Transient refusals (``429`` overload/busy, ``503``
+unavailable, connection resets) are retried with backoff, honoring the
+server's ``Retry-After`` whenever it sends one.
+
+The evaluation harness and the batch CLI accept ``--server URL`` (or
+``$REPRO_SERVER``) and route through this client; results come back as
+:class:`~repro.flow.serialize.FlowResultRecord`, the same read API a
+cache hit returns in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.flow.serialize import FlowResultRecord, result_from_dict
+from repro.server.protocol import error_from_payload
+from repro.service.scheduler import JobResultPending
+
+#: error codes worth retrying: transient refusals, not terminal job
+#: outcomes (a quarantined job stays quarantined -- no point retrying)
+RETRYABLE_CODES = ("overloaded", "busy", "unavailable")
+
+
+class ReproClient:
+    """Talks to one ``python -m repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0,
+                 max_retries: int = 5, backoff_s: float = 0.25,
+                 poll_interval_s: float = 0.2):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.poll_interval_s = poll_interval_s
+        self._sleep = time.sleep       # monkeypatch point for tests
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                data = json.loads(resp.read().decode("utf-8") or "{}")
+                return resp.status, data, dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", "replace")
+            try:
+                data = json.loads(raw or "{}")
+            except json.JSONDecodeError:
+                data = {"error": {"code": "internal", "message": raw}}
+            return exc.code, data, dict(exc.headers or {})
+
+    def _retry_delay(self, status: int, headers: Dict[str, str],
+                     payload: Dict[str, Any], attempt: int) -> float:
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return max(0.0, float(value))
+                except ValueError:
+                    break
+        try:
+            return max(0.0, float(payload["error"]["retry_after_s"]))
+        except (KeyError, TypeError, ValueError):
+            return self.backoff_s * (2 ** attempt)
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry: bool = True) -> Dict[str, Any]:
+        """One request with transient-error retries; raises the mapped
+        taxonomy exception for any non-2xx (and for 202 pending)."""
+        attempt = 0
+        while True:
+            try:
+                status, data, headers = self._request_once(
+                    method, path, payload)
+            except urllib.error.URLError:
+                if not retry or attempt >= self.max_retries:
+                    raise
+                self._sleep(self.backoff_s * (2 ** attempt))
+                attempt += 1
+                continue
+            code = ((data.get("error") or {}).get("code")
+                    if isinstance(data, dict) else None)
+            if (code in RETRYABLE_CODES and retry
+                    and attempt < self.max_retries):
+                self._sleep(self._retry_delay(status, headers, data,
+                                              attempt))
+                attempt += 1
+                continue
+            if status == 202 or status >= 400:
+                raise error_from_payload(status, data)
+            return data
+
+    # ------------------------------------------------------------------
+    # Catalog / operations
+    # ------------------------------------------------------------------
+
+    def apps(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/apps")["apps"]
+
+    def modes(self) -> List[str]:
+        return self._request("GET", "/v1/modes")["modes"]
+
+    def health(self) -> Dict[str, Any]:
+        status, data, _ = self._request_once("GET", "/healthz")
+        data["http_status"] = status
+        return data
+
+    def metrics(self) -> str:
+        """Raw Prometheus exposition text from ``/metrics``."""
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout_s) as resp:
+            return resp.read().decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(self, app: str, mode: str = "informed",
+               **job_kwargs: Any) -> Dict[str, Any]:
+        """Submit one job; returns the job record (``id`` is the
+        content hash -- resubmitting the same spec is a no-op)."""
+        payload = {"app": app, "mode": mode}
+        payload.update(job_kwargs)
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> FlowResultRecord:
+        """The finished result; raises the job's terminal taxonomy
+        error, or :class:`JobResultPending` while it still runs."""
+        data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return result_from_dict(data)
+
+    def run_flow(self, app: str, mode: str = "informed",
+                 timeout: Optional[float] = None,
+                 **job_kwargs: Any) -> FlowResultRecord:
+        """Submit and block until the result is ready (the remote
+        equivalent of :func:`repro.api.run_flow`)."""
+        job_id = self.submit(app, mode, **job_kwargs)["id"]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except JobResultPending:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                self._sleep(self.poll_interval_s)
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None
+               ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(event, data)`` from the job's SSE stream until the
+        terminal frame (``done`` / ``shutdown``) closes it."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"})
+        with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout_s) as resp:
+            event, data_lines = None, []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line.split(":", 1)[1].strip())
+                elif not line and event is not None:
+                    payload = json.loads("\n".join(data_lines) or "{}")
+                    yield event, payload
+                    event, data_lines = None, []

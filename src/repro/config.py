@@ -1,0 +1,211 @@
+"""One typed home for every ``REPRO_*`` runtime knob.
+
+Four PRs grew eight environment variables, each parsed ad hoc at its
+point of use.  :class:`ReproConfig` consolidates them into a single
+frozen value object with one parsing rule set, an explicit precedence
+chain, and a JSON rendering the ``python -m repro config`` subcommand
+prints so an operator can see exactly what a process would run with.
+
+Precedence (weakest to strongest)::
+
+    environment  <  CLI flag  <  explicit keyword argument
+
+built with::
+
+    cfg = ReproConfig.resolve(cli={"workers": args.workers},
+                              cache_dir=explicit_dir)
+
+``resolve`` starts from :meth:`from_env`, overlays the non-``None``
+CLI values, then the non-``None`` keyword arguments.  Fields that
+nobody set keep their documented defaults.
+
+The knobs (and the env var each consolidates):
+
+=================  ======================  ==============================
+field              env var                 meaning
+=================  ======================  ==============================
+``cache_dir``      ``REPRO_CACHE_DIR``     persistent result-cache root
+``workers``        ``REPRO_WORKERS``       service worker-pool size
+``exec_mode``      ``REPRO_EXEC``          ``compiled`` | ``interp``
+``fastpath``       ``REPRO_FASTPATH``      numpy affine-loop fast path
+``profile_cache``  ``REPRO_PROFILE_CACHE`` share profiling runs
+``retries``        ``REPRO_RETRIES``       per-job retry budget
+``trace_dir``      ``REPRO_TRACE_DIR``     per-process JSONL span sink
+``faults``         ``REPRO_FAULTS``        fault-injection plan spec
+=================  ======================  ==============================
+
+Some subsystems read their env var lazily at call time (the execution
+engine, the vectorizer, the profile cache); :meth:`apply` writes the
+config back into an environ mapping so those readers -- and pool
+worker *processes*, which inherit the environment -- observe the same
+resolved values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, MutableMapping, Optional
+
+#: execution engines ``exec_mode`` may select (repro.lang.engine._MODES)
+EXEC_MODES = ("compiled", "interp")
+
+#: (field, env var) in documentation order
+ENV_VARS = (
+    ("cache_dir", "REPRO_CACHE_DIR"),
+    ("workers", "REPRO_WORKERS"),
+    ("exec_mode", "REPRO_EXEC"),
+    ("fastpath", "REPRO_FASTPATH"),
+    ("profile_cache", "REPRO_PROFILE_CACHE"),
+    ("retries", "REPRO_RETRIES"),
+    ("trace_dir", "REPRO_TRACE_DIR"),
+    ("faults", "REPRO_FAULTS"),
+)
+
+
+class ConfigError(ValueError):
+    """A knob value failed to parse or validate."""
+
+
+def _parse_int(name: str, raw: str, minimum: int) -> int:
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") \
+            from None
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _parse_bool(name: str, raw: Any) -> bool:
+    # matches the historical readers: only "0" disables
+    if isinstance(raw, bool):
+        return raw
+    return str(raw).strip() != "0"
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Resolved runtime configuration (immutable value object)."""
+
+    cache_dir: Optional[str] = None
+    workers: int = 1
+    exec_mode: str = "compiled"
+    fastpath: bool = True
+    profile_cache: bool = True
+    retries: int = 0
+    trace_dir: Optional[str] = None
+    faults: Optional[str] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.exec_mode not in EXEC_MODES:
+            raise ConfigError(
+                f"exec_mode must be one of {EXEC_MODES}, "
+                f"got {self.exec_mode!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None
+                 ) -> "ReproConfig":
+        """The configuration the environment alone selects."""
+        env = os.environ if environ is None else environ
+        kwargs: Dict[str, Any] = {}
+        raw = env.get("REPRO_CACHE_DIR")
+        if raw:
+            kwargs["cache_dir"] = raw
+        raw = env.get("REPRO_WORKERS")
+        if raw is not None and raw.strip():
+            kwargs["workers"] = _parse_int("REPRO_WORKERS", raw, 1)
+        raw = env.get("REPRO_EXEC")
+        if raw is not None and raw.strip():
+            mode = raw.strip().lower()
+            # the lang engine silently falls back to 'compiled' on an
+            # unknown mode; the config layer keeps that forgiveness so
+            # `repro config` reports what will actually run
+            kwargs["exec_mode"] = mode if mode in EXEC_MODES else "compiled"
+        raw = env.get("REPRO_FASTPATH")
+        if raw is not None:
+            kwargs["fastpath"] = _parse_bool("REPRO_FASTPATH", raw)
+        raw = env.get("REPRO_PROFILE_CACHE")
+        if raw is not None:
+            kwargs["profile_cache"] = _parse_bool(
+                "REPRO_PROFILE_CACHE", raw)
+        raw = env.get("REPRO_RETRIES")
+        if raw is not None and raw.strip():
+            kwargs["retries"] = _parse_int("REPRO_RETRIES", raw, 0)
+        raw = env.get("REPRO_TRACE_DIR")
+        if raw:
+            kwargs["trace_dir"] = raw
+        raw = env.get("REPRO_FAULTS")
+        if raw:
+            kwargs["faults"] = raw
+        return cls(**kwargs)
+
+    @classmethod
+    def resolve(cls, environ: Optional[Mapping[str, str]] = None,
+                cli: Optional[Mapping[str, Any]] = None,
+                **kwargs: Any) -> "ReproConfig":
+        """Layer env < CLI flags < explicit kwargs into one config.
+
+        ``None`` values in ``cli`` / ``kwargs`` mean "not given" and
+        never override a weaker layer.
+        """
+        cfg = cls.from_env(environ)
+        for layer in (cli or {}, kwargs):
+            overrides = {k: v for k, v in layer.items() if v is not None}
+            if overrides:
+                unknown = set(overrides) - {f.name for f in
+                                            dataclasses.fields(cls)}
+                if unknown:
+                    raise ConfigError(
+                        f"unknown config field(s): {sorted(unknown)}")
+                cfg = dataclasses.replace(cfg, **overrides)
+        return cfg
+
+    def replace(self, **overrides: Any) -> "ReproConfig":
+        """A copy with the non-``None`` overrides applied."""
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **overrides) if overrides else self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def env_dict(self) -> Dict[str, str]:
+        """The config as the ``REPRO_*`` mapping that reproduces it."""
+        out: Dict[str, str] = {}
+        for field_name, var in ENV_VARS:
+            value = getattr(self, field_name)
+            if isinstance(value, bool):
+                out[var] = "1" if value else "0"
+            elif value is not None:
+                out[var] = str(value)
+        return out
+
+    def apply(self, environ: Optional[MutableMapping[str, str]] = None
+              ) -> "ReproConfig":
+        """Write the config into ``environ`` (default ``os.environ``).
+
+        Lazy env readers (execution engine, vectorizer, profile cache)
+        and inherited-environment pool workers then see the resolved
+        values.  Unset optional fields *remove* their variable, so an
+        explicit ``cache_dir=None`` really disables the cache.
+        """
+        env = os.environ if environ is None else environ
+        values = self.env_dict()
+        for _field, var in ENV_VARS:
+            if var in values:
+                env[var] = values[var]
+            else:
+                env.pop(var, None)
+        return self

@@ -8,7 +8,7 @@ from repro import obs
 from repro.evalharness.energy import render_energy, run_energy
 from repro.evalharness.fig5 import render_fig5, run_fig5
 from repro.evalharness.fig6 import render_fig6, run_fig6
-from repro.evalharness.runner import shared_runner
+from repro.api import shared_runner
 from repro.evalharness.table1 import render_table1, run_table1
 from repro.evalharness.report import write_report
 from repro.evalharness.table2 import render_table2

@@ -16,9 +16,8 @@ from typing import Dict, List, Optional
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import table
-from repro.evalharness.runner import (
-    DESIGN_LABELS, EvaluationRunner, shared_runner,
-)
+from repro.api import shared_runner
+from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
 from repro.platforms.power import energy_joules
 
 

@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import table
-from repro.evalharness.runner import EvaluationRunner, shared_runner
+from repro.api import shared_runner
+from repro.evalharness.runner import EvaluationRunner
 from repro.flow.cost import CostEvaluator
 
 #: apps shown in the paper's Fig. 6

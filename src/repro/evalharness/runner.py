@@ -3,24 +3,35 @@
 Every experiment needs the same uninformed + informed flow runs over
 the five benchmarks.  The runner sits on :class:`DesignService`, so
 Fig. 5, Table I and Fig. 6 regeneration get in-flight dedup, optional
-parallel execution (``workers``/``REPRO_WORKERS``) and persistent
-cross-run caching (``cache_dir``/``REPRO_CACHE_DIR``) for free; with
-the defaults (one in-process worker, no cache dir) it behaves exactly
-like the old serial runner and returns live :class:`FlowResult`
-objects.
+parallel execution and persistent cross-run caching for free; the
+service configuration comes from :class:`repro.config.ReproConfig`
+(``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` / ``REPRO_RETRIES``) with
+constructor arguments taking precedence.  With the defaults (one
+in-process worker, no cache dir) it behaves exactly like the old
+serial runner and returns live :class:`FlowResult` objects.
+
+The runner can also execute **remotely**: give it a
+:class:`repro.client.ReproClient` (or set ``$REPRO_SERVER`` / pass
+``server_url``) and every flow runs on a ``python -m repro serve``
+instance instead of in this process, returning the deserialized
+:class:`FlowResultRecord` -- the same read API either way.
 
 The experiment modules (fig5/table1/fig6/energy/report) all route
-through :func:`shared_runner`, one process-wide instance, instead of
-each constructing their own -- identical flows are never re-run when
-several experiments are generated in one process.
+through :func:`repro.api.shared_runner`, one process-wide instance,
+instead of each constructing their own -- identical flows are never
+re-run when several experiments are generated in one process.
+(``shared_runner`` / ``set_shared_runner`` are re-exported here for
+backward compatibility but their canonical home is :mod:`repro.api`.)
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import List, Optional
 
 from repro.apps.registry import PAPER_ORDER
+from repro.config import ReproConfig
 from repro.flow.engine import FlowEngine
 from repro.service import DesignService
 
@@ -35,23 +46,40 @@ class EvaluationRunner:
     def __init__(self, engine: Optional[FlowEngine] = None,
                  service: Optional[DesignService] = None,
                  cache_dir: Optional[str] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 client=None,
+                 server_url: Optional[str] = None):
+        if client is None:
+            server_url = server_url or os.environ.get("REPRO_SERVER") \
+                or None
+            if server_url:
+                from repro.client import ReproClient
+
+                client = ReproClient(server_url)
+        self.client = client
+        if client is not None:
+            # remote mode: flows run on the server, nothing local to own
+            self.service = None
+            self.engine = engine or FlowEngine()
+            self._results = {}
+            return
         if service is None:
-            if cache_dir is None:
-                cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-            if workers is None:
-                workers = int(os.environ.get("REPRO_WORKERS", "1"))
-            # retry budget for transient faults -- chaos runs set this
-            # alongside $REPRO_FAULTS so injected worker errors are
-            # absorbed instead of failing the experiment
-            retries = int(os.environ.get("REPRO_RETRIES", "0"))
-            service = DesignService(engine=engine, cache_dir=cache_dir,
-                                    workers=workers,
-                                    default_retries=retries)
+            from repro import api
+
+            cfg = ReproConfig.resolve(
+                cli={"cache_dir": cache_dir, "workers": workers})
+            service = api.open_service(cfg, engine=engine)
         self.service = service
         self.engine = service.engine
+        self._results = {}
 
     def run(self, app_name: str, mode: str):
+        if self.client is not None:
+            # memoized locally: the experiments re-read the same pair
+            key = (app_name, mode)
+            if key not in self._results:
+                self._results[key] = self.client.run_flow(app_name, mode)
+            return self._results[key]
         return self.service.run_pair(app_name, mode)
 
     def prefetch(self, apps: Optional[List[str]] = None,
@@ -59,6 +87,10 @@ class EvaluationRunner:
         """Warm every (app, mode) pair through the service's pool."""
         from repro.service.batch import expand_jobs
 
+        if self.client is not None:
+            for job in expand_jobs(apps or self.all_apps(), modes):
+                self.run(job.app, job.mode)
+            return
         for submission in self.service.submit_many(
                 expand_jobs(apps or self.all_apps(), modes)):
             submission.result()
@@ -86,24 +118,22 @@ class EvaluationRunner:
         return design.predicted_time_s
 
     def close(self) -> None:
-        self.service.close()
+        if self.service is not None:
+            self.service.close()
 
 
-#: process-wide runner every experiment module shares by default
-_SHARED: Optional[EvaluationRunner] = None
+#: names that moved to repro.api (PR 5); kept importable here
+_MOVED_TO_API = ("shared_runner", "set_shared_runner")
 
 
-def shared_runner() -> EvaluationRunner:
-    """The process-wide service-backed runner (created on first use)."""
-    global _SHARED
-    if _SHARED is None:
-        _SHARED = EvaluationRunner()
-    return _SHARED
+def __getattr__(name: str):
+    if name in _MOVED_TO_API:
+        warnings.warn(
+            f"repro.evalharness.runner.{name} moved to repro.api.{name}; "
+            f"update the import (this shim will be removed)",
+            DeprecationWarning, stacklevel=2)
+        from repro import api
 
-
-def set_shared_runner(runner: Optional[EvaluationRunner]
-                      ) -> Optional[EvaluationRunner]:
-    """Swap the shared runner (tests, custom services); returns the old."""
-    global _SHARED
-    previous, _SHARED = _SHARED, runner
-    return previous
+        return getattr(api, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -15,9 +15,8 @@ from typing import Dict, List, Optional
 
 from repro.apps.registry import get_app
 from repro.evalharness.render import format_pct, table
-from repro.evalharness.runner import (
-    DESIGN_LABELS, EvaluationRunner, shared_runner,
-)
+from repro.api import shared_runner
+from repro.evalharness.runner import DESIGN_LABELS, EvaluationRunner
 
 #: the paper's Table I (percent added LOC; None = excluded/unavailable)
 PAPER_TABLE1: Dict[str, Dict[str, Optional[float]]] = {

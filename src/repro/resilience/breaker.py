@@ -130,6 +130,17 @@ class CircuitBreaker:
         with self._lock:
             self._transition(CLOSED)
 
+    def snapshot(self) -> dict:
+        """Plain-data state for health endpoints and dashboards."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._effective_state(),
+                "failures": self._failures,
+                "trips": self.trips,
+                "cooldown_s": self.cooldown_s,
+            }
+
     def __repr__(self):
         return (f"<CircuitBreaker {self.name} {self.state} "
                 f"failures={self._failures} trips={self.trips}>")

@@ -1,0 +1,32 @@
+"""repro.server -- the asyncio HTTP front end over DesignService.
+
+Stdlib-only: a small HTTP/1.1 layer on ``asyncio`` streams serving the
+``/v1`` job API (submit / poll / fetch / SSE event stream), the
+benchmark catalog, Prometheus ``/metrics`` and ``/healthz``.  See
+:mod:`repro.server.core` for the server, :mod:`repro.server.protocol`
+for the wire schema and the error taxonomy shared with
+:class:`repro.client.ReproClient`.
+
+Start one from the shell::
+
+    python -m repro serve --port 8000 --workers 4 --cache-dir .cache
+
+or programmatically::
+
+    from repro import api
+    from repro.server import ReproServer
+
+    server = ReproServer(api.open_service(workers=4), port=8000)
+    server.run()          # blocks; SIGINT/SIGTERM drains and exits
+"""
+
+from repro.server.core import ReproServer
+from repro.server.protocol import (
+    JobNotFound, ServerError, error_from_payload, error_to_payload,
+    job_from_payload,
+)
+
+__all__ = [
+    "ReproServer", "JobNotFound", "ServerError",
+    "error_from_payload", "error_to_payload", "job_from_payload",
+]

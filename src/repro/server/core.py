@@ -1,0 +1,537 @@
+"""The asyncio HTTP front end over :class:`DesignService`.
+
+Stdlib only: HTTP/1.1 parsed directly off ``asyncio`` streams, one
+request per connection.  The interesting part is not the parsing but
+the plumbing between three worlds:
+
+- **service threads** complete jobs and fire listener callbacks;
+- **flow worker threads** execute tasks and fire Tracer callbacks
+  (installed through :meth:`DesignService.set_tracer_factory`);
+- **the event loop** owns every per-job event history and SSE
+  subscriber queue.
+
+All cross-thread traffic goes through ``loop.call_soon_threadsafe``
+into :meth:`_publish`, so job state only ever mutates on the loop and
+SSE ordering is the publish order.
+
+Backpressure is enforced end-to-end: the service's admission breaker
+surfaces as ``429 overloaded``, and on top of it the server keeps a
+**bounded accept queue** -- at most ``max_queue`` uncached jobs in
+flight; past that, new work is shed with ``429 busy`` while cached
+results (served via :meth:`DesignService.lookup`) keep flowing.
+Graceful shutdown flips to draining (new jobs ``503 unavailable``),
+waits out in-flight jobs up to ``drain_timeout_s``, then closes every
+SSE stream with a ``shutdown`` event.
+
+Live SSE task events stream in thread-pool execution mode (the
+default); with process workers the tracer runs in the child and ships
+back at completion, so remote clients still get ``queued`` /
+``scheduled`` / ``done`` but per-task frames only for thread mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import api, obs
+from repro.config import ReproConfig
+from repro.flow.serialize import result_to_dict
+from repro.server import protocol
+from repro.server.protocol import JobNotFound, ServerError
+from repro.service import DesignService
+from repro.service.core import ServiceOverloaded
+from repro.service.jobs import FlowJob, JobValidationError
+from repro.service.telemetry import Tracer
+
+log = logging.getLogger("repro.server")
+
+#: request bodies past this are refused (jobs are tiny)
+MAX_BODY_BYTES = 64 * 1024
+
+#: job states with nothing left to wait for
+TERMINAL = ("succeeded", "failed", "quarantined", "timeout", "cancelled")
+
+_JSON = "application/json"
+_REASONS = {200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+            400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+class _JobState:
+    """Everything the server remembers about one submitted job."""
+
+    __slots__ = ("job", "submission", "status", "source", "history",
+                 "subscribers", "created_s", "finished_s", "counted")
+
+    def __init__(self, job: FlowJob):
+        self.job = job
+        self.submission = None            # ServiceResult once accepted
+        self.status = "queued"
+        self.counted = False              # holds an accept-queue slot
+        self.source: Optional[str] = None
+        self.history: List[Tuple[int, str, Dict[str, Any]]] = []
+        self.subscribers: List[asyncio.Queue] = []
+        self.created_s = time.time()
+        self.finished_s: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL
+
+    def to_payload(self, key: str) -> Dict[str, Any]:
+        data = {"id": key, "app": self.job.app, "mode": self.job.mode,
+                "status": self.status, "done": self.done,
+                "created_s": self.created_s, "events": len(self.history)}
+        if self.source is not None:
+            data["source"] = self.source
+        if self.finished_s is not None:
+            data["wall_s"] = round(self.finished_s - self.created_s, 6)
+        return data
+
+
+class ReproServer:
+    """Serves the ``/v1`` design-job API over one :class:`DesignService`.
+
+    With no ``service`` the server builds its own from ``config``
+    (default: :meth:`ReproConfig.from_env`) and owns its lifecycle.
+    """
+
+    def __init__(self, service: Optional[DesignService] = None,
+                 host: str = "127.0.0.1", port: int = 8000,
+                 max_queue: int = 8, drain_timeout_s: float = 30.0,
+                 config: Optional[ReproConfig] = None):
+        self._own_service = service is None
+        self.service = service or api.open_service(config)
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.drain_timeout_s = drain_timeout_s
+        self.draining = False
+        self._jobs: Dict[str, _JobState] = {}
+        self._inflight = 0                # uncached jobs not yet done
+        self._seq = 0                     # global SSE event id
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._idle = asyncio.Event()
+        reg = obs.REGISTRY
+        self._m_requests = reg.counter(
+            "repro_http_requests_total", "HTTP requests served",
+            labelnames=("route", "status"))
+        self._m_latency = reg.histogram(
+            "repro_http_request_seconds", "HTTP request latency",
+            labelnames=("route",))
+        self._m_inflight = reg.gauge(
+            "repro_server_jobs_inflight", "uncached jobs being executed")
+        self._m_shed = reg.counter(
+            "repro_server_jobs_shed_total", "jobs refused for backpressure",
+            labelnames=("reason",))
+        self._m_sse = reg.gauge(
+            "repro_server_sse_subscribers", "open SSE event streams")
+        self._m_inflight.set(0)       # present in /metrics from boot
+        self._m_sse.set(0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and begin serving (non-blocking; use from async code)."""
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.service.add_listener(self._on_service_event)
+        self.service.set_tracer_factory(self._tracer_for)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("serving on http://%s:%d", self.host, self.port)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work, optionally drain in-flight jobs, close."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(),
+                                       self.drain_timeout_s)
+            except asyncio.TimeoutError:
+                log.warning("drain timed out with %d job(s) in flight",
+                            self._inflight)
+        # wake every SSE stream so connections close promptly
+        for state in self._jobs.values():
+            self._fanout(state, "shutdown", {"draining": True})
+        self.service.remove_listener(self._on_service_event)
+        self.service.set_tracer_factory(None)
+        if self._own_service:
+            self.service.close()
+
+    def run(self) -> None:
+        """Serve until SIGINT/SIGTERM, then drain and exit (blocking)."""
+        async def main():
+            await self.start()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            await stop.wait()
+            log.info("signal received: draining")
+            await self.shutdown(drain=True)
+
+        asyncio.run(main())
+
+    # ------------------------------------------------------------------
+    # Cross-thread event plumbing
+    # ------------------------------------------------------------------
+
+    def _publish_threadsafe(self, key: str, event: str,
+                            data: Dict[str, Any]) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._publish, key, event, data)
+
+    def _publish(self, key: str, event: str, data: Dict[str, Any]) -> None:
+        """Record one job event and fan it out (loop thread only)."""
+        state = self._jobs.get(key)
+        if state is None:
+            return
+        if event == "done":
+            status = data.get("status") or "succeeded"
+            if not state.done:      # first terminal event wins
+                state.status = status
+                state.finished_s = time.time()
+                if state.source is None:
+                    state.source = data.get("source", "run")
+                if state.counted:
+                    state.counted = False
+                    self._job_settled()
+        elif event == "scheduled":
+            state.status = "running"
+        self._fanout(state, event, data)
+
+    def _fanout(self, state: _JobState, event: str,
+                data: Dict[str, Any]) -> None:
+        self._seq += 1
+        record = (self._seq, event, data)
+        state.history.append(record)
+        for queue in list(state.subscribers):
+            queue.put_nowait(record)
+
+    def _job_settled(self) -> None:
+        self._inflight = max(0, self._inflight - 1)
+        self._m_inflight.set(self._inflight)
+        if self._inflight == 0:
+            self._idle.set()
+
+    def _on_service_event(self, event: str, job: FlowJob, key: str,
+                          info: Dict[str, Any]) -> None:
+        """DesignService listener (runs on service/worker threads)."""
+        if event == "scheduled":
+            self._publish_threadsafe(key, "scheduled", {"id": key})
+        elif event == "done":
+            self._publish_threadsafe(key, "done", {
+                "id": key, "status": info.get("status", "succeeded"),
+                "attempts": info.get("attempts"),
+                "wall_s": info.get("wall_s"),
+                "error": info.get("error"),
+            })
+        elif event == "lookup" and info.get("source") == "dead-letter":
+            self._publish_threadsafe(key, "done", {
+                "id": key, "status": "quarantined",
+                "source": "dead-letter"})
+
+    def _tracer_for(self, job: FlowJob, key: str) -> Tracer:
+        """Per-job Tracer streaming task/branch frames to subscribers."""
+        return Tracer(
+            on_task=lambda span: self._publish_threadsafe(
+                key, "task", span.to_dict()),
+            on_branch_event=lambda event: self._publish_threadsafe(
+                key, "branch", event.to_dict()))
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        route = "unparsed"
+        t0 = time.monotonic()
+        try:
+            method, path, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            route, handler, args = self._route(method, path)
+            status = await handler(writer, body, *args)
+        except ConnectionError:
+            status = 0
+        except Exception as exc:                # noqa: BLE001
+            status, payload = protocol.error_to_payload(exc)
+            try:
+                await self._send_json(writer, status, payload)
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:                   # noqa: BLE001
+                pass
+        if status:
+            self._m_requests.inc(route=route, status=str(status))
+            self._m_latency.observe(time.monotonic() - t0, route=route)
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServerError("malformed request line", status=400,
+                              code="bad_request")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target.split("?", 1)[0], headers
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServerError(f"body of {length} bytes refused",
+                              status=413, code="too_large")
+        return await reader.readexactly(length) if length else b""
+
+    def _route(self, method: str, path: str):
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return "healthz", self._h_healthz, ()
+        if path == "/metrics" and method == "GET":
+            return "metrics", self._h_metrics, ()
+        if parts[:1] == [protocol.API_VERSION]:
+            rest = parts[1:]
+            if rest == ["apps"] and method == "GET":
+                return "apps", self._h_apps, ()
+            if rest == ["modes"] and method == "GET":
+                return "modes", self._h_modes, ()
+            if rest == ["jobs"] and method == "POST":
+                return "submit", self._h_submit, ()
+            if rest == ["jobs"] and method == "GET":
+                return "jobs", self._h_jobs, ()
+            if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+                return "job", self._h_job, (rest[1],)
+            if (len(rest) == 3 and rest[0] == "jobs"
+                    and rest[2] == "result" and method == "GET"):
+                return "result", self._h_result, (rest[1],)
+            if (len(rest) == 3 and rest[0] == "jobs"
+                    and rest[2] == "events" and method == "GET"):
+                return "events", self._h_events, (rest[1],)
+        raise ServerError(f"no route for {method} {path}",
+                          status=404, code="not_found")
+
+    # -- responses ------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    body: bytes, content_type: str,
+                    extra: Optional[Dict[str, str]] = None) -> int:
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+        return status
+
+    async def _send_json(self, writer, status: int, payload: Any,
+                         extra: Optional[Dict[str, str]] = None) -> int:
+        body = json.dumps(payload).encode("utf-8")
+        headers = dict(extra or {})
+        retry = protocol.retry_after_of(payload) if isinstance(
+            payload, dict) else None
+        if retry is not None:
+            headers.setdefault("Retry-After", str(max(1, round(retry))))
+        return await self._send(writer, status, body, _JSON, headers)
+
+    # -- handlers -------------------------------------------------------
+
+    async def _h_healthz(self, writer, body) -> int:
+        health = self.service.health()
+        health["server"] = {
+            "draining": self.draining,
+            "inflight": self._inflight,
+            "max_queue": self.max_queue,
+            "jobs_tracked": len(self._jobs),
+        }
+        breaker_open = health["overload"]["state"] != "closed"
+        ok = not breaker_open and not self.draining
+        health["status"] = "ok" if ok else "degraded"
+        return await self._send_json(writer, 200 if ok else 503, health)
+
+    async def _h_metrics(self, writer, body) -> int:
+        text = obs.REGISTRY.to_prometheus()
+        return await self._send(writer, 200, text.encode("utf-8"),
+                                "text/plain; version=0.0.4")
+
+    async def _h_apps(self, writer, body) -> int:
+        return await self._send_json(writer, 200, {"apps": api.list_apps()})
+
+    async def _h_modes(self, writer, body) -> int:
+        return await self._send_json(writer, 200,
+                                     {"modes": api.list_modes()})
+
+    async def _h_jobs(self, writer, body) -> int:
+        jobs = [state.to_payload(key)
+                for key, state in self._jobs.items()]
+        return await self._send_json(writer, 200, {"jobs": jobs})
+
+    async def _h_submit(self, writer, body) -> int:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobValidationError(f"body is not JSON: {exc}") from None
+        job = protocol.job_from_payload(payload)
+        key = job.key()
+        known = self._jobs.get(key)
+        if known is not None:
+            # content-hash dedup: same spec, same job, no new work
+            return await self._send_json(writer, 200,
+                                         known.to_payload(key))
+        # cached/in-flight results are served even while shedding
+        cached = await asyncio.get_running_loop().run_in_executor(
+            None, self.service.lookup, job)
+        if cached is not None and cached.done():
+            state = _JobState(job)
+            state.submission = cached
+            state.source = cached.source
+            self._jobs[key] = state
+            self._fanout(state, "queued", {"id": key,
+                                           "source": cached.source})
+            self._publish(key, "done", {"id": key, "status": "succeeded",
+                                        "source": cached.source})
+            return await self._send_json(writer, 200,
+                                         state.to_payload(key))
+        if self.draining:
+            self._m_shed.inc(reason="draining")
+            return await self._send_json(writer, 503, protocol._body(
+                "unavailable", "server is draining for shutdown",
+                retry_after_s=self.drain_timeout_s))
+        if self._inflight >= self.max_queue:
+            self._m_shed.inc(reason="queue_full")
+            return await self._send_json(writer, 429, protocol._body(
+                "busy", f"accept queue full ({self.max_queue} in flight)",
+                retry_after_s=1.0))
+        # register BEFORE submitting so listener events find the state
+        state = _JobState(job)
+        state.counted = True
+        self._jobs[key] = state
+        self._inflight += 1
+        self._m_inflight.set(self._inflight)
+        self._idle.clear()
+        self._fanout(state, "queued", {"id": key})
+        try:
+            submission = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.submit, job)
+        except ServiceOverloaded:
+            del self._jobs[key]
+            self._job_settled()
+            self._m_shed.inc(reason="breaker")
+            raise
+        except BaseException:
+            del self._jobs[key]
+            self._job_settled()
+            raise
+        state.submission = submission
+        if submission.source.startswith("cache") and submission.done():
+            state.source = submission.source
+            self._publish(key, "done", {"id": key, "status": "succeeded",
+                                        "source": submission.source})
+        elif submission.source == "inflight":
+            state.source = "inflight"
+            state.status = "running"
+            if submission.done():
+                self._publish(key, "done",
+                              {"id": key, "status": "succeeded",
+                               "source": "inflight"})
+        return await self._send_json(writer, 201, state.to_payload(key))
+
+    def _state_of(self, key: str) -> _JobState:
+        state = self._jobs.get(key)
+        if state is None:
+            raise JobNotFound(f"no job {key!r} on this server")
+        return state
+
+    async def _h_job(self, writer, body, key: str) -> int:
+        return await self._send_json(writer, 200,
+                                     self._state_of(key).to_payload(key))
+
+    async def _h_result(self, writer, body, key: str) -> int:
+        state = self._state_of(key)
+        submission = state.submission
+        if submission is None or not submission.done():
+            # taxonomy satellite: same error the in-process caller gets
+            raise protocol.JobResultPending(
+                key, state.status, 0, 0.0, label=state.job.label)
+        # .result() re-raises the job's terminal error -> error_to_payload
+        value = await asyncio.get_running_loop().run_in_executor(
+            None, submission.result, 0.0)
+        record = result_to_dict(value)
+        record["id"] = key
+        record["source"] = state.source or submission.source
+        return await self._send_json(writer, 200, record)
+
+    async def _h_events(self, writer, body, key: str) -> int:
+        state = self._state_of(key)
+        head = ["HTTP/1.1 200 OK",
+                "Content-Type: text/event-stream",
+                "Cache-Control: no-cache",
+                "Connection: close"]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        queue: asyncio.Queue = asyncio.Queue()
+        replay = list(state.history)
+        state.subscribers.append(queue)
+        self._m_sse.inc()
+        try:
+            for record in replay:
+                if not await self._send_sse(writer, record):
+                    return 200
+            if state.done or self.draining:
+                return 200
+            while True:
+                record = await queue.get()
+                if not await self._send_sse(writer, record):
+                    return 200
+                if record[1] in ("done", "shutdown"):
+                    return 200
+        finally:
+            try:
+                state.subscribers.remove(queue)
+            except ValueError:
+                pass
+            self._m_sse.dec()
+
+    async def _send_sse(self, writer,
+                        record: Tuple[int, str, Dict[str, Any]]) -> bool:
+        seq, event, data = record
+        frame = (f"id: {seq}\nevent: {event}\n"
+                 f"data: {json.dumps(data)}\n\n")
+        try:
+            writer.write(frame.encode("utf-8"))
+            await writer.drain()
+            return True
+        except ConnectionError:
+            return False

@@ -136,7 +136,8 @@ class DesignService:
                  crash_retries: int = 2,
                  overload_threshold: int = 3,
                  overload_cooldown_s: float = 30.0,
-                 telemetry: Optional[FleetTelemetry] = None):
+                 telemetry: Optional[FleetTelemetry] = None,
+                 tracer_factory=None):
         self.engine = engine or FlowEngine()
         # a custom strategy object defeats content hashing and pickling
         self._cacheable = self.engine._strategy_override is None
@@ -161,14 +162,102 @@ class DesignService:
             failure_threshold=overload_threshold,
             cooldown_s=overload_cooldown_s)
         self.telemetry = telemetry or FleetTelemetry()
+        # per-job flow observer override (the HTTP server streams live
+        # task events through this); called as factory(job, key)
+        self._tracer_factory = tracer_factory
         self._memory: Dict[str, Any] = {}
         self._pending: Dict[str, _Pending] = {}
         self._lock = threading.Lock()
+        self._listeners: List[Any] = []
 
     @property
     def overload_state(self) -> str:
         """Admission breaker state: 'closed', 'half-open' or 'open'."""
         return self._overload.state
+
+    # ------------------------------------------------------------------
+    # Lifecycle listeners (the HTTP front end's event feed).
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Register ``listener(event, job, key, info)``.
+
+        Events: ``"lookup"`` (info carries ``source``), ``"scheduled"``
+        (the job will run on the pool), ``"done"`` (terminal; info
+        carries ``status``, ``attempts``, ``wall_s`` and ``error``).
+        Listeners run on service/driver threads and must not block;
+        exceptions are swallowed.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def set_tracer_factory(self, factory) -> None:
+        """Install (or clear) the per-job flow-observer factory.
+
+        ``factory(job, key)`` must return a
+        :class:`~repro.service.telemetry.Tracer`; it applies to
+        thread-pool executions scheduled after the call (process
+        workers rebuild their own tracer and ship it back as data).
+        """
+        self._tracer_factory = factory
+
+    def _notify(self, event: str, job: FlowJob, key: str,
+                **info: Any) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(event, job, key, dict(info))
+            except Exception:
+                pass  # a broken listener must never take down a job
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Live service state for health endpoints and operators."""
+        with self._lock:
+            pending = len(self._pending)
+            memory = len(self._memory)
+        return {
+            "overload": self._overload.snapshot(),
+            "scheduler": {
+                "mode": self.scheduler.mode,
+                "workers": self.scheduler.workers,
+                "inflight": self.scheduler.inflight,
+                "pool_rebuilds": self.scheduler.pool_rebuilds,
+            },
+            "pending_jobs": pending,
+            "memory_entries": memory,
+            "cache_dir": self.cache.root if self.cache else None,
+            "dead_letter": len(self.dead_letter),
+        }
+
+    def lookup(self, job: FlowJob) -> Optional[ServiceResult]:
+        """A result this service can serve *without* scheduling work.
+
+        Checks memory, the disk cache, and in-flight dedup; returns
+        None when the job would have to run.  Never trips admission
+        control -- the HTTP front end uses this to keep serving cached
+        results while shedding new work.
+        """
+        key = job.key()
+        with self._lock:
+            if key in self._memory:
+                return ServiceResult(job, "cache-memory",
+                                     value=self._memory[key])
+            pending = self._pending.get(key)
+            if pending is not None:
+                return ServiceResult(job, "inflight", pending=pending)
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._memory[key] = record
+                    return ServiceResult(job, "cache-disk", value=record)
+        return None
 
     # ------------------------------------------------------------------
     def job_for(self, app: str, mode: str, **kwargs) -> FlowJob:
@@ -187,6 +276,7 @@ class DesignService:
                 self.telemetry.record_job(JobTelemetry(
                     key=key, app=job.app, mode=job.mode,
                     source="cache-memory", status="ok"))
+                self._notify("lookup", job, key, source="cache-memory")
                 return ServiceResult(job, "cache-memory",
                                      value=self._memory[key])
             pending = self._pending.get(key)
@@ -197,6 +287,7 @@ class DesignService:
                 self.telemetry.record_job(JobTelemetry(
                     key=key, app=job.app, mode=job.mode,
                     source="inflight", status="ok"))
+                self._notify("lookup", job, key, source="inflight")
                 return ServiceResult(job, "inflight", pending=pending)
             if self.cache is not None:
                 record = self.cache.get(key)
@@ -208,6 +299,7 @@ class DesignService:
                         key=key, app=job.app, mode=job.mode,
                         source="cache-disk", status="ok"))
                     self._memory[key] = record
+                    self._notify("lookup", job, key, source="cache-disk")
                     return ServiceResult(job, "cache-disk", value=record)
                 self.telemetry.count("cache_miss")
             if self.dead_letter.contains(key):
@@ -225,10 +317,13 @@ class DesignService:
                     f"({record.get('reason', 'unknown')}); "
                     f"release it via `repro service dead-letter --clear`",
                     key=key, crashes=record.get("crashes", 0)))
+                self._notify("lookup", job, key, source="dead-letter")
                 return ServiceResult(job, "dead-letter", pending=refused)
             if not self._overload.allow():
                 obs.event("service.overloaded", app=job.app, mode=job.mode)
                 self.telemetry.count("overload_rejected")
+                self._notify("lookup", job, key, source="shed",
+                             retry_after_s=self._overload.cooldown_s)
                 raise ServiceOverloaded(
                     f"service overloaded (admission breaker open after "
                     f"{self._overload.trips} trip(s)); shedding "
@@ -247,12 +342,14 @@ class DesignService:
             fn, args = execute_job_payload, (job.spec(), obs.enabled())
         else:
             parent = pending.obs_ctx
+            make_tracer = self._tracer_factory or (lambda _job, _key:
+                                                   Tracer())
 
             def fn():
                 with obs.span("service.job", parent=parent,
                               app=job.app, mode=job.mode,
                               key=pending.key[:12]):
-                    tracer = Tracer()
+                    tracer = make_tracer(job, pending.key)
                     result = execute_job(job, engine=self._engine_for(job),
                                          observer=tracer)
                     return result, tracer
@@ -263,6 +360,7 @@ class DesignService:
         pending.handle = handle
         if created:
             self.telemetry.count("jobs_run")
+        self._notify("scheduled", job, pending.key, created=created)
         handle.add_done_callback(
             lambda done: self._complete(pending, done))
         return ServiceResult(job, "run", pending=pending)
@@ -295,6 +393,10 @@ class DesignService:
             with self._lock:
                 self._pending.pop(pending.key, None)
             pending.resolve(error=handle.error)
+            self._notify("done", job, pending.key,
+                         status=handle.status.value,
+                         attempts=handle.attempts, wall_s=handle.wall_s,
+                         error=str(handle.error) if handle.error else None)
             return
         raw = handle._result
         try:
@@ -335,10 +437,16 @@ class DesignService:
                     self._memory[pending.key] = value
                 self._pending.pop(pending.key, None)
             pending.resolve(value=value)
+            self._notify("done", job, pending.key, status="succeeded",
+                         attempts=handle.attempts, wall_s=handle.wall_s,
+                         error=None)
         except BaseException as exc:
             with self._lock:
                 self._pending.pop(pending.key, None)
             pending.resolve(error=exc)
+            self._notify("done", job, pending.key, status="failed",
+                         attempts=handle.attempts, wall_s=handle.wall_s,
+                         error=f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
     def run(self, job: FlowJob, timeout: Optional[float] = None) -> Any:

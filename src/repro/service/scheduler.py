@@ -307,6 +307,13 @@ class JobScheduler:
         self.pool_rebuilds = 0
         self._closed = False
 
+    @property
+    def inflight(self) -> int:
+        """Jobs currently queued or running (dedup-joined jobs count
+        once)."""
+        with self._lock:
+            return len(self._inflight)
+
     # ------------------------------------------------------------------
     def submit(self, key: str, fn: Callable, *args,
                timeout: Optional[float] = None,

@@ -105,27 +105,46 @@ class BranchEvent:
 
 
 class Tracer(FlowObserver):
-    """Collects spans + branch decisions for one flow run."""
+    """Collects spans + branch decisions for one flow run.
 
-    def __init__(self):
+    ``on_task`` / ``on_branch_event`` are optional live callbacks fired
+    as each record lands (the HTTP server streams them to SSE clients
+    while the flow is still running); exceptions in a callback never
+    disturb the flow.
+    """
+
+    def __init__(self, on_task=None, on_branch_event=None):
         self.spans: List[TaskSpan] = []
         self.branches: List[BranchEvent] = []
+        self._on_task = on_task
+        self._on_branch_event = on_branch_event
 
     # -- FlowObserver hooks ---------------------------------------------
     def on_task_end(self, task, ctx, wall_s: float, status: str = "ok",
                     error: Optional[BaseException] = None) -> None:
         current = obs.current_span()
-        self.spans.append(TaskSpan(
+        span = TaskSpan(
             task.name, task.kind.value, task.scope, wall_s, status,
             t0=obs.now() - wall_s,
             error=(f"{type(error).__name__}: {error}"
                    if error is not None else None),
-            span_id=current.span_id if current is not None else None))
+            span_id=current.span_id if current is not None else None)
+        self.spans.append(span)
+        if self._on_task is not None:
+            try:
+                self._on_task(span)
+            except Exception:
+                pass
 
     def on_branch(self, decision, ctx) -> None:
-        self.branches.append(BranchEvent(decision.branch,
-                                         list(decision.selected),
-                                         list(decision.reasons)))
+        event = BranchEvent(decision.branch, list(decision.selected),
+                            list(decision.reasons))
+        self.branches.append(event)
+        if self._on_branch_event is not None:
+            try:
+                self._on_branch_event(event)
+            except Exception:
+                pass
 
     # -- aggregation ----------------------------------------------------
     @property

@@ -1,0 +1,106 @@
+"""ReproClient retry/backoff behavior, no sockets involved."""
+
+import urllib.error
+
+import pytest
+
+from repro.client import ReproClient
+from repro.service.core import ServiceOverloaded
+from repro.service.scheduler import JobQuarantined, JobResultPending
+
+
+class ScriptedClient(ReproClient):
+    """Plays back a scripted list of (status, payload, headers)."""
+
+    def __init__(self, responses, **kwargs):
+        kwargs.setdefault("backoff_s", 0.5)
+        super().__init__("http://scripted.invalid", **kwargs)
+        self.responses = list(responses)
+        self.requests = []
+        self.sleeps = []
+        self._sleep = self.sleeps.append
+
+    def _request_once(self, method, path, payload=None):
+        self.requests.append((method, path, payload))
+        response = self.responses.pop(0)
+        if isinstance(response, Exception):
+            raise response
+        return response
+
+
+def _overloaded(retry_after, header=True):
+    headers = {"Retry-After": str(retry_after)} if header else {}
+    return (429, {"error": {"code": "overloaded", "message": "shed",
+                            "retry_after_s": retry_after}}, headers)
+
+
+def test_retry_honors_retry_after_header():
+    client = ScriptedClient([
+        _overloaded(3.5),
+        _overloaded(0.25),
+        (200, {"id": "abc"}, {}),
+    ])
+    assert client.submit("kmeans")["id"] == "abc"
+    assert client.sleeps == [3.5, 0.25]
+    assert len(client.requests) == 3
+
+
+def test_retry_falls_back_to_exponential_backoff():
+    client = ScriptedClient([
+        (429, {"error": {"code": "busy", "message": "full"}}, {}),
+        (429, {"error": {"code": "busy", "message": "full"}}, {}),
+        (201, {"id": "abc"}, {}),
+    ], backoff_s=0.1)
+    client.submit("kmeans")
+    assert client.sleeps == [0.1, 0.2]      # 0.1 * 2**attempt
+
+
+def test_retries_exhausted_raises_taxonomy_error():
+    client = ScriptedClient([_overloaded(1.0)] * 3, max_retries=2)
+    with pytest.raises(ServiceOverloaded) as excinfo:
+        client.submit("kmeans")
+    assert excinfo.value.retry_after_s == 1.0
+    assert len(client.requests) == 3        # initial + 2 retries
+
+
+def test_terminal_errors_are_not_retried():
+    client = ScriptedClient([
+        (503, {"error": {"code": "quarantined", "message": "dead",
+                         "key": "k", "crashes": 3}}, {}),
+    ])
+    with pytest.raises(JobQuarantined):
+        client.result("k")
+    assert client.sleeps == []              # no retry on terminal errors
+
+
+def test_connection_errors_are_retried():
+    client = ScriptedClient([
+        urllib.error.URLError("refused"),
+        (200, {"apps": []}, {}),
+    ], backoff_s=0.05)
+    assert client.apps() == []
+    assert client.sleeps == [0.05]
+
+
+def test_run_flow_polls_through_pending():
+    pending = (202, {"error": {"code": "pending", "message": "running",
+                               "key": "k", "status": "running",
+                               "attempts": 1, "retry_after_s": 1.0}}, {})
+    done = (200, {"app": "kmeans", "mode": "informed",
+                  "reference_time_s": 1.0, "designs": [],
+                  "selected_target": None}, {})
+    client = ScriptedClient([
+        (201, {"id": "k"}, {}),             # submit
+        pending, pending, done,             # poll, poll, result
+    ], poll_interval_s=0.125)
+    record = client.run_flow("kmeans")
+    assert record.app_name == "kmeans"
+    assert client.sleeps == [0.125, 0.125]
+
+
+def test_run_flow_timeout_reraises_pending():
+    pending = (202, {"error": {"code": "pending", "message": "running",
+                               "key": "k"}}, {})
+    client = ScriptedClient([(201, {"id": "k"}, {}), pending])
+    with pytest.raises(JobResultPending):
+        client.run_flow("kmeans", timeout=0.0)

@@ -1,0 +1,140 @@
+"""ReproConfig: parsing, precedence, apply, and the CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.config import ConfigError, ENV_VARS, ReproConfig
+
+
+# ----------------------------------------------------------------------
+# from_env
+# ----------------------------------------------------------------------
+
+def test_defaults():
+    cfg = ReproConfig.from_env(environ={})
+    assert cfg == ReproConfig()
+    assert cfg.workers == 1 and cfg.exec_mode == "compiled"
+    assert cfg.fastpath and cfg.profile_cache
+    assert cfg.cache_dir is None and cfg.retries == 0
+
+
+def test_from_env_reads_every_var():
+    cfg = ReproConfig.from_env(environ={
+        "REPRO_CACHE_DIR": "/tmp/c", "REPRO_WORKERS": "4",
+        "REPRO_EXEC": "interp", "REPRO_FASTPATH": "0",
+        "REPRO_PROFILE_CACHE": "0", "REPRO_RETRIES": "2",
+        "REPRO_TRACE_DIR": "/tmp/t", "REPRO_FAULTS": "worker.exec:0.5",
+    })
+    assert cfg.cache_dir == "/tmp/c" and cfg.workers == 4
+    assert cfg.exec_mode == "interp"
+    assert not cfg.fastpath and not cfg.profile_cache
+    assert cfg.retries == 2 and cfg.trace_dir == "/tmp/t"
+    assert cfg.faults == "worker.exec:0.5"
+
+
+def test_bool_parsing_only_zero_disables():
+    # matches the historical readers of REPRO_FASTPATH and friends
+    for raw, expected in [("0", False), ("1", True), ("false", True),
+                          ("", True), ("no", True)]:
+        cfg = ReproConfig.from_env(environ={"REPRO_FASTPATH": raw})
+        assert cfg.fastpath is expected, raw
+
+
+def test_unknown_exec_mode_falls_back_like_the_engine():
+    cfg = ReproConfig.from_env(environ={"REPRO_EXEC": "quantum"})
+    assert cfg.exec_mode == "compiled"
+
+
+def test_bad_values_raise_config_error():
+    with pytest.raises(ConfigError):
+        ReproConfig.from_env(environ={"REPRO_WORKERS": "many"})
+    with pytest.raises(ConfigError):
+        ReproConfig.from_env(environ={"REPRO_WORKERS": "0"})
+    with pytest.raises(ConfigError):
+        ReproConfig.from_env(environ={"REPRO_RETRIES": "-1"})
+    with pytest.raises(ConfigError):
+        ReproConfig(workers=0)
+    with pytest.raises(ConfigError):
+        ReproConfig(exec_mode="quantum")
+
+
+# ----------------------------------------------------------------------
+# precedence: env < cli < kwarg
+# ----------------------------------------------------------------------
+
+def test_resolve_precedence_chain():
+    env = {"REPRO_WORKERS": "2", "REPRO_CACHE_DIR": "/env",
+           "REPRO_RETRIES": "1"}
+    cfg = ReproConfig.resolve(environ=env,
+                              cli={"workers": 4, "cache_dir": "/cli"},
+                              workers=8)
+    assert cfg.workers == 8            # kwarg beats cli beats env
+    assert cfg.cache_dir == "/cli"     # cli beats env
+    assert cfg.retries == 1            # env survives when nobody overrides
+
+
+def test_resolve_none_means_not_given():
+    env = {"REPRO_WORKERS": "3"}
+    cfg = ReproConfig.resolve(environ=env,
+                              cli={"workers": None, "cache_dir": None},
+                              workers=None)
+    assert cfg.workers == 3 and cfg.cache_dir is None
+
+
+def test_resolve_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown config field"):
+        ReproConfig.resolve(environ={}, cli={"worker_count": 3})
+
+
+def test_replace_filters_none():
+    cfg = ReproConfig(workers=5)
+    assert cfg.replace(workers=None) is cfg
+    assert cfg.replace(workers=2).workers == 2
+
+
+# ----------------------------------------------------------------------
+# apply / env round trip
+# ----------------------------------------------------------------------
+
+def test_apply_round_trips_through_environ():
+    cfg = ReproConfig(cache_dir="/tmp/c", workers=3, exec_mode="interp",
+                      fastpath=False, retries=2)
+    env = {"REPRO_TRACE_DIR": "/stale"}     # must be cleared by apply
+    cfg.apply(environ=env)
+    assert "REPRO_TRACE_DIR" not in env     # unset field removes the var
+    assert env["REPRO_WORKERS"] == "3" and env["REPRO_EXEC"] == "interp"
+    assert env["REPRO_FASTPATH"] == "0"
+    assert ReproConfig.from_env(environ=env) == cfg
+
+
+def test_env_dict_names_every_documented_var():
+    values = ReproConfig(cache_dir="/c", trace_dir="/t",
+                         faults="x:1").env_dict()
+    assert set(values) == {var for _, var in ENV_VARS}
+
+
+# ----------------------------------------------------------------------
+# python -m repro config
+# ----------------------------------------------------------------------
+
+def test_config_subcommand_prints_resolved_json(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "7")
+    monkeypatch.setenv("REPRO_EXEC", "interp")
+    assert main(["config"]) == 0
+    resolved = json.loads(capsys.readouterr().out)
+    assert resolved["workers"] == 7 and resolved["exec_mode"] == "interp"
+
+
+def test_config_subcommand_flag_beats_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "7")
+    assert main(["config", "--workers", "2", "--cache-dir", "/x"]) == 0
+    resolved = json.loads(capsys.readouterr().out)
+    assert resolved["workers"] == 2 and resolved["cache_dir"] == "/x"
+
+
+def test_config_subcommand_reports_bad_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "banana")
+    assert main(["config"]) == 2
+    assert "config error" in capsys.readouterr().err
