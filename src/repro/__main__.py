@@ -10,7 +10,9 @@
                           [--jobs N] [--pool auto] [--timeout S]
                           [--telemetry] [--json PATH] [--server URL]
     python -m repro serve [--host H] [--port P] [--max-queue N]
-                          [--drain-timeout S]
+                          [--drain-timeout S] [--peers URL,URL]
+    python -m repro router [--host H] [--port P] [--runners URL,URL]
+                           [--steal-threshold N] [--probe-interval S]
     python -m repro config
     python -m repro service <stats|ls|purge|dead-letter> --cache-dir DIR
                             [--clear]
@@ -50,6 +52,10 @@ def _config_from_args(args) -> ReproConfig:
         "workers": getattr(args, "workers", None),
         "exec_mode": getattr(args, "exec_mode", None),
         "retries": getattr(args, "retries", None),
+        "fleet_runners": getattr(args, "runners", None),
+        "fleet_peers": getattr(args, "peers", None),
+        "fleet_steal_threshold": getattr(args, "steal_threshold", None),
+        "fleet_probe_interval_s": getattr(args, "probe_interval", None),
     })
 
 
@@ -314,6 +320,28 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_router(args) -> int:
+    import logging
+
+    from repro.fleet import FleetRouter
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    cfg = _config_from_args(args).apply()
+    runners = cfg.runner_list()
+    if not runners:
+        print("router: no runners configured; pass --runners URL,URL "
+              "or set $REPRO_FLEET_RUNNERS", file=sys.stderr)
+        return 2
+    router = FleetRouter(
+        runners, host=args.host, port=args.port,
+        steal_threshold=cfg.fleet_steal_threshold,
+        probe_interval_s=cfg.fleet_probe_interval_s)
+    router.run()
+    return 0
+
+
 def cmd_service(args) -> int:
     from repro.service import ResultCache
 
@@ -482,11 +510,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        metavar="S",
                        help="graceful-shutdown drain budget (default 30)")
+    serve.add_argument("--peers", default=None, metavar="URL,URL",
+                       help="fleet peers this runner may fetch cached "
+                            "results from ($REPRO_FLEET_PEERS)")
     serve.set_defaults(func=cmd_serve)
+
+    router = sub.add_parser(
+        "router", parents=[common],
+        help="shard /v1 jobs across a fleet of `repro serve` runners")
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8000,
+                        help="TCP port (0 picks a free one)")
+    router.add_argument("--runners", default=None, metavar="URL,URL",
+                        help="comma-separated runner base URLs "
+                             "($REPRO_FLEET_RUNNERS)")
+    router.add_argument("--steal-threshold", type=int, default=None,
+                        metavar="N",
+                        help="owner queue depth past which jobs go to "
+                             "the least-loaded runner "
+                             "($REPRO_FLEET_STEAL_THRESHOLD)")
+    router.add_argument("--probe-interval", type=float, default=None,
+                        metavar="S",
+                        help="runner health-probe period "
+                             "($REPRO_FLEET_PROBE_INTERVAL)")
+    router.set_defaults(func=cmd_router)
 
     config = sub.add_parser(
         "config", parents=[common],
         help="print the resolved REPRO_* configuration as JSON")
+    fleet = config.add_argument_group(
+        "fleet settings (REPRO_FLEET_*; see `serve` and `router`)")
+    fleet.add_argument("--runners", default=None, metavar="URL,URL",
+                       help="router: runner base URLs")
+    fleet.add_argument("--peers", default=None, metavar="URL,URL",
+                       help="runner: peer URLs for cache read-through")
+    fleet.add_argument("--steal-threshold", type=int, default=None,
+                       metavar="N", help="router: owner queue depth "
+                       "that triggers work stealing")
+    fleet.add_argument("--probe-interval", type=float, default=None,
+                       metavar="S", help="router: seconds between "
+                       "runner health probes")
     config.set_defaults(func=cmd_config)
 
     svc = sub.add_parser(

@@ -17,6 +17,7 @@ cache hit returns in-process.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -24,7 +25,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.flow.serialize import FlowResultRecord, result_from_dict
 from repro.server.protocol import error_from_payload
-from repro.service.scheduler import JobResultPending
+from repro.service.scheduler import JobResultPending, JobTimeout
 
 #: error codes worth retrying: transient refusals, not terminal job
 #: outcomes (a quarantined job stays quarantined -- no point retrying)
@@ -32,16 +33,33 @@ RETRYABLE_CODES = ("overloaded", "busy", "unavailable")
 
 
 class ReproClient:
-    """Talks to one ``python -m repro serve`` instance."""
+    """Talks to one ``python -m repro serve`` (or ``router``) instance.
+
+    ``jitter`` spreads every retry delay by a random factor in
+    ``[1-jitter, 1+jitter]`` so a shedding server's synchronized
+    ``Retry-After`` does not turn N clients into a thundering herd.
+    ``max_wait_s`` caps the *total* wall time one logical request may
+    spend across retries (and :meth:`run_flow` polling); past it the
+    client raises :class:`JobTimeout` instead of retrying forever.
+    """
 
     def __init__(self, base_url: str, timeout_s: float = 60.0,
                  max_retries: int = 5, backoff_s: float = 0.25,
-                 poll_interval_s: float = 0.2):
+                 poll_interval_s: float = 0.2, jitter: float = 0.2,
+                 max_wait_s: Optional[float] = None,
+                 rng: Optional[random.Random] = None):
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if max_wait_s is not None and not max_wait_s > 0:
+            raise ValueError(f"max_wait_s must be > 0, got {max_wait_s}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.poll_interval_s = poll_interval_s
+        self.jitter = jitter
+        self.max_wait_s = max_wait_s
+        self._rng = rng or random.Random()
         self._sleep = time.sleep       # monkeypatch point for tests
 
     # ------------------------------------------------------------------
@@ -72,18 +90,42 @@ class ReproClient:
                 data = {"error": {"code": "internal", "message": raw}}
             return exc.code, data, dict(exc.headers or {})
 
+    def _jittered(self, delay: float) -> float:
+        """``delay`` spread by the configured jitter factor."""
+        if self.jitter <= 0 or delay <= 0:
+            return max(0.0, delay)
+        spread = self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return max(0.0, delay * spread)
+
     def _retry_delay(self, status: int, headers: Dict[str, str],
                      payload: Dict[str, Any], attempt: int) -> float:
+        base = None
         for name, value in headers.items():
             if name.lower() == "retry-after":
                 try:
-                    return max(0.0, float(value))
+                    base = max(0.0, float(value))
                 except ValueError:
-                    break
-        try:
-            return max(0.0, float(payload["error"]["retry_after_s"]))
-        except (KeyError, TypeError, ValueError):
-            return self.backoff_s * (2 ** attempt)
+                    pass
+                break
+        if base is None:
+            try:
+                base = max(0.0, float(payload["error"]["retry_after_s"]))
+            except (KeyError, TypeError, ValueError):
+                base = self.backoff_s * (2 ** attempt)
+        return self._jittered(base)
+
+    def _deadline(self) -> Optional[float]:
+        return (None if self.max_wait_s is None
+                else time.monotonic() + self.max_wait_s)
+
+    def _check_budget(self, deadline: Optional[float], delay: float,
+                      what: str) -> None:
+        """Raise :class:`JobTimeout` when sleeping would blow the cap."""
+        if deadline is not None and time.monotonic() + delay > deadline:
+            raise JobTimeout(
+                f"{what} exceeded the client retry budget "
+                f"(max_wait_s={self.max_wait_s}); giving up instead of "
+                f"retrying past it")
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None,
@@ -91,6 +133,7 @@ class ReproClient:
         """One request with transient-error retries; raises the mapped
         taxonomy exception for any non-2xx (and for 202 pending)."""
         attempt = 0
+        deadline = self._deadline()
         while True:
             try:
                 status, data, headers = self._request_once(
@@ -98,15 +141,20 @@ class ReproClient:
             except urllib.error.URLError:
                 if not retry or attempt >= self.max_retries:
                     raise
-                self._sleep(self.backoff_s * (2 ** attempt))
+                delay = self._jittered(self.backoff_s * (2 ** attempt))
+                self._check_budget(deadline, delay,
+                                   f"{method} {path} (connect retries)")
+                self._sleep(delay)
                 attempt += 1
                 continue
             code = ((data.get("error") or {}).get("code")
                     if isinstance(data, dict) else None)
             if (code in RETRYABLE_CODES and retry
                     and attempt < self.max_retries):
-                self._sleep(self._retry_delay(status, headers, data,
-                                              attempt))
+                delay = self._retry_delay(status, headers, data, attempt)
+                self._check_budget(deadline, delay,
+                                   f"{method} {path} ({code} retries)")
+                self._sleep(delay)
                 attempt += 1
                 continue
             if status == 202 or status >= 400:
@@ -166,12 +214,17 @@ class ReproClient:
         equivalent of :func:`repro.api.run_flow`)."""
         job_id = self.submit(app, mode, **job_kwargs)["id"]
         deadline = None if timeout is None else time.monotonic() + timeout
+        # with no explicit timeout the client-wide budget still bounds
+        # the poll loop -- but as a JobTimeout, not a pending status
+        budget = self._deadline() if timeout is None else None
         while True:
             try:
                 return self.result(job_id)
             except JobResultPending:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise
+                self._check_budget(budget, self.poll_interval_s,
+                                   f"polling {app}/{mode} ({job_id[:12]})")
                 self._sleep(self.poll_interval_s)
 
     def events(self, job_id: str,

@@ -5,6 +5,9 @@ point of use.  :class:`ReproConfig` consolidates them into a single
 frozen value object with one parsing rule set, an explicit precedence
 chain, and a JSON rendering the ``python -m repro config`` subcommand
 prints so an operator can see exactly what a process would run with.
+The fleet tier (PR 6) adds the ``REPRO_FLEET_*`` family -- runner
+list, peer list, steal threshold, probe interval -- consumed by
+``python -m repro router`` and ``serve --peers``.
 
 Precedence (weakest to strongest)::
 
@@ -32,6 +35,13 @@ field              env var                 meaning
 ``retries``        ``REPRO_RETRIES``       per-job retry budget
 ``trace_dir``      ``REPRO_TRACE_DIR``     per-process JSONL span sink
 ``faults``         ``REPRO_FAULTS``        fault-injection plan spec
+``sim_latency_s``  ``REPRO_SIM_LATENCY_S`` simulated toolchain latency
+``fleet_runners``  ``REPRO_FLEET_RUNNERS`` router: runner URLs (comma)
+``fleet_peers``    ``REPRO_FLEET_PEERS``   runner: peer-fetch URLs
+``fleet_steal_threshold``  ``REPRO_FLEET_STEAL_THRESHOLD``  queue depth
+                                           past which shards are stolen
+``fleet_probe_interval_s`` ``REPRO_FLEET_PROBE_INTERVAL``   runner
+                                           health-probe period (s)
 =================  ======================  ==============================
 
 Some subsystems read their env var lazily at call time (the execution
@@ -62,7 +72,20 @@ ENV_VARS = (
     ("retries", "REPRO_RETRIES"),
     ("trace_dir", "REPRO_TRACE_DIR"),
     ("faults", "REPRO_FAULTS"),
+    ("sim_latency_s", "REPRO_SIM_LATENCY_S"),
+    ("fleet_runners", "REPRO_FLEET_RUNNERS"),
+    ("fleet_peers", "REPRO_FLEET_PEERS"),
+    ("fleet_steal_threshold", "REPRO_FLEET_STEAL_THRESHOLD"),
+    ("fleet_probe_interval_s", "REPRO_FLEET_PROBE_INTERVAL"),
 )
+
+
+def _split_urls(raw: Optional[str]) -> list:
+    """A comma-separated URL list field, parsed (order-preserving)."""
+    if not raw:
+        return []
+    return [part.strip().rstrip("/") for part in raw.split(",")
+            if part.strip()]
 
 
 class ConfigError(ValueError):
@@ -74,6 +97,17 @@ def _parse_int(name: str, raw: str, minimum: int) -> int:
         value = int(raw)
     except (TypeError, ValueError):
         raise ConfigError(f"{name} must be an integer, got {raw!r}") \
+            from None
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _parse_float(name: str, raw: str, minimum: float) -> float:
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {raw!r}") \
             from None
     if value < minimum:
         raise ConfigError(f"{name} must be >= {minimum}, got {value}")
@@ -99,6 +133,21 @@ class ReproConfig:
     retries: int = 0
     trace_dir: Optional[str] = None
     faults: Optional[str] = None
+    #: per-job simulated external-toolchain latency in seconds -- the
+    #: wall time a real (non-simulated) flow spends blocked on vendor
+    #: tools.  Load/saturation testing knob; 0 disables.
+    sim_latency_s: float = 0.0
+    #: comma-separated runner base URLs `python -m repro router` shards
+    #: jobs across
+    fleet_runners: Optional[str] = None
+    #: comma-separated peer base URLs a runner's cache may fetch
+    #: completed results from before recomputing
+    fleet_peers: Optional[str] = None
+    #: owner queue depth past which the router steals the job onto the
+    #: least-loaded healthy runner
+    fleet_steal_threshold: int = 4
+    #: router health-probe period in seconds
+    fleet_probe_interval_s: float = 2.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -109,6 +158,26 @@ class ReproConfig:
             raise ConfigError(
                 f"exec_mode must be one of {EXEC_MODES}, "
                 f"got {self.exec_mode!r}")
+        if self.sim_latency_s < 0:
+            raise ConfigError(
+                f"sim_latency_s must be >= 0, got {self.sim_latency_s}")
+        if self.fleet_steal_threshold < 1:
+            raise ConfigError(
+                f"fleet_steal_threshold must be >= 1, "
+                f"got {self.fleet_steal_threshold}")
+        if not self.fleet_probe_interval_s > 0:
+            raise ConfigError(
+                f"fleet_probe_interval_s must be > 0, "
+                f"got {self.fleet_probe_interval_s}")
+
+    # ------------------------------------------------------------------
+    def runner_list(self) -> list:
+        """``fleet_runners`` parsed into a URL list."""
+        return _split_urls(self.fleet_runners)
+
+    def peer_list(self) -> list:
+        """``fleet_peers`` parsed into a URL list."""
+        return _split_urls(self.fleet_peers)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -146,6 +215,24 @@ class ReproConfig:
         raw = env.get("REPRO_FAULTS")
         if raw:
             kwargs["faults"] = raw
+        raw = env.get("REPRO_SIM_LATENCY_S")
+        if raw is not None and raw.strip():
+            kwargs["sim_latency_s"] = _parse_float(
+                "REPRO_SIM_LATENCY_S", raw, 0.0)
+        raw = env.get("REPRO_FLEET_RUNNERS")
+        if raw:
+            kwargs["fleet_runners"] = raw
+        raw = env.get("REPRO_FLEET_PEERS")
+        if raw:
+            kwargs["fleet_peers"] = raw
+        raw = env.get("REPRO_FLEET_STEAL_THRESHOLD")
+        if raw is not None and raw.strip():
+            kwargs["fleet_steal_threshold"] = _parse_int(
+                "REPRO_FLEET_STEAL_THRESHOLD", raw, 1)
+        raw = env.get("REPRO_FLEET_PROBE_INTERVAL")
+        if raw is not None and raw.strip():
+            kwargs["fleet_probe_interval_s"] = _parse_float(
+                "REPRO_FLEET_PROBE_INTERVAL", raw, 0.0)
         return cls(**kwargs)
 
     @classmethod

@@ -1,0 +1,610 @@
+"""The fleet front door: shard, steal, survive node loss.
+
+:class:`FleetRouter` speaks the same ``/v1`` wire schema as a single
+``python -m repro serve`` node, so :class:`repro.client.ReproClient`
+needs no changes -- it just points at the router.  Behind the facade:
+
+**Sharding.**  ``POST /v1/jobs`` routes by the job's content hash on a
+consistent :class:`~repro.fleet.hashring.HashRing` over the *routable*
+runners, so identical specs land on the same node (its cache and
+in-flight dedup absorb them) and a node restart only reshuffles its
+own shard.
+
+**Work stealing.**  When the shard owner's router-side queue depth
+(:meth:`RunnerHandle.load`) is at or past ``steal_threshold``, the job
+is placed on the least-loaded routable runner instead -- hash affinity
+is a cache optimization, not a correctness constraint, because results
+are content-addressed and the peer-fetch tier heals misplacement.
+
+**Node-loss recovery.**  Every accepted job's payload is kept in the
+router's placement table.  A dead runner (forward error, failed
+probes) or one that lost its memory (restart answering 404) gets its
+in-flight jobs *resubmitted* to survivors -- a fresh submission with
+the job's full retry budget, so node loss never consumes job retries.
+Content-hash idempotency makes resubmission safe: a job that actually
+completed resolves instantly from cache or dedup, never runs twice.
+
+**Admission breaker.**  Zero routable runners strikes the fleet
+breaker and sheds with ``503 unavailable``; once open, the breaker
+sheds with ``429 overloaded`` until its cooldown, mirroring the
+single-node service's admission semantics.
+
+The probe loop re-admits recovered runners automatically, and rejects
+runners whose ``/healthz`` ``version`` differs from the router's
+(mixed-version fleets corrupt cache-entry compatibility assumptions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import urllib.error
+import urllib.parse
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional
+
+import repro
+from repro import obs
+from repro.fleet.hashring import HashRing
+from repro.fleet.runner import RunnerHandle
+from repro.resilience import CircuitBreaker
+from repro.server import protocol
+from repro.server.http import HttpServerBase
+from repro.server.protocol import JobNotFound, ServerError
+
+log = logging.getLogger("repro.fleet.router")
+
+#: forward statuses that mean "this runner refused, try another"
+_REFUSAL_CODES = ("busy", "overloaded", "unavailable")
+
+
+class _Placement:
+    """Where one accepted job lives and what it would take to redo it."""
+
+    __slots__ = ("runner", "payload", "done", "counted")
+
+    def __init__(self, runner: str, payload: Dict[str, Any]):
+        self.runner = runner
+        self.payload = payload        # the validated POST body
+        self.done = False
+        self.counted = False          # holds an inflight slot on runner
+
+
+class FleetRouter(HttpServerBase):
+    """Shards ``/v1`` traffic across N runner nodes."""
+
+    def __init__(self, runners: Iterable[str],
+                 host: str = "127.0.0.1", port: int = 8000,
+                 steal_threshold: int = 4,
+                 probe_interval_s: float = 2.0,
+                 expected_version: Optional[str] = None,
+                 forward_timeout_s: float = 60.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 5.0):
+        urls = [u.rstrip("/") for u in runners]
+        if not urls:
+            raise ValueError("a fleet router needs at least one runner")
+        self.host = host
+        self.port = port
+        self.steal_threshold = steal_threshold
+        self.probe_interval_s = probe_interval_s
+        self.forward_timeout_s = forward_timeout_s
+        #: runners must match this version exactly (None disables)
+        self.expected_version = (repro.__version__
+                                 if expected_version is None
+                                 else expected_version) or None
+        self.handles: Dict[str, RunnerHandle] = {
+            url: RunnerHandle(url) for url in urls}
+        self.ring = HashRing(urls)
+        self.breaker = CircuitBreaker(
+            "fleet.admission", failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s)
+        self.draining = False
+        self._placements: Dict[str, _Placement] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._probe_task: Optional[asyncio.Task] = None
+        # blocking urllib forwards run here, never on the loop; sized
+        # past the runner count so probes can't starve forwards
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(8, 2 * len(urls) + 2),
+            thread_name_prefix="fleet-fwd")
+        reg = obs.REGISTRY
+        self._m_requests = reg.counter(
+            "repro_http_requests_total", "HTTP requests served",
+            labelnames=("route", "status"))
+        self._m_latency = reg.histogram(
+            "repro_http_request_seconds", "HTTP request latency",
+            labelnames=("route",))
+        self._m_shard = reg.counter(
+            "repro_fleet_shard_jobs_total",
+            "jobs placed on a runner by the router",
+            labelnames=("runner",))
+        self._m_steals = reg.counter(
+            "repro_fleet_steals_total",
+            "jobs placed off-owner because the owner was overloaded",
+            labelnames=("runner",))
+        self._m_reroutes = reg.counter(
+            "repro_fleet_reroutes_total",
+            "jobs moved between runners after placement",
+            labelnames=("reason",))
+        self._m_inflight = reg.gauge(
+            "repro_fleet_runner_inflight",
+            "router-tracked jobs in flight per runner",
+            labelnames=("runner",))
+        self._m_healthy = reg.gauge(
+            "repro_fleet_runners_healthy", "routable runner count")
+        for url in urls:
+            self._m_inflight.set(0, runner=url)
+        self._m_healthy.set(0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Probe the fleet once, bind, and begin serving."""
+        self._loop = asyncio.get_running_loop()
+        await self._probe_all()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._probe_task = self._loop.create_task(self._probe_loop())
+        log.info("fleet router on http://%s:%d over %d runner(s)",
+                 self.host, self.port, len(self.handles))
+
+    async def shutdown(self) -> None:
+        self.draining = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    def run(self) -> None:
+        """Serve until SIGINT/SIGTERM (blocking)."""
+        async def main():
+            await self.start()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            await stop.wait()
+            log.info("signal received: shutting down router")
+            await self.shutdown()
+
+        asyncio.run(main())
+
+    # ------------------------------------------------------------------
+    # Fleet membership
+    # ------------------------------------------------------------------
+
+    def routable(self) -> List[RunnerHandle]:
+        return [h for h in self.handles.values() if h.routable]
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval_s)
+            try:
+                await self._probe_all()
+            except Exception:           # noqa: BLE001 - keep probing
+                log.exception("fleet probe pass failed")
+
+    async def _probe_all(self) -> None:
+        for handle in self.handles.values():
+            before = handle.state
+            await self._in_executor(handle.probe, self.expected_version)
+            after = handle.state
+            if after != before:
+                log.info("runner %s: %s -> %s%s", handle.url, before,
+                         after,
+                         f" ({handle.last_error})" if handle.last_error
+                         else "")
+                obs.event("fleet.runner_state", runner=handle.url,
+                          before=before, after=after)
+            if after == "unhealthy" and before != "unhealthy":
+                await self._reroute_orphans(handle, reason="node_loss")
+        self._m_healthy.set(len(self.routable()))
+
+    async def _reroute_orphans(self, dead: RunnerHandle,
+                               reason: str) -> None:
+        """Resubmit a lost runner's in-flight jobs to survivors."""
+        orphans = [(key, p) for key, p in self._placements.items()
+                   if p.runner == dead.url and not p.done]
+        for key, placement in orphans:
+            self._release(placement)
+            target = await self._forward_submit(
+                key, placement.payload, exclude=(dead.url,),
+                reroute_reason=reason)
+            if target is None:
+                # no survivor took it; the placement stays pointed at
+                # the dead node and the next poll retries the re-route
+                log.warning("no survivor accepted orphan %s from %s",
+                            key[:12], dead.url)
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+
+    def _pick_target(self, key: str,
+                     exclude: Iterable[str] = ()
+                     ) -> Optional[RunnerHandle]:
+        """Shard owner, unless overloaded -- then the lightest node."""
+        candidates = [h for h in self.routable()
+                      if h.url not in set(exclude)]
+        if not candidates:
+            return None
+        owner_url = self.ring.owner(
+            key, exclude={h.url for h in self.handles.values()
+                          if h not in candidates})
+        owner = self.handles.get(owner_url) if owner_url else None
+        if owner is None:
+            return min(candidates, key=lambda h: h.load())
+        if owner.load() >= self.steal_threshold:
+            lightest = min(candidates, key=lambda h: h.load())
+            if lightest is not owner:
+                self._m_steals.inc(runner=lightest.url)
+                obs.event("fleet.steal", key=key[:12],
+                          owner=owner.url, target=lightest.url,
+                          owner_load=owner.load())
+                return lightest
+        return owner
+
+    def _track(self, key: str, payload: Dict[str, Any],
+               handle: RunnerHandle, done: bool,
+               reserved: bool = False) -> _Placement:
+        """Record where ``key`` lives.  With ``reserved`` the caller
+        already holds one :meth:`_reserve` slot on ``handle``; an
+        undone placement adopts it, a done one gives it back."""
+        placement = self._placements.get(key)
+        if placement is None:
+            placement = _Placement(handle.url, payload)
+            self._placements[key] = placement
+        else:
+            self._release(placement)
+            placement.runner = handle.url
+        placement.done = done
+        if not done:
+            placement.counted = True
+            if not reserved:
+                handle.inflight += 1
+            self._m_inflight.set(handle.inflight, runner=handle.url)
+        elif reserved:
+            self._unreserve(handle)
+        self._m_shard.inc(runner=handle.url)
+        return placement
+
+    def _reserve(self, handle: RunnerHandle) -> None:
+        """Count a placement-in-progress *before* the forward runs, so
+        concurrent submits see each other's load and work stealing
+        balances a burst instead of reading every queue as empty."""
+        handle.inflight += 1
+        self._m_inflight.set(handle.inflight, runner=handle.url)
+
+    def _unreserve(self, handle: RunnerHandle) -> None:
+        handle.inflight = max(0, handle.inflight - 1)
+        self._m_inflight.set(handle.inflight, runner=handle.url)
+
+    def _release(self, placement: _Placement) -> None:
+        if not placement.counted:
+            return
+        placement.counted = False
+        handle = self.handles.get(placement.runner)
+        if handle is not None:
+            handle.inflight = max(0, handle.inflight - 1)
+            self._m_inflight.set(handle.inflight, runner=handle.url)
+
+    def _settle(self, placement: _Placement) -> None:
+        if not placement.done:
+            placement.done = True
+            self._release(placement)
+
+    def _note_forward_failure(self, handle: RunnerHandle,
+                              exc: BaseException) -> None:
+        """A forward died on the wire: treat it like a failed probe."""
+        handle.consecutive_failures += 1
+        handle.last_error = f"{type(exc).__name__}: {exc}"
+        if handle.state in ("healthy", "draining", "unknown"):
+            handle.state = "unhealthy"
+            log.warning("runner %s unreachable on forward: %s",
+                        handle.url, handle.last_error)
+            obs.event("fleet.runner_state", runner=handle.url,
+                      before="healthy", after="unhealthy")
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, lambda: fn(*args))
+
+    # ------------------------------------------------------------------
+    # Forwarding core
+    # ------------------------------------------------------------------
+
+    async def _forward_submit(self, key: str, payload: Dict[str, Any],
+                              exclude: Iterable[str] = (),
+                              reroute_reason: Optional[str] = None):
+        """Place one job; returns ``(handle, status, data)`` or None.
+
+        Tries the sharded target first, then every other routable
+        runner once; wire failures mark the runner unhealthy and move
+        on (node loss is the router's problem, never the job's).
+        """
+        tried = set(exclude)
+        last_refusal = None
+        while True:
+            target = self._pick_target(key, exclude=tried)
+            if target is None:
+                return last_refusal
+            tried.add(target.url)
+            self._reserve(target)
+            with obs.span("fleet.route", key=key[:12],
+                          runner=target.url,
+                          rerouted=reroute_reason or "no"):
+                ctx = obs.current_context()
+                headers = ({"X-Repro-Parent": json.dumps(ctx)}
+                           if ctx else None)
+                try:
+                    status, data, _ = await self._in_executor(
+                        target.request, "POST", "/v1/jobs", payload,
+                        headers, self.forward_timeout_s)
+                except (urllib.error.URLError, OSError) as exc:
+                    self._unreserve(target)
+                    self._note_forward_failure(target, exc)
+                    self._m_reroutes.inc(reason="forward_error")
+                    continue
+            code = ((data.get("error") or {}).get("code")
+                    if isinstance(data, dict) else None)
+            if status in (200, 201):
+                placement = self._track(key, payload, target,
+                                        done=bool(data.get("done")),
+                                        reserved=True)
+                if reroute_reason is not None:
+                    self._m_reroutes.inc(reason=reroute_reason)
+                self.breaker.record_success()
+                return target, status, data, placement
+            self._unreserve(target)
+            if code in _REFUSAL_CODES:
+                # alive but shedding; remember the refusal (it carries
+                # Retry-After) and offer the job elsewhere
+                last_refusal = (target, status, data, None)
+                continue
+            # anything else (e.g. validation) is a real answer
+            return target, status, data, None
+
+    async def _forward_any(self, method: str, path: str):
+        """Forward a stateless catalog read to any routable runner."""
+        for handle in self.routable():
+            try:
+                status, data, _ = await self._in_executor(
+                    handle.request, method, path, None, None,
+                    self.forward_timeout_s)
+                return status, data
+            except (urllib.error.URLError, OSError) as exc:
+                self._note_forward_failure(handle, exc)
+        raise ServerError("no routable runner for catalog read",
+                          status=503, code="unavailable")
+
+    # ------------------------------------------------------------------
+    # HTTP surface
+    # ------------------------------------------------------------------
+
+    def _observe_request(self, route: str, status: int,
+                         elapsed_s: float) -> None:
+        self._m_requests.inc(route=f"fleet.{route}", status=str(status))
+        self._m_latency.observe(elapsed_s, route=f"fleet.{route}")
+
+    def _route(self, method: str, path: str):
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return "healthz", self._h_healthz, ()
+        if path == "/metrics" and method == "GET":
+            return "metrics", self._h_metrics, ()
+        if parts[:1] == [protocol.API_VERSION]:
+            rest = parts[1:]
+            if rest in (["apps"], ["modes"]) and method == "GET":
+                return rest[0], self._h_catalog, (rest[0],)
+            if rest == ["jobs"] and method == "POST":
+                return "submit", self._h_submit, ()
+            if rest == ["jobs"] and method == "GET":
+                return "jobs", self._h_jobs, ()
+            if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+                return "job", self._h_job, (rest[1],)
+            if (len(rest) == 3 and rest[0] == "jobs"
+                    and rest[2] == "result" and method == "GET"):
+                return "result", self._h_result, (rest[1],)
+            if (len(rest) == 3 and rest[0] == "jobs"
+                    and rest[2] == "events" and method == "GET"):
+                return "events", self._h_events, (rest[1],)
+        raise ServerError(f"no route for {method} {path}",
+                          status=404, code="not_found")
+
+    async def _h_healthz(self, writer, body, headers) -> int:
+        healthy = self.routable()
+        ok = bool(healthy) and not self.draining
+        payload = {
+            "status": "ok" if ok else "degraded",
+            "version": repro.__version__,
+            "fleet": {
+                "healthy": len(healthy),
+                "total": len(self.handles),
+                "steal_threshold": self.steal_threshold,
+                "placements": len(self._placements),
+                "inflight": sum(h.inflight
+                                for h in self.handles.values()),
+                "breaker": self.breaker.snapshot(),
+                "runners": [h.snapshot()
+                            for h in self.handles.values()],
+            },
+        }
+        return await self._send_json(writer, 200 if ok else 503, payload)
+
+    async def _h_metrics(self, writer, body, headers) -> int:
+        text = obs.REGISTRY.to_prometheus()
+        return await self._send(writer, 200, text.encode("utf-8"),
+                                "text/plain; version=0.0.4")
+
+    async def _h_catalog(self, writer, body, headers, what: str) -> int:
+        status, data = await self._forward_any("GET", f"/v1/{what}")
+        return await self._send_json(writer, status, data)
+
+    async def _h_jobs(self, writer, body, headers) -> int:
+        merged: Dict[str, Dict[str, Any]] = {}
+        for handle in self.routable():
+            try:
+                status, data, _ = await self._in_executor(
+                    handle.request, "GET", "/v1/jobs", None, None,
+                    self.forward_timeout_s)
+            except (urllib.error.URLError, OSError) as exc:
+                self._note_forward_failure(handle, exc)
+                continue
+            if status == 200:
+                for job in data.get("jobs", ()):
+                    merged.setdefault(job.get("id"), job)
+        return await self._send_json(writer, 200,
+                                     {"jobs": list(merged.values())})
+
+    async def _h_submit(self, writer, body, headers) -> int:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise protocol.JobValidationError(
+                f"body is not JSON: {exc}") from None
+        job = protocol.job_from_payload(payload)
+        key = job.key()
+        if self.draining:
+            return await self._send_json(writer, 503, protocol._body(
+                "unavailable", "router is shutting down",
+                retry_after_s=1.0))
+        if not self.breaker.allow():
+            return await self._send_json(writer, 429, protocol._body(
+                "overloaded",
+                f"fleet admission breaker open after "
+                f"{self.breaker.trips} trip(s)",
+                retry_after_s=self.breaker.cooldown_s))
+        # sticky dedup: a key we already placed goes back to its node
+        # (whose content-hash dedup makes the resubmission free)
+        placement = self._placements.get(key)
+        exclude = ()
+        if placement is not None:
+            handle = self.handles.get(placement.runner)
+            if handle is not None and handle.routable:
+                outcome = await self._forward_submit(
+                    key, payload, exclude=[
+                        h.url for h in self.handles.values()
+                        if h.url != placement.runner])
+                if outcome is not None:
+                    _, status, data, _ = outcome
+                    return await self._send_json(writer, status, data)
+            exclude = (placement.runner,)
+        outcome = await self._forward_submit(
+            key, payload,
+            exclude=exclude if placement is not None else ())
+        if outcome is None:
+            self.breaker.record_failure()
+            return await self._send_json(writer, 503, protocol._body(
+                "unavailable",
+                f"no routable runner among {len(self.handles)} "
+                f"(fleet breaker at {self.breaker.snapshot()['failures']}"
+                f" strike(s))",
+                retry_after_s=self.probe_interval_s))
+        _, status, data, _ = outcome
+        return await self._send_json(writer, status, data)
+
+    # -- per-job reads --------------------------------------------------
+
+    def _placement_of(self, key: str) -> _Placement:
+        placement = self._placements.get(key)
+        if placement is None:
+            raise JobNotFound(f"no job {key!r} routed by this fleet")
+        return placement
+
+    async def _h_job(self, writer, body, headers, key: str) -> int:
+        status, data = await self._forward_job_read(key, f"/v1/jobs/{key}")
+        return await self._send_json(writer, status, data)
+
+    async def _h_result(self, writer, body, headers, key: str) -> int:
+        status, data = await self._forward_job_read(
+            key, f"/v1/jobs/{key}/result")
+        return await self._send_json(writer, status, data)
+
+    async def _forward_job_read(self, key: str, path: str):
+        """Read job state from its runner, healing lost placements.
+
+        A wire error or a runner that forgot the job (it restarted)
+        triggers a resubmission to a survivor and answers ``202
+        pending`` -- the polling client never observes the failover.
+        """
+        placement = self._placement_of(key)
+        handle = self.handles.get(placement.runner)
+        reason = None
+        if handle is None or handle.state == "unhealthy":
+            reason = "node_loss"
+        else:
+            try:
+                status, data, _ = await self._in_executor(
+                    handle.request, "GET", path, None, None,
+                    self.forward_timeout_s)
+            except (urllib.error.URLError, OSError) as exc:
+                self._note_forward_failure(handle, exc)
+                reason = "node_loss"
+            else:
+                code = ((data.get("error") or {}).get("code")
+                        if isinstance(data, dict) else None)
+                if code == "not_found" and not placement.done:
+                    # the runner restarted and lost its job table
+                    reason = "lost_state"
+                else:
+                    if status == 200 or bool(data.get("done")) or (
+                            code not in (None, "pending")):
+                        self._settle(placement)
+                    return status, data
+        self._release(placement)
+        await self._forward_submit(
+            key, placement.payload, exclude=(placement.runner,),
+            reroute_reason=reason)
+        return 202, protocol._body(
+            "pending", f"job {key[:12]} re-routed after {reason}",
+            key=key, status="queued", attempts=0, retry_after_s=1.0)
+
+    async def _h_events(self, writer, body, headers, key: str) -> int:
+        """Byte-pipe the runner's SSE stream through to the client."""
+        placement = self._placement_of(key)
+        parsed = urllib.parse.urlsplit(placement.runner)
+        try:
+            upstream_r, upstream_w = await asyncio.open_connection(
+                parsed.hostname, parsed.port or 80)
+        except OSError:
+            raise ServerError(
+                f"runner {placement.runner} unreachable for event "
+                f"stream", status=502, code="unavailable") from None
+        try:
+            request = (f"GET /v1/jobs/{key}/events HTTP/1.1\r\n"
+                       f"Host: {parsed.netloc}\r\n"
+                       f"Accept: text/event-stream\r\n"
+                       f"Connection: close\r\n\r\n")
+            upstream_w.write(request.encode("latin-1"))
+            await upstream_w.drain()
+            while True:
+                chunk = await upstream_r.read(4096)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                upstream_w.close()
+                await upstream_w.wait_closed()
+            except Exception:           # noqa: BLE001
+                pass
+        return 200

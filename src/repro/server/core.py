@@ -42,26 +42,21 @@ from repro import api, obs
 from repro.config import ReproConfig
 from repro.flow.serialize import result_to_dict
 from repro.server import protocol
+from repro.server.http import (
+    HttpServerBase, MAX_BODY_BYTES, parse_trace_parent,
+)
 from repro.server.protocol import JobNotFound, ServerError
 from repro.service import DesignService
 from repro.service.core import ServiceOverloaded
 from repro.service.jobs import FlowJob, JobValidationError
 from repro.service.telemetry import Tracer
 
-log = logging.getLogger("repro.server")
+__all__ = ["ReproServer", "MAX_BODY_BYTES", "TERMINAL"]
 
-#: request bodies past this are refused (jobs are tiny)
-MAX_BODY_BYTES = 64 * 1024
+log = logging.getLogger("repro.server")
 
 #: job states with nothing left to wait for
 TERMINAL = ("succeeded", "failed", "quarantined", "timeout", "cancelled")
-
-_JSON = "application/json"
-_REASONS = {200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
-            400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
-            409: "Conflict", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
 class _JobState:
@@ -96,7 +91,7 @@ class _JobState:
         return data
 
 
-class ReproServer:
+class ReproServer(HttpServerBase):
     """Serves the ``/v1`` design-job API over one :class:`DesignService`.
 
     With no ``service`` the server builds its own from ``config``
@@ -260,59 +255,13 @@ class ReproServer:
                 key, "branch", event.to_dict()))
 
     # ------------------------------------------------------------------
-    # HTTP layer
+    # HTTP layer (parsing/response plumbing lives in HttpServerBase)
     # ------------------------------------------------------------------
 
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        route = "unparsed"
-        t0 = time.monotonic()
-        try:
-            method, path, headers = await self._read_head(reader)
-            body = await self._read_body(reader, headers)
-            route, handler, args = self._route(method, path)
-            status = await handler(writer, body, *args)
-        except ConnectionError:
-            status = 0
-        except Exception as exc:                # noqa: BLE001
-            status, payload = protocol.error_to_payload(exc)
-            try:
-                await self._send_json(writer, status, payload)
-            except ConnectionError:
-                pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:                   # noqa: BLE001
-                pass
-        if status:
-            self._m_requests.inc(route=route, status=str(status))
-            self._m_latency.observe(time.monotonic() - t0, route=route)
-
-    async def _read_head(self, reader: asyncio.StreamReader):
-        line = await reader.readline()
-        parts = line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise ServerError("malformed request line", status=400,
-                              code="bad_request")
-        method, target = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        return method, target.split("?", 1)[0], headers
-
-    async def _read_body(self, reader: asyncio.StreamReader,
-                         headers: Dict[str, str]) -> bytes:
-        length = int(headers.get("content-length") or 0)
-        if length > MAX_BODY_BYTES:
-            raise ServerError(f"body of {length} bytes refused",
-                              status=413, code="too_large")
-        return await reader.readexactly(length) if length else b""
+    def _observe_request(self, route: str, status: int,
+                         elapsed_s: float) -> None:
+        self._m_requests.inc(route=route, status=str(status))
+        self._m_latency.observe(elapsed_s, route=route)
 
     def _route(self, method: str, path: str):
         parts = [p for p in path.split("/") if p]
@@ -338,38 +287,14 @@ class ReproServer:
             if (len(rest) == 3 and rest[0] == "jobs"
                     and rest[2] == "events" and method == "GET"):
                 return "events", self._h_events, (rest[1],)
+            if len(rest) == 2 and rest[0] == "cache" and method == "GET":
+                return "cache", self._h_cache_entry, (rest[1],)
         raise ServerError(f"no route for {method} {path}",
                           status=404, code="not_found")
 
-    # -- responses ------------------------------------------------------
-
-    async def _send(self, writer: asyncio.StreamWriter, status: int,
-                    body: bytes, content_type: str,
-                    extra: Optional[Dict[str, str]] = None) -> int:
-        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-                f"Content-Type: {content_type}",
-                f"Content-Length: {len(body)}",
-                "Connection: close"]
-        for name, value in (extra or {}).items():
-            head.append(f"{name}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
-        writer.write(body)
-        await writer.drain()
-        return status
-
-    async def _send_json(self, writer, status: int, payload: Any,
-                         extra: Optional[Dict[str, str]] = None) -> int:
-        body = json.dumps(payload).encode("utf-8")
-        headers = dict(extra or {})
-        retry = protocol.retry_after_of(payload) if isinstance(
-            payload, dict) else None
-        if retry is not None:
-            headers.setdefault("Retry-After", str(max(1, round(retry))))
-        return await self._send(writer, status, body, _JSON, headers)
-
     # -- handlers -------------------------------------------------------
 
-    async def _h_healthz(self, writer, body) -> int:
+    async def _h_healthz(self, writer, body, headers) -> int:
         health = self.service.health()
         health["server"] = {
             "draining": self.draining,
@@ -382,24 +307,24 @@ class ReproServer:
         health["status"] = "ok" if ok else "degraded"
         return await self._send_json(writer, 200 if ok else 503, health)
 
-    async def _h_metrics(self, writer, body) -> int:
+    async def _h_metrics(self, writer, body, headers) -> int:
         text = obs.REGISTRY.to_prometheus()
         return await self._send(writer, 200, text.encode("utf-8"),
                                 "text/plain; version=0.0.4")
 
-    async def _h_apps(self, writer, body) -> int:
+    async def _h_apps(self, writer, body, headers) -> int:
         return await self._send_json(writer, 200, {"apps": api.list_apps()})
 
-    async def _h_modes(self, writer, body) -> int:
+    async def _h_modes(self, writer, body, headers) -> int:
         return await self._send_json(writer, 200,
                                      {"modes": api.list_modes()})
 
-    async def _h_jobs(self, writer, body) -> int:
+    async def _h_jobs(self, writer, body, headers) -> int:
         jobs = [state.to_payload(key)
                 for key, state in self._jobs.items()]
         return await self._send_json(writer, 200, {"jobs": jobs})
 
-    async def _h_submit(self, writer, body) -> int:
+    async def _h_submit(self, writer, body, headers) -> int:
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -443,9 +368,13 @@ class ReproServer:
         self._m_inflight.set(self._inflight)
         self._idle.clear()
         self._fanout(state, "queued", {"id": key})
+        # a forwarding router stamps its span context onto the request;
+        # adopting it stitches router->runner traces into one tree
+        obs_parent = parse_trace_parent(headers)
         try:
             submission = await asyncio.get_running_loop().run_in_executor(
-                None, self.service.submit, job)
+                None, lambda: self.service.submit(job,
+                                                  obs_parent=obs_parent))
         except ServiceOverloaded:
             del self._jobs[key]
             self._job_settled()
@@ -469,17 +398,34 @@ class ReproServer:
                                "source": "inflight"})
         return await self._send_json(writer, 201, state.to_payload(key))
 
+    async def _h_cache_entry(self, writer, body, headers,
+                             key: str) -> int:
+        """Serve one verified *local* cache entry to a fleet peer.
+
+        Reads through ``get_local_entry`` so a PeerFetchCache-backed
+        service never chains a peer fetch off a peer fetch.
+        """
+        cache = self.service.cache
+        entry = None
+        if cache is not None:
+            entry = await asyncio.get_running_loop().run_in_executor(
+                None, cache.get_local_entry, key)
+        if entry is None:
+            raise ServerError(f"no cache entry for {key!r}",
+                              status=404, code="not_found")
+        return await self._send_json(writer, 200, entry)
+
     def _state_of(self, key: str) -> _JobState:
         state = self._jobs.get(key)
         if state is None:
             raise JobNotFound(f"no job {key!r} on this server")
         return state
 
-    async def _h_job(self, writer, body, key: str) -> int:
+    async def _h_job(self, writer, body, headers, key: str) -> int:
         return await self._send_json(writer, 200,
                                      self._state_of(key).to_payload(key))
 
-    async def _h_result(self, writer, body, key: str) -> int:
+    async def _h_result(self, writer, body, headers, key: str) -> int:
         state = self._state_of(key)
         submission = state.submission
         if submission is None or not submission.done():
@@ -494,7 +440,7 @@ class ReproServer:
         record["source"] = state.source or submission.source
         return await self._send_json(writer, 200, record)
 
-    async def _h_events(self, writer, body, key: str) -> int:
+    async def _h_events(self, writer, body, headers, key: str) -> int:
         state = self._state_of(key)
         head = ["HTTP/1.1 200 OK",
                 "Content-Type: text/event-stream",

@@ -1,0 +1,161 @@
+"""Shared asyncio HTTP/1.1 plumbing for repro's stdlib servers.
+
+:class:`ReproServer` (the single-node job API) and the fleet router
+(:mod:`repro.fleet.router`) both speak the same tiny HTTP dialect:
+one request per connection, ``Content-Length`` framing, JSON bodies,
+``Connection: close``.  :class:`HttpServerBase` owns that dialect --
+head/body parsing with bounded bodies, response encoding, the
+connection loop with taxonomy error mapping -- so each server only
+implements :meth:`_route` and its handlers.
+
+Handlers are coroutines ``handler(writer, body, headers, *args)``
+returning the HTTP status they sent (0 suppresses accounting, e.g. a
+stream the peer closed).  ``headers`` is a lower-cased name -> value
+dict, which is how request metadata like the router's
+``X-Repro-Parent`` trace context reaches a handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.protocol import ServerError
+
+#: request bodies past this are refused (jobs are tiny)
+MAX_BODY_BYTES = 64 * 1024
+
+JSON_TYPE = "application/json"
+
+REASONS = {200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+           400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+           409: "Conflict", 413: "Payload Too Large",
+           429: "Too Many Requests", 500: "Internal Server Error",
+           502: "Bad Gateway", 503: "Service Unavailable",
+           504: "Gateway Timeout"}
+
+
+class HttpServerBase:
+    """One-request-per-connection HTTP server core (stdlib asyncio)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        route = "unparsed"
+        t0 = time.monotonic()
+        try:
+            method, path, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            route, handler, args = self._route(method, path)
+            status = await handler(writer, body, headers, *args)
+        except ConnectionError:
+            status = 0
+        except Exception as exc:                # noqa: BLE001
+            status, payload = protocol.error_to_payload(exc)
+            try:
+                await self._send_json(writer, status, payload)
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:                   # noqa: BLE001
+                pass
+        if status:
+            self._observe_request(route, status, time.monotonic() - t0)
+
+    def _route(self, method: str, path: str):
+        """Return ``(route_name, handler, args)`` or raise ServerError."""
+        raise NotImplementedError
+
+    def _observe_request(self, route: str, status: int,
+                         elapsed_s: float) -> None:
+        """Per-request accounting hook; default is no accounting."""
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServerError("malformed request line", status=400,
+                              code="bad_request")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target.split("?", 1)[0], headers
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServerError(f"body of {length} bytes refused",
+                              status=413, code="too_large")
+        return await reader.readexactly(length) if length else b""
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    body: bytes, content_type: str,
+                    extra: Optional[Dict[str, str]] = None) -> int:
+        head = [f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+        return status
+
+    async def _send_json(self, writer, status: int, payload: Any,
+                         extra: Optional[Dict[str, str]] = None) -> int:
+        body = json.dumps(payload).encode("utf-8")
+        headers = dict(extra or {})
+        retry = protocol.retry_after_of(payload) if isinstance(
+            payload, dict) else None
+        if retry is not None:
+            headers.setdefault("Retry-After", str(max(1, round(retry))))
+        return await self._send(writer, status, body, JSON_TYPE, headers)
+
+
+def parse_trace_parent(headers: Dict[str, str]
+                       ) -> Optional[Dict[str, str]]:
+    """The ``X-Repro-Parent`` span context, or None.
+
+    The router stamps its span context onto forwarded requests as a
+    JSON ``{"trace_id": ..., "span_id": ...}`` header; a malformed
+    value is ignored rather than failing the job.
+    """
+    raw = headers.get("x-repro-parent")
+    if not raw:
+        return None
+    try:
+        ctx = json.loads(raw)
+    except (ValueError, TypeError):
+        return None
+    if (isinstance(ctx, dict) and
+            isinstance(ctx.get("trace_id"), str) and
+            isinstance(ctx.get("span_id"), str)):
+        return {"trace_id": ctx["trace_id"], "span_id": ctx["span_id"]}
+    return None

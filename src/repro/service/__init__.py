@@ -30,7 +30,9 @@ Quick use::
 from repro.service.batch import (
     BatchItem, BatchReport, expand_jobs, iter_batch, run_batch,
 )
-from repro.service.cache import CACHE_FORMAT_VERSION, CacheStats, ResultCache
+from repro.service.cache import (
+    CACHE_FORMAT_VERSION, CacheBackend, CacheStats, ResultCache,
+)
 from repro.service.core import DesignService, ServiceOverloaded, ServiceResult
 from repro.service.jobs import (
     FlowJob, JobValidationError, execute_job, execute_job_payload,
@@ -45,7 +47,7 @@ from repro.service.telemetry import (
 
 __all__ = [
     "BatchItem", "BatchReport", "expand_jobs", "iter_batch", "run_batch",
-    "CACHE_FORMAT_VERSION", "CacheStats", "ResultCache",
+    "CACHE_FORMAT_VERSION", "CacheBackend", "CacheStats", "ResultCache",
     "DesignService", "ServiceOverloaded", "ServiceResult",
     "FlowJob", "JobValidationError", "execute_job", "execute_job_payload",
     "JobCancelled", "JobError", "JobFailed", "JobHandle", "JobQuarantined",

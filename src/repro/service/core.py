@@ -69,7 +69,8 @@ class ServiceOverloaded(RuntimeError):
 class _Pending:
     """In-flight job bookkeeping shared by every waiter."""
 
-    def __init__(self, job: FlowJob, key: str):
+    def __init__(self, job: FlowJob, key: str,
+                 obs_parent: Optional[Dict[str, str]] = None):
         self.job = job
         self.key = key
         self.value: Any = None
@@ -77,8 +78,12 @@ class _Pending:
         self.event = threading.Event()
         self.handle: Optional[JobHandle] = None
         # the submitter's span context: worker spans (thread pool) and
-        # adopted payload spans (process pool) parent onto it
-        self.obs_ctx: Optional[Dict[str, str]] = obs.current_context()
+        # adopted payload spans (process pool) parent onto it.  An
+        # explicit obs_parent (a remote caller's context, e.g. the
+        # fleet router via X-Repro-Parent) wins over the local one so
+        # router->runner traces stitch into a single tree.
+        self.obs_ctx: Optional[Dict[str, str]] = (
+            obs_parent or obs.current_context())
 
     def resolve(self, value: Any = None,
                 error: Optional[BaseException] = None) -> None:
@@ -137,12 +142,18 @@ class DesignService:
                  overload_threshold: int = 3,
                  overload_cooldown_s: float = 30.0,
                  telemetry: Optional[FleetTelemetry] = None,
-                 tracer_factory=None):
+                 tracer_factory=None,
+                 cache: Optional[Any] = None):
         self.engine = engine or FlowEngine()
         # a custom strategy object defeats content hashing and pickling
         self._cacheable = self.engine._strategy_override is None
-        self.cache = (ResultCache(cache_dir)
-                      if cache_dir and self._cacheable else None)
+        # `cache` accepts any CacheBackend (e.g. the fleet tier's
+        # PeerFetchCache); cache_dir remains the plain-disk shorthand
+        if cache is not None and self._cacheable:
+            self.cache = cache
+        else:
+            self.cache = (ResultCache(cache_dir)
+                          if cache_dir and self._cacheable else None)
         self.scheduler = JobScheduler(
             workers=workers,
             mode="thread" if not self._cacheable else pool,
@@ -151,9 +162,10 @@ class DesignService:
             crash_retries=crash_retries)
         # dead-letter records persist next to the result cache so one
         # directory carries the whole service state; memory-only else
+        dl_root = cache_dir or getattr(self.cache, "root", None)
         self.dead_letter = DeadLetterQueue(
-            os.path.join(cache_dir, DEAD_LETTER_DIRNAME)
-            if self.cache is not None else None)
+            os.path.join(dl_root, DEAD_LETTER_DIRNAME)
+            if self.cache is not None and dl_root else None)
         # trips after `overload_threshold` dead-letters with no
         # successful completion in between; while open, submit() sheds
         # work that would need to run
@@ -219,10 +231,29 @@ class DesignService:
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         """Live service state for health endpoints and operators."""
+        import repro
+
         with self._lock:
             pending = len(self._pending)
             memory = len(self._memory)
+        cache_stats = None
+        if self.cache is not None:
+            try:
+                cache_stats = {
+                    "entries": len(self.cache),
+                    "bytes": self.cache.size_bytes(),
+                    "quarantined": sum(
+                        1 for _ in self.cache.quarantined()),
+                    "hits": self.cache.stats.hits,
+                    "misses": self.cache.stats.misses,
+                    "writes": self.cache.stats.writes,
+                    "corrupt": self.cache.stats.corrupt,
+                }
+            except OSError:
+                cache_stats = None     # a sick disk must not fail health
         return {
+            # the router refuses mixed-version runners off this field
+            "version": repro.__version__,
             "overload": self._overload.snapshot(),
             "scheduler": {
                 "mode": self.scheduler.mode,
@@ -232,7 +263,8 @@ class DesignService:
             },
             "pending_jobs": pending,
             "memory_entries": memory,
-            "cache_dir": self.cache.root if self.cache else None,
+            "cache_dir": getattr(self.cache, "root", None),
+            "cache": cache_stats,
             "dead_letter": len(self.dead_letter),
         }
 
@@ -266,7 +298,9 @@ class DesignService:
                        intensity_threshold=self.engine.intensity_threshold,
                        **kwargs)
 
-    def submit(self, job: FlowJob) -> ServiceResult:
+    def submit(self, job: FlowJob,
+               obs_parent: Optional[Dict[str, str]] = None
+               ) -> ServiceResult:
         key = job.key()
         with self._lock:
             if key in self._memory:
@@ -329,7 +363,7 @@ class DesignService:
                     f"{self._overload.trips} trip(s)); shedding "
                     f"{job.label}",
                     retry_after_s=self._overload.cooldown_s)
-            pending = _Pending(job, key)
+            pending = _Pending(job, key, obs_parent=obs_parent)
             self._pending[key] = pending
         return self._schedule(pending)
 

@@ -1,0 +1,79 @@
+"""HashRing: determinism, stability, and the fail-over preference."""
+
+import hashlib
+
+import pytest
+
+from repro.fleet.hashring import HashRing
+
+NODES = [f"http://10.0.0.{i}:8000" for i in range(1, 5)]
+
+
+def keys(n):
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+def test_owner_is_deterministic_across_instances():
+    a, b = HashRing(NODES), HashRing(list(reversed(NODES)))
+    for key in keys(200):
+        assert a.owner(key) == b.owner(key)
+
+
+def test_every_key_has_an_owner_among_members():
+    ring = HashRing(NODES)
+    assert len(ring) == len(NODES)
+    for key in keys(50):
+        assert ring.owner(key) in NODES
+
+
+def test_distribution_is_roughly_even():
+    ring = HashRing(NODES)
+    counts = {node: 0 for node in NODES}
+    for key in keys(2000):
+        counts[ring.owner(key)] += 1
+    for node, count in counts.items():
+        # 64 virtual replicas keep each share within a loose band
+        assert 200 < count < 900, (node, counts)
+
+
+def test_removal_only_moves_the_lost_nodes_keys():
+    ring = HashRing(NODES)
+    before = {key: ring.owner(key) for key in keys(500)}
+    ring.remove(NODES[0])
+    for key, owner in before.items():
+        if owner != NODES[0]:
+            assert ring.owner(key) == owner    # survivors keep shards
+        else:
+            assert ring.owner(key) in NODES[1:]
+
+
+def test_add_restores_prior_assignment():
+    full = HashRing(NODES)
+    shrunk = HashRing(NODES[1:])
+    shrunk.add(NODES[0])
+    for key in keys(200):
+        assert shrunk.owner(key) == full.owner(key)
+
+
+def test_preference_starts_at_owner_and_covers_everyone():
+    ring = HashRing(NODES)
+    for key in keys(50):
+        order = ring.preference(key)
+        assert order[0] == ring.owner(key)
+        assert sorted(order) == sorted(NODES)   # all nodes, no dupes
+
+
+def test_owner_with_exclusions_follows_preference():
+    ring = HashRing(NODES)
+    for key in keys(50):
+        order = ring.preference(key)
+        assert ring.owner(key, exclude={order[0]}) == order[1]
+        assert ring.owner(key, exclude=set(NODES)) is None
+
+
+def test_empty_and_invalid_rings():
+    assert HashRing().owner("deadbeef") is None
+    assert HashRing().preference("deadbeef") == []
+    assert "x" not in HashRing()
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)

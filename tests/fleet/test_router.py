@@ -1,0 +1,270 @@
+"""FleetRouter: sharding, stealing, node loss, version fencing.
+
+Placement policy is tested on a bare router (no sockets); everything
+wire-shaped runs against real runners through a live router.
+"""
+
+import threading
+
+import pytest
+
+import repro
+import repro.service.core as service_core
+from repro import api
+from repro.client import ReproClient
+from repro.config import ReproConfig
+from repro.fleet.router import FleetRouter, _Placement
+from repro.fleet.runner import RunnerHandle, free_port
+from repro.server import protocol
+
+URLS = [f"http://10.9.9.{i}:7000" for i in range(1, 4)]
+KEY = "ab" * 32
+
+
+def bare_router(**kwargs):
+    router = FleetRouter(URLS, **kwargs)
+    router._executor.shutdown(wait=False)
+    return router
+
+
+def all_healthy(router):
+    for handle in router.handles.values():
+        handle.state = "healthy"
+
+
+# ----------------------------------------------------------------------
+# Placement policy (no sockets)
+# ----------------------------------------------------------------------
+
+def test_pick_target_prefers_the_shard_owner():
+    router = bare_router()
+    all_healthy(router)
+    owner = router.ring.owner(KEY)
+    assert router._pick_target(KEY).url == owner
+    # stable across repeated asks (no load, no churn)
+    assert router._pick_target(KEY).url == owner
+
+
+def test_pick_target_steals_from_an_overloaded_owner():
+    router = bare_router(steal_threshold=4)
+    all_healthy(router)
+    owner = router.handles[router.ring.owner(KEY)]
+    owner.inflight = 4
+    target = router._pick_target(KEY)
+    assert target.url != owner.url and target.load() == 0
+    assert router._m_steals.get(runner=target.url) >= 1
+
+
+def test_pick_target_keeps_owner_below_threshold():
+    router = bare_router(steal_threshold=4)
+    all_healthy(router)
+    owner = router.handles[router.ring.owner(KEY)]
+    owner.inflight = 3
+    assert router._pick_target(KEY) is owner
+
+
+def test_pick_target_follows_preference_under_exclusion():
+    router = bare_router()
+    all_healthy(router)
+    order = router.ring.preference(KEY)
+    assert router._pick_target(KEY, exclude={order[0]}).url == order[1]
+    assert router._pick_target(KEY, exclude=set(URLS)) is None
+
+
+def test_pick_target_ignores_unroutable_states():
+    router = bare_router()
+    for state, handle in zip(("unknown", "draining", "rejected"),
+                             router.handles.values()):
+        handle.state = state
+    assert router._pick_target(KEY) is None
+    next(iter(router.handles.values())).state = "healthy"
+    assert router._pick_target(KEY) is not None
+
+
+def test_router_requires_at_least_one_runner():
+    with pytest.raises(ValueError):
+        FleetRouter([])
+
+
+# ----------------------------------------------------------------------
+# RunnerHandle probe state machine (real sockets, no servers)
+# ----------------------------------------------------------------------
+
+def test_unknown_runner_evicts_on_first_failed_probe():
+    handle = RunnerHandle(f"http://127.0.0.1:{free_port()}")
+    handle.probe(timeout_s=1.0)
+    assert handle.state == "unhealthy"
+    assert handle.last_error
+
+
+def test_healthy_runner_survives_one_blip_not_two():
+    handle = RunnerHandle(f"http://127.0.0.1:{free_port()}")
+    handle.state = "healthy"
+    handle.probe(timeout_s=1.0)
+    assert handle.state == "healthy"       # one lost probe is a blip
+    assert handle.consecutive_failures == 1
+    handle.probe(timeout_s=1.0)
+    assert handle.state == "unhealthy"     # two is a dead node
+
+
+# ----------------------------------------------------------------------
+# Live fleet: two real runners behind a live router
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def fleet(live_server_factory, live_router_factory):
+    a = live_server_factory(config=ReproConfig(workers=1))
+    b = live_server_factory(config=ReproConfig(workers=1))
+    router = live_router_factory([a.url, b.url])
+    client = ReproClient(router.url, backoff_s=0.05,
+                         poll_interval_s=0.05)
+    return a, b, router, client
+
+
+def test_healthz_aggregates_the_fleet(fleet):
+    _, _, router, client = fleet
+    health = client.health()
+    assert health["http_status"] == 200 and health["status"] == "ok"
+    assert health["version"] == repro.__version__
+    fleet_block = health["fleet"]
+    assert fleet_block["healthy"] == 2 and fleet_block["total"] == 2
+    assert fleet_block["breaker"]["state"] == "closed"
+    states = {r["url"]: r["state"] for r in fleet_block["runners"]}
+    assert set(states.values()) == {"healthy"}
+
+
+def test_catalog_and_flow_round_trip_through_the_router(fleet):
+    _, _, router, client = fleet
+    assert client.apps() == api.list_apps()
+    assert client.modes() == api.list_modes()
+    record = client.run_flow("kmeans", "informed", timeout=120)
+    assert record.app_name == "kmeans"
+    assert record.selected_target is not None
+
+
+def test_submit_is_sticky_and_jobs_merge(fleet):
+    _, _, router, client = fleet
+    payload = {"app": "kmeans", "scale": 1.21}
+    first_status, first, _ = client._request_once(
+        "POST", "/v1/jobs", payload)
+    assert first_status == 201
+    placed_on = router.router._placements[first["id"]].runner
+    again_status, again, _ = client._request_once(
+        "POST", "/v1/jobs", payload)
+    assert again_status == 200 and again["id"] == first["id"]
+    assert router.router._placements[first["id"]].runner == placed_on
+    assert any(j["id"] == first["id"] for j in client.jobs())
+
+
+def test_unplaced_job_is_404(fleet):
+    _, _, _, client = fleet
+    status, data, _ = client._request_once("GET", f"/v1/jobs/{'f' * 64}")
+    assert status == 404 and data["error"]["code"] == "not_found"
+
+
+def test_sse_events_proxy_through_the_router(fleet):
+    _, _, _, client = fleet
+    job_id = client.submit("kmeans", "informed")["id"]
+    client.run_flow("kmeans", "informed", timeout=120)
+    names = [name for name, _ in client.events(job_id)]
+    assert names and names[-1] == "done"
+
+
+def test_metrics_expose_fleet_series(fleet):
+    _, _, _, client = fleet
+    client.submit("kmeans", "informed")
+    text = client.metrics()
+    assert "repro_fleet_shard_jobs_total" in text
+    assert "repro_fleet_runners_healthy 2" in text
+    assert 'repro_http_requests_total{route="fleet.submit"' in text
+
+
+# ----------------------------------------------------------------------
+# Node loss and lost state
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def blocked_execution(monkeypatch):
+    """execute_job blocks until released (runs in-process for both
+    runners, so the fleet tests can hold a job in flight)."""
+    started = threading.Event()
+    release = threading.Event()
+    real = service_core.execute_job
+
+    def slow(job, engine=None, observer=None):
+        started.set()
+        assert release.wait(60), "test never released the worker"
+        return real(job, engine=engine, observer=observer)
+
+    monkeypatch.setattr(service_core, "execute_job", slow)
+    yield started, release
+    release.set()
+
+
+def test_node_loss_reroutes_in_flight_jobs(fleet, blocked_execution):
+    started, release = blocked_execution
+    a, b, router, client = fleet
+    key = client.submit("kmeans", scale=1.31)["id"]
+    assert started.wait(30), "job never reached a worker"
+    victim, survivor = ((a, b)
+                        if router.router._placements[key].runner == a.url
+                        else (b, a))
+    release.set()
+    victim.stop(drain=False)           # the node dies mid-flight
+    status, data, _ = client._request_once("GET", f"/v1/jobs/{key}")
+    assert status == 202
+    assert "re-routed" in data["error"]["message"]
+    assert router.router._placements[key].runner == survivor.url
+    assert router.router.handles[victim.url].state == "unhealthy"
+    # resubmission got the job's *full* retry budget on the survivor
+    record = client.run_flow("kmeans", scale=1.31, timeout=120)
+    assert record.app_name == "kmeans"
+    assert router.router._m_reroutes.get(reason="node_loss") >= 1
+
+
+def test_restarted_runner_losing_state_triggers_resubmission(fleet):
+    a, b, router, client = fleet
+    payload = {"app": "kmeans", "mode": "informed", "scale": 1.07}
+    key = protocol.job_from_payload(payload).key()
+    # as if routed before runner `a` restarted and forgot everything
+    router.router._placements[key] = _Placement(a.url, payload)
+    before = router.router._m_reroutes.get(reason="lost_state")
+    status, data, _ = client._request_once("GET", f"/v1/jobs/{key}")
+    assert status == 202
+    assert "lost_state" in data["error"]["message"]
+    assert router.router._placements[key].runner == b.url
+    assert router.router._m_reroutes.get(reason="lost_state") == before + 1
+    deadline_polls = 600
+    while deadline_polls:
+        status, data, _ = client._request_once("GET", f"/v1/jobs/{key}")
+        if data.get("done"):
+            break
+        deadline_polls -= 1
+        threading.Event().wait(0.1)
+    assert data.get("status") == "succeeded"
+
+
+# ----------------------------------------------------------------------
+# Version fencing and re-admission
+# ----------------------------------------------------------------------
+
+def test_version_skew_fences_runners_until_they_match(
+        live_server_factory, live_router_factory):
+    a = live_server_factory(config=ReproConfig(workers=1))
+    router = live_router_factory([a.url],
+                                 expected_version="v99.incompatible")
+    client = ReproClient(router.url, max_retries=0)
+    handle = router.router.handles[a.url]
+    assert handle.state == "rejected"
+    assert "version" in handle.last_error
+    health = client.health()
+    assert health["http_status"] == 503 and health["status"] == "degraded"
+    status, data, _ = client._request_once(
+        "POST", "/v1/jobs", {"app": "kmeans"})
+    assert status == 503 and data["error"]["code"] == "unavailable"
+    # the operator rolls the router to the matching version: the next
+    # probe pass re-admits the runner without a restart
+    router.router.expected_version = repro.__version__
+    router.probe_now()
+    assert handle.state == "healthy"
+    assert client.health()["http_status"] == 200

@@ -1,12 +1,14 @@
 """ReproClient retry/backoff behavior, no sockets involved."""
 
+import random
 import urllib.error
 
 import pytest
 
 from repro.client import ReproClient
 from repro.service.core import ServiceOverloaded
-from repro.service.scheduler import JobQuarantined, JobResultPending
+from repro.service.scheduler import (JobQuarantined, JobResultPending,
+                                     JobTimeout)
 
 
 class ScriptedClient(ReproClient):
@@ -14,6 +16,7 @@ class ScriptedClient(ReproClient):
 
     def __init__(self, responses, **kwargs):
         kwargs.setdefault("backoff_s", 0.5)
+        kwargs.setdefault("jitter", 0.0)   # deterministic sleeps here
         super().__init__("http://scripted.invalid", **kwargs)
         self.responses = list(responses)
         self.requests = []
@@ -102,5 +105,68 @@ def test_run_flow_timeout_reraises_pending():
     pending = (202, {"error": {"code": "pending", "message": "running",
                                "key": "k"}}, {})
     client = ScriptedClient([(201, {"id": "k"}, {}), pending])
+    with pytest.raises(JobResultPending):
+        client.run_flow("kmeans", timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# Backoff jitter and the total retry wall-time budget
+# ----------------------------------------------------------------------
+
+def test_jitter_spreads_retry_delays():
+    client = ScriptedClient([_overloaded(2.0), _overloaded(2.0),
+                             (200, {"id": "abc"}, {})],
+                            jitter=0.5, rng=random.Random(7))
+    client.submit("kmeans")
+    assert len(client.sleeps) == 2
+    for delay in client.sleeps:
+        assert 1.0 <= delay <= 3.0     # 2.0 * [1-j, 1+j]
+    # seeded rng: the two draws differ (herd desynchronization)
+    assert client.sleeps[0] != client.sleeps[1]
+
+
+def test_jitter_zero_is_exact_and_bounds_are_validated():
+    client = ScriptedClient([_overloaded(1.5), (200, {"id": "x"}, {})])
+    client.submit("kmeans")
+    assert client.sleeps == [1.5]
+    with pytest.raises(ValueError):
+        ReproClient("http://x.invalid", jitter=1.0)
+    with pytest.raises(ValueError):
+        ReproClient("http://x.invalid", jitter=-0.1)
+    with pytest.raises(ValueError):
+        ReproClient("http://x.invalid", max_wait_s=0)
+
+
+def test_max_wait_caps_retryable_errors():
+    # server keeps asking for 10s waits; a 1s budget refuses to sleep
+    client = ScriptedClient([_overloaded(10.0)] * 5,
+                            max_wait_s=1.0, max_retries=10)
+    with pytest.raises(JobTimeout) as excinfo:
+        client.submit("kmeans")
+    assert "max_wait_s=1.0" in str(excinfo.value)
+    assert client.sleeps == []          # refused before sleeping
+    assert len(client.requests) == 1
+
+
+def test_max_wait_caps_connection_retries():
+    client = ScriptedClient([urllib.error.URLError("refused")] * 5,
+                            backoff_s=10.0, max_wait_s=1.0,
+                            max_retries=10)
+    with pytest.raises(JobTimeout):
+        client.apps()
+    assert client.sleeps == []
+
+
+def test_max_wait_caps_run_flow_polling():
+    pending = (202, {"error": {"code": "pending", "message": "running",
+                               "key": "k", "status": "running",
+                               "attempts": 1}}, {})
+    client = ScriptedClient([(201, {"id": "k"}, {})] + [pending] * 50,
+                            poll_interval_s=30.0, max_wait_s=0.5)
+    with pytest.raises(JobTimeout):
+        client.run_flow("kmeans")
+    # an explicit timeout= still reports pending, not the budget
+    client = ScriptedClient([(201, {"id": "k"}, {}), pending],
+                            max_wait_s=0.5)
     with pytest.raises(JobResultPending):
         client.run_flow("kmeans", timeout=0.0)
