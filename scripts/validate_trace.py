@@ -38,7 +38,8 @@ def fail(message: str) -> "NoReturn":  # noqa: F821 (py<3.11 typing)
     raise SystemExit(1)
 
 
-def validate_trace(path: str, min_depth: int) -> None:
+def validate_trace(path: str, min_depth: int,
+                   require_spans=()) -> None:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -76,6 +77,11 @@ def validate_trace(path: str, min_depth: int) -> None:
         deepest = max(deepest, depth)
     if deepest < min_depth:
         fail(f"{path}: span nesting {deepest} < required {min_depth}")
+    names = {e["name"] for e in xs}
+    for name in require_spans:
+        if name not in names:
+            fail(f"{path}: required span {name!r} missing "
+                 f"(have: {sorted(names)})")
     instants = sum(1 for e in events if e.get("ph") == "i")
     print(f"validate_trace: {path}: {len(xs)} spans "
           f"({instants} instant events), depth {deepest}: OK")
@@ -127,13 +133,18 @@ def main(argv=None) -> int:
                         help="additional metric family that must be "
                              "present (repeatable; chaos runs require "
                              "repro_faults_injected_total)")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="span name that must appear in the trace "
+                             "(repeatable; DSE runs require dse.sweep)")
     parser.add_argument("--no-defaults", action="store_true",
                         help="skip the flow-run metric families and "
                              "check only --require entries (for dumps "
                              "from processes that run no flows, e.g. "
                              "the fleet router)")
     args = parser.parse_args(argv)
-    validate_trace(args.trace, args.min_depth)
+    validate_trace(args.trace, args.min_depth,
+                   require_spans=args.require_span)
     if args.metrics:
         validate_metrics(args.metrics, require=args.require,
                          defaults=not args.no_defaults)

@@ -25,6 +25,7 @@ Every flow-running subcommand (``run``, ``eval``, ``batch``,
     --cache-dir DIR    persistent result cache
     --workers N        service worker pool size
     --exec MODE        UHL execution engine (compiled|interp)
+    --dse MODE         DSE lowering (batched|point)
     --retries N        per-job retry budget
     --trace-out PATH   write a Perfetto-loadable Chrome trace
     --metrics-out PATH write the Prometheus text dump
@@ -51,6 +52,7 @@ def _config_from_args(args) -> ReproConfig:
         "cache_dir": getattr(args, "cache_dir", None),
         "workers": getattr(args, "workers", None),
         "exec_mode": getattr(args, "exec_mode", None),
+        "dse_mode": getattr(args, "dse_mode", None),
         "retries": getattr(args, "retries", None),
         "fleet_runners": getattr(args, "runners", None),
         "fleet_peers": getattr(args, "peers", None),
@@ -423,6 +425,10 @@ def _common_parent() -> argparse.ArgumentParser:
     group.add_argument("--exec", dest="exec_mode", default=None,
                        choices=("compiled", "interp"),
                        help="UHL execution engine ($REPRO_EXEC)")
+    group.add_argument("--dse", dest="dse_mode", default=None,
+                       choices=("batched", "point"),
+                       help="DSE lowering: whole-space tensor sweeps or "
+                            "point-at-a-time ($REPRO_DSE)")
     group.add_argument("--retries", type=int, default=None, metavar="N",
                        help="retry failed/timed-out jobs up to N times "
                             "($REPRO_RETRIES)")

@@ -32,6 +32,8 @@ field              env var                 meaning
 ``exec_mode``      ``REPRO_EXEC``          ``compiled`` | ``interp``
 ``fastpath``       ``REPRO_FASTPATH``      numpy affine-loop fast path
 ``profile_cache``  ``REPRO_PROFILE_CACHE`` share profiling runs
+``dse_mode``       ``REPRO_DSE``           ``batched`` | ``point``
+``native``         ``REPRO_NATIVE``        generated-C batch core (cffi)
 ``retries``        ``REPRO_RETRIES``       per-job retry budget
 ``trace_dir``      ``REPRO_TRACE_DIR``     per-process JSONL span sink
 ``faults``         ``REPRO_FAULTS``        fault-injection plan spec
@@ -62,12 +64,17 @@ from typing import Any, Dict, Mapping, MutableMapping, Optional
 #: execution engines ``exec_mode`` may select (repro.lang.engine._MODES)
 EXEC_MODES = ("compiled", "interp")
 
+#: DSE lowering modes ``dse_mode`` may select (repro.flow.sweep)
+DSE_MODES = ("batched", "point")
+
 #: (field, env var) in documentation order
 ENV_VARS = (
     ("cache_dir", "REPRO_CACHE_DIR"),
     ("workers", "REPRO_WORKERS"),
     ("exec_mode", "REPRO_EXEC"),
     ("fastpath", "REPRO_FASTPATH"),
+    ("dse_mode", "REPRO_DSE"),
+    ("native", "REPRO_NATIVE"),
     ("profile_cache", "REPRO_PROFILE_CACHE"),
     ("retries", "REPRO_RETRIES"),
     ("trace_dir", "REPRO_TRACE_DIR"),
@@ -129,6 +136,13 @@ class ReproConfig:
     workers: int = 1
     exec_mode: str = "compiled"
     fastpath: bool = True
+    #: DSE lowering: ``batched`` evaluates whole candidate spaces as
+    #: tensors, ``point`` is the one-candidate-at-a-time fidelity
+    #: fallback (both produce element-wise identical results)
+    dse_mode: str = "batched"
+    #: route the batched affine core through generated C (cffi); falls
+    #: back to numpy silently when no compiler is available
+    native: bool = False
     profile_cache: bool = True
     retries: int = 0
     trace_dir: Optional[str] = None
@@ -158,6 +172,10 @@ class ReproConfig:
             raise ConfigError(
                 f"exec_mode must be one of {EXEC_MODES}, "
                 f"got {self.exec_mode!r}")
+        if self.dse_mode not in DSE_MODES:
+            raise ConfigError(
+                f"dse_mode must be one of {DSE_MODES}, "
+                f"got {self.dse_mode!r}")
         if self.sim_latency_s < 0:
             raise ConfigError(
                 f"sim_latency_s must be >= 0, got {self.sim_latency_s}")
@@ -199,6 +217,15 @@ class ReproConfig:
             # unknown mode; the config layer keeps that forgiveness so
             # `repro config` reports what will actually run
             kwargs["exec_mode"] = mode if mode in EXEC_MODES else "compiled"
+        raw = env.get("REPRO_DSE")
+        if raw is not None and raw.strip():
+            mode = raw.strip().lower()
+            # same forgiveness as REPRO_EXEC: unknown modes run the
+            # default lowering rather than failing the process
+            kwargs["dse_mode"] = mode if mode in DSE_MODES else "batched"
+        raw = env.get("REPRO_NATIVE")
+        if raw is not None and raw.strip():
+            kwargs["native"] = raw.strip() == "1"
         raw = env.get("REPRO_FASTPATH")
         if raw is not None:
             kwargs["fastpath"] = _parse_bool("REPRO_FASTPATH", raw)

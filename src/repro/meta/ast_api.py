@@ -122,6 +122,30 @@ class Ast:
         dup.unit = self.unit.clone()  # type: ignore[assignment]
         return dup
 
+    def clone_function(self, fn_name: str,
+                       name: Optional[str] = None) -> "Ast":
+        """A kernel-view clone: copy only ``fn_name``'s subtree.
+
+        DSE candidates mutate exactly one function (pragmas on the
+        kernel's loops), so copying the whole translation unit per
+        candidate is wasted allocation proportional to the *program*
+        rather than the *kernel*.  The returned Ast owns a fresh clone
+        of ``fn_name`` and shares every other declaration with the
+        original unit; callers must only mutate the cloned function.
+        """
+        decls = []
+        for decl in self.unit.decls:
+            if isinstance(decl, FunctionDecl) and decl.name == fn_name:
+                decls.append(decl.clone())
+            else:
+                decls.append(decl)
+        unit = TranslationUnit(decls)
+        unit.preamble = list(self.unit.preamble)
+        dup = Ast.__new__(Ast)
+        dup.name = name or self.name
+        dup.unit = unit
+        return dup
+
     def __repr__(self):
         fns = ", ".join(f.name for f in self.functions())
         return f"<Ast {self.name!r} functions=[{fns}]>"

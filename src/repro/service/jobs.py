@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.apps.registry import ALL_APPS, get_app
+from repro.config import DSE_MODES
 from repro.flow.engine import FlowEngine, FlowResult
 
 #: modes a job may request (FlowEngine.strategy_for rejects others too)
@@ -53,6 +54,12 @@ class FlowJob:
     timeout_s: Optional[float] = None
     #: bounded retries on failure/timeout (None = scheduler default)
     retries: Optional[int] = None
+    #: DSE lowering override: ``batched`` | ``point`` (None = the
+    #: process default, ``$REPRO_DSE``).  A whole batched sweep is one
+    #: job -- one cache entry, one span tree -- and because the two
+    #: lowerings are element-wise identical they share content hashes
+    #: unless explicitly pinned here.
+    dse: Optional[str] = None
 
     def __post_init__(self):
         if self.app not in ALL_APPS:
@@ -76,6 +83,9 @@ class FlowJob:
         if self.retries is not None and self.retries < 0:
             raise JobValidationError(
                 f"retries must be >= 0, got {self.retries}")
+        if self.dse is not None and self.dse not in DSE_MODES:
+            raise JobValidationError(
+                f"unknown dse mode {self.dse!r}; valid: {DSE_MODES}")
 
     # ------------------------------------------------------------------
     @property
@@ -90,7 +100,7 @@ class FlowJob:
         """
         from repro.service.cache import CACHE_FORMAT_VERSION
 
-        return {
+        spec = {
             "format": CACHE_FORMAT_VERSION,
             "app": self.app,
             "source_sha": hashlib.sha256(
@@ -99,6 +109,13 @@ class FlowJob:
             "intensity_threshold": self.intensity_threshold,
             "scale": self.scale,
         }
+        # only a *pinned* lowering enters the hash: the lowerings are
+        # result-identical, so unpinned jobs keep their historical keys
+        # and stay interchangeable with pinned ones' cache entries only
+        # when the caller asked for that distinction
+        if self.dse is not None:
+            spec["dse"] = self.dse
+        return spec
 
     def key(self) -> str:
         """Deterministic content hash -- cache and dedup identity."""
@@ -110,7 +127,8 @@ class FlowJob:
     def from_spec(cls, spec: Dict[str, Any], **overrides) -> "FlowJob":
         return cls(app=spec["app"], mode=spec["mode"],
                    intensity_threshold=spec["intensity_threshold"],
-                   scale=spec["scale"], **overrides)
+                   scale=spec["scale"], dse=spec.get("dse"),
+                   **overrides)
 
 
 # ----------------------------------------------------------------------
@@ -139,8 +157,21 @@ def execute_job(job: FlowJob, engine: Optional[FlowEngine] = None,
         time.sleep(latency)
     engine = engine or FlowEngine(
         intensity_threshold=job.intensity_threshold)
-    return engine.run(get_app(job.app), mode=job.mode, scale=job.scale,
-                      observer=observer)
+    if job.dse is None:
+        return engine.run(get_app(job.app), mode=job.mode,
+                          scale=job.scale, observer=observer)
+    # pin the DSE lowering for this job; the sweep reads $REPRO_DSE
+    # lazily, so scope the override to the run and restore after
+    previous = os.environ.get("REPRO_DSE")
+    os.environ["REPRO_DSE"] = job.dse
+    try:
+        return engine.run(get_app(job.app), mode=job.mode,
+                          scale=job.scale, observer=observer)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_DSE", None)
+        else:
+            os.environ["REPRO_DSE"] = previous
 
 
 def execute_job_payload(spec: Dict[str, Any],

@@ -38,7 +38,7 @@ from repro.meta.ast_nodes import (
 )
 from repro.meta.unparse import unparse
 from repro.toolchains.reports import HLSReport
-from repro.transforms.unroll import unroll_factor_of
+from repro.transforms.unroll import set_unroll_pragma, unroll_factor_of
 from repro.platforms.spec import ARRIA10, FPGASpec, STRATIX10
 
 
@@ -203,6 +203,33 @@ class _ResourceWalker:
             self.walk(child, weight)
 
 
+@dataclass(frozen=True)
+class SweepCoefficients:
+    """Affine resource model of the unroll axis: ``res(f) = const +
+    slope * f`` for every factor ``f >= 2``.
+
+    Every charge the resource walker accumulates is an exact multiple
+    of 0.5 in float64 (integer :class:`OpCost` entries scaled by the
+    2.5/4.0 double-precision factors and integer replication weights),
+    and the walk is affine in the outermost unroll factor, so two walks
+    (at factors 2 and 4) recover the exact constant and slope --
+    evaluating the polynomial reproduces the walker's sums *bit for
+    bit* at any factor.  ``effective=False`` marks kernels whose outer
+    pragma is discounted (variable-bound inner loop, or no outer loop
+    at all): there the resource curve is flat and the DSE keeps
+    factor 1.
+    """
+
+    alm_const: float
+    alm_slope: float
+    dsp_const: float
+    dsp_slope: float
+    ii: float
+    warnings: Tuple[str, ...]
+    has_variable_inner: bool
+    effective: bool
+
+
 class DpcppToolchain:
     """``dpcpp -fintelfpga`` stand-in: partial compile -> HLS report."""
 
@@ -249,6 +276,44 @@ class DpcppToolchain:
             unroll_factor=effective_unroll,
             variable_inner_loop=walker.has_variable_inner,
             warnings=tuple(walker.warnings),
+        )
+
+    def sweep_coefficients(self, ast: Ast,
+                           kernel_name: str) -> SweepCoefficients:
+        """Fit the affine unroll-axis resource model with two walks.
+
+        The batched DSE replaces one partial compile *per factor* with
+        this single fit plus a tensor evaluation over the whole factor
+        axis (see :mod:`repro.flow.sweep`).  Device independent: the
+        walker charges raw ALMs/DSPs; per-device infrastructure offsets
+        and capacity divisions happen at evaluation time.
+        """
+        probe = ast.clone_function(kernel_name)
+        fn = probe.function(kernel_name)
+        walkers = {}
+        for factor in (2, 4):
+            for loop in fn.outermost_loops():
+                set_unroll_pragma(loop, factor)
+            walker = _ResourceWalker(SymbolTable(fn, probe.unit))
+            if fn.body is not None:
+                walker.walk(fn.body, 1.0)
+            walkers[factor] = walker
+        w2, w4 = walkers[2], walkers[4]
+        # exact recovery: charges are multiples of 0.5 below 2**53, so
+        # the differences and the halving are computed without rounding
+        alm_slope = (w4.alms - w2.alms) / 2.0
+        dsp_slope = (w4.dsps - w2.dsps) / 2.0
+        effective = bool(fn.outermost_loops()) \
+            and not w2.variable_inner_requested_unroll
+        return SweepCoefficients(
+            alm_const=w2.alms - 2.0 * alm_slope,
+            alm_slope=alm_slope,
+            dsp_const=w2.dsps - 2.0 * dsp_slope,
+            dsp_slope=dsp_slope,
+            ii=w2.ii,
+            warnings=tuple(w2.warnings),
+            has_variable_inner=w2.has_variable_inner,
+            effective=effective,
         )
 
     def full_compile(self, ast: Ast, kernel_name: str,
