@@ -87,6 +87,64 @@ def validate_trace(path: str, min_depth: int,
           f"({instants} instant events), depth {deepest}: OK")
 
 
+def validate_stitched(path: str, skew_tolerance_us: float = 10_000.0
+                      ) -> None:
+    """Whole-fleet trace invariants for ``/v1/obs/traces/{job_id}``.
+
+    A stitched trace must be ONE trace: a single trace id, exactly one
+    root span, every other span parent-linked to a span *in the same
+    file* (no dangling parents -- that's the cross-node propagation
+    contract), spans from at least two distinct processes with at
+    least one parent link crossing a process boundary, and -- after
+    the router's clock alignment -- no child starting more than the
+    skew tolerance before its parent.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    xs = [e for e in data.get("traceEvents", ())
+          if e.get("ph") == "X"]
+    if not xs:
+        fail(f"{path}: stitched trace has no spans")
+    trace_ids = {e["args"].get("trace_id") for e in xs}
+    trace_ids.discard(None)
+    if len(trace_ids) != 1:
+        fail(f"{path}: expected exactly one trace id, got "
+             f"{sorted(map(str, trace_ids))}")
+    by_id = {e["args"]["span_id"]: e for e in xs}
+    roots = [e for e in xs if e["args"].get("parent_id") is None]
+    if len(roots) != 1:
+        fail(f"{path}: expected exactly one root span, got "
+             f"{[e['name'] for e in roots]}")
+    dangling = [e["name"] for e in xs
+                if e["args"].get("parent_id") is not None
+                and e["args"]["parent_id"] not in by_id]
+    if dangling:
+        fail(f"{path}: spans with parents missing from the stitched "
+             f"trace: {sorted(set(dangling))}")
+    pids = {e["pid"] for e in xs}
+    if len(pids) < 2:
+        fail(f"{path}: stitched trace covers only {len(pids)} "
+             f"process(es); expected spans from >= 2 nodes")
+    cross = [e for e in xs
+             if e["args"].get("parent_id") is not None
+             and by_id[e["args"]["parent_id"]]["pid"] != e["pid"]]
+    if not cross:
+        fail(f"{path}: no parent link crosses a process boundary "
+             f"(propagation broken?)")
+    for e in xs:
+        parent_id = e["args"].get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id[parent_id]
+        if e["ts"] < parent["ts"] - skew_tolerance_us:
+            fail(f"{path}: child {e['name']!r} starts "
+                 f"{(parent['ts'] - e['ts']) / 1e3:.1f} ms before its "
+                 f"parent {parent['name']!r} (clock alignment broken)")
+    print(f"validate_trace: {path}: stitched OK -- {len(xs)} spans, "
+          f"{len(pids)} processes, {len(cross)} cross-process link(s), "
+          f"root {roots[0]['name']!r}")
+
+
 def validate_metrics(path: str, require=(), defaults=True) -> None:
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -137,6 +195,14 @@ def main(argv=None) -> int:
                         metavar="NAME",
                         help="span name that must appear in the trace "
                              "(repeatable; DSE runs require dse.sweep)")
+    parser.add_argument("--stitched", action="store_true",
+                        help="also enforce whole-fleet stitched-trace "
+                             "invariants: one trace id, one root, no "
+                             "dangling parents, >= 2 processes with a "
+                             "cross-process parent link, aligned clocks")
+    parser.add_argument("--skew-tolerance-ms", type=float, default=10.0,
+                        help="with --stitched: how far (ms) a child may "
+                             "start before its parent (default 10)")
     parser.add_argument("--no-defaults", action="store_true",
                         help="skip the flow-run metric families and "
                              "check only --require entries (for dumps "
@@ -145,6 +211,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     validate_trace(args.trace, args.min_depth,
                    require_spans=args.require_span)
+    if args.stitched:
+        validate_stitched(args.trace,
+                          skew_tolerance_us=args.skew_tolerance_ms * 1e3)
     if args.metrics:
         validate_metrics(args.metrics, require=args.require,
                          defaults=not args.no_defaults)

@@ -13,6 +13,7 @@
                           [--drain-timeout S] [--peers URL,URL]
     python -m repro router [--host H] [--port P] [--runners URL,URL]
                            [--steal-threshold N] [--probe-interval S]
+    python -m repro obs <top|trace> [--server URL] ...
     python -m repro config
     python -m repro service <stats|ls|purge|dead-letter> --cache-dir DIR
                             [--clear]
@@ -314,7 +315,8 @@ def cmd_serve(args) -> int:
     service = api.open_service(cfg)
     server = ReproServer(service, host=args.host, port=args.port,
                          max_queue=args.max_queue,
-                         drain_timeout_s=args.drain_timeout)
+                         drain_timeout_s=args.drain_timeout,
+                         config=cfg)
     try:
         server.run()
     finally:
@@ -339,9 +341,26 @@ def cmd_router(args) -> int:
     router = FleetRouter(
         runners, host=args.host, port=args.port,
         steal_threshold=cfg.fleet_steal_threshold,
-        probe_interval_s=cfg.fleet_probe_interval_s)
+        probe_interval_s=cfg.fleet_probe_interval_s,
+        # span collection is on by default for a router; REPRO_OBS_BUFFER
+        # can only resize it upward from the CLI, never disable tracing
+        obs_buffer=cfg.obs_buffer or 4096,
+        slo_target=cfg.slo_target,
+        slo_latency_s=cfg.slo_latency_s)
     router.run()
     return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.obs import console
+
+    server = args.server or os.environ.get("REPRO_SERVER",
+                                           "http://127.0.0.1:8000")
+    if args.action == "top":
+        return console.run_top(server, interval_s=args.interval,
+                               once=args.once)
+    return console.run_trace(server, args.job_id, out_path=args.out,
+                             timeline=args.timeline)
 
 
 def cmd_service(args) -> int:
@@ -540,6 +559,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="runner health-probe period "
                              "($REPRO_FLEET_PROBE_INTERVAL)")
     router.set_defaults(func=cmd_router)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="live fleet console and stitched-trace viewer")
+    obs_sub = obs_cmd.add_subparsers(dest="action", required=True)
+    top = obs_sub.add_parser(
+        "top", help="ASCII dashboard over /v1/obs/summary + /metrics")
+    top.add_argument("--server", default=None, metavar="URL",
+                     help="router or runner base URL ($REPRO_SERVER, "
+                          "default http://127.0.0.1:8000)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh period (default 2s)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no ANSI clear)")
+    top.set_defaults(func=cmd_obs)
+    trace = obs_sub.add_parser(
+        "trace", help="fetch one job's whole-fleet stitched trace")
+    trace.add_argument("job_id")
+    trace.add_argument("--server", default=None, metavar="URL",
+                       help="router base URL ($REPRO_SERVER)")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the Perfetto-loadable JSON here")
+    trace.add_argument("--timeline", action="store_true",
+                       help="also print the ASCII timeline (default "
+                            "when --out is not given)")
+    trace.set_defaults(func=cmd_obs)
 
     config = sub.add_parser(
         "config", parents=[common],

@@ -23,6 +23,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.flow.serialize import FlowResultRecord, result_from_dict
 from repro.server.protocol import error_from_payload
 from repro.service.scheduler import JobResultPending, JobTimeout
@@ -71,6 +72,12 @@ class ReproClient:
                       ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         body = None
         headers = {"Accept": "application/json"}
+        # wire-level trace propagation: when the caller runs inside a
+        # span, its context rides along so the server (or the fleet
+        # router) parents the job's remote spans onto this trace
+        traceparent = obs.format_traceparent(obs.current_context())
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -179,6 +186,31 @@ class ReproClient:
     def metrics(self) -> str:
         """Raw Prometheus exposition text from ``/metrics``."""
         request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout_s) as resp:
+            return resp.read().decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Fleet observability
+    # ------------------------------------------------------------------
+
+    def obs_summary(self) -> Dict[str, Any]:
+        """The server's ``/v1/obs/summary`` (router or runner role)."""
+        return self._request("GET", "/v1/obs/summary")
+
+    def obs_trace(self, job_id: str) -> Dict[str, Any]:
+        """The whole-fleet Perfetto trace for a routed job (router)."""
+        return self._request("GET", f"/v1/obs/traces/{job_id}",
+                             retry=False)
+
+    def obs_spans(self, since: int = 0) -> Dict[str, Any]:
+        """Drain a runner's span buffer past ``since`` (collector use)."""
+        return self._request("GET", f"/v1/obs/spans?since={since}")
+
+    def obs_profile(self) -> str:
+        """Folded-stack profiler dump, or raises 404 when it's off."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/obs/profile")
         with urllib.request.urlopen(request,
                                     timeout=self.timeout_s) as resp:
             return resp.read().decode("utf-8")

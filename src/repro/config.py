@@ -44,6 +44,13 @@ field              env var                 meaning
                                            past which shards are stolen
 ``fleet_probe_interval_s`` ``REPRO_FLEET_PROBE_INTERVAL``   runner
                                            health-probe period (s)
+``obs_buffer``     ``REPRO_OBS_BUFFER``    span ring-buffer capacity for
+                                           the fleet collector (0 = off)
+``profile_hz``     ``REPRO_PROFILE_HZ``    sampling stack profiler rate
+                                           in Hz (0 = off)
+``slo_target``     ``REPRO_SLO_TARGET``    SLO good-request target (0,1)
+``slo_latency_s``  ``REPRO_SLO_LATENCY_S`` SLO per-request latency
+                                           budget in seconds
 =================  ======================  ==============================
 
 Some subsystems read their env var lazily at call time (the execution
@@ -84,6 +91,10 @@ ENV_VARS = (
     ("fleet_peers", "REPRO_FLEET_PEERS"),
     ("fleet_steal_threshold", "REPRO_FLEET_STEAL_THRESHOLD"),
     ("fleet_probe_interval_s", "REPRO_FLEET_PROBE_INTERVAL"),
+    ("obs_buffer", "REPRO_OBS_BUFFER"),
+    ("profile_hz", "REPRO_PROFILE_HZ"),
+    ("slo_target", "REPRO_SLO_TARGET"),
+    ("slo_latency_s", "REPRO_SLO_LATENCY_S"),
 )
 
 
@@ -162,6 +173,17 @@ class ReproConfig:
     fleet_steal_threshold: int = 4
     #: router health-probe period in seconds
     fleet_probe_interval_s: float = 2.0
+    #: span ring-buffer capacity a server keeps for the fleet collector
+    #: (``/v1/obs/spans``); 0 disables collection entirely
+    obs_buffer: int = 0
+    #: sampling stack-profiler frequency in Hz (``/v1/obs/profile``);
+    #: 0 (the default) keeps the profiler off
+    profile_hz: float = 0.0
+    #: SLO good-request target in (0, 1) for the burn-rate tracker
+    slo_target: float = 0.99
+    #: per-request latency past which a (successful) request still
+    #: counts against the SLO error budget
+    slo_latency_s: float = 5.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -187,6 +209,18 @@ class ReproConfig:
             raise ConfigError(
                 f"fleet_probe_interval_s must be > 0, "
                 f"got {self.fleet_probe_interval_s}")
+        if self.obs_buffer < 0:
+            raise ConfigError(
+                f"obs_buffer must be >= 0, got {self.obs_buffer}")
+        if self.profile_hz < 0:
+            raise ConfigError(
+                f"profile_hz must be >= 0, got {self.profile_hz}")
+        if not 0.0 < self.slo_target < 1.0:
+            raise ConfigError(
+                f"slo_target must be in (0, 1), got {self.slo_target}")
+        if not self.slo_latency_s > 0:
+            raise ConfigError(
+                f"slo_latency_s must be > 0, got {self.slo_latency_s}")
 
     # ------------------------------------------------------------------
     def runner_list(self) -> list:
@@ -260,6 +294,21 @@ class ReproConfig:
         if raw is not None and raw.strip():
             kwargs["fleet_probe_interval_s"] = _parse_float(
                 "REPRO_FLEET_PROBE_INTERVAL", raw, 0.0)
+        raw = env.get("REPRO_OBS_BUFFER")
+        if raw is not None and raw.strip():
+            kwargs["obs_buffer"] = _parse_int("REPRO_OBS_BUFFER", raw, 0)
+        raw = env.get("REPRO_PROFILE_HZ")
+        if raw is not None and raw.strip():
+            kwargs["profile_hz"] = _parse_float(
+                "REPRO_PROFILE_HZ", raw, 0.0)
+        raw = env.get("REPRO_SLO_TARGET")
+        if raw is not None and raw.strip():
+            kwargs["slo_target"] = _parse_float(
+                "REPRO_SLO_TARGET", raw, 0.0)
+        raw = env.get("REPRO_SLO_LATENCY_S")
+        if raw is not None and raw.strip():
+            kwargs["slo_latency_s"] = _parse_float(
+                "REPRO_SLO_LATENCY_S", raw, 0.0)
         return cls(**kwargs)
 
     @classmethod

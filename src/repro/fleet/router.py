@@ -51,7 +51,7 @@ from repro.fleet.hashring import HashRing
 from repro.fleet.runner import RunnerHandle
 from repro.resilience import CircuitBreaker
 from repro.server import protocol
-from repro.server.http import HttpServerBase
+from repro.server.http import HttpServerBase, parse_trace_parent
 from repro.server.protocol import JobNotFound, ServerError
 
 log = logging.getLogger("repro.fleet.router")
@@ -63,13 +63,16 @@ _REFUSAL_CODES = ("busy", "overloaded", "unavailable")
 class _Placement:
     """Where one accepted job lives and what it would take to redo it."""
 
-    __slots__ = ("runner", "payload", "done", "counted")
+    __slots__ = ("runner", "payload", "done", "counted", "trace")
 
     def __init__(self, runner: str, payload: Dict[str, Any]):
         self.runner = runner
         self.payload = payload        # the validated POST body
         self.done = False
         self.counted = False          # holds an inflight slot on runner
+        #: the job's root span context -- reroutes and resubmissions
+        #: parent onto it so the job keeps ONE trace id for life
+        self.trace: Optional[Dict[str, str]] = None
 
 
 class FleetRouter(HttpServerBase):
@@ -82,7 +85,10 @@ class FleetRouter(HttpServerBase):
                  expected_version: Optional[str] = None,
                  forward_timeout_s: float = 60.0,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_s: float = 5.0):
+                 breaker_cooldown_s: float = 5.0,
+                 obs_buffer: int = 4096,
+                 slo_target: float = 0.99,
+                 slo_latency_s: float = 5.0):
         urls = [u.rstrip("/") for u in runners]
         if not urls:
             raise ValueError("a fleet router needs at least one runner")
@@ -102,6 +108,16 @@ class FleetRouter(HttpServerBase):
             "fleet.admission", failure_threshold=breaker_threshold,
             cooldown_s=breaker_cooldown_s)
         self.draining = False
+        # the fleet's observability brain: the router's own spans land
+        # in span_buffer (on by default -- a router serves few requests
+        # and every one should trace), runner spans are pulled by the
+        # probe loop, and both stitch per trace id in trace_store
+        self.span_buffer: Optional[obs.SpanBuffer] = (
+            obs.SpanBuffer(obs_buffer) if obs_buffer > 0 else None)
+        self.trace_store = obs.TraceStore()
+        self.slo = obs.SLOTracker("router", target=slo_target,
+                                  latency_s=slo_latency_s)
+        self._own_cursor = 0          # drain cursor into span_buffer
         self._placements: Dict[str, _Placement] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -147,6 +163,9 @@ class FleetRouter(HttpServerBase):
     async def start(self) -> None:
         """Probe the fleet once, bind, and begin serving."""
         self._loop = asyncio.get_running_loop()
+        if self.span_buffer is not None:
+            obs.add_sink(self.span_buffer)
+        self.slo.attach(obs.REGISTRY)
         await self._probe_all()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
@@ -166,6 +185,9 @@ class FleetRouter(HttpServerBase):
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.span_buffer is not None:
+            obs.remove_sink(self.span_buffer)
+        self.slo.detach()
         self._executor.shutdown(wait=False)
 
     def run(self) -> None:
@@ -215,6 +237,31 @@ class FleetRouter(HttpServerBase):
             if after == "unhealthy" and before != "unhealthy":
                 await self._reroute_orphans(handle, reason="node_loss")
         self._m_healthy.set(len(self.routable()))
+        await self._collect_spans()
+
+    async def _collect_spans(self) -> None:
+        """Pull span batches fleet-wide into the trace store.
+
+        Runs after every probe pass and on demand before serving a
+        trace read.  Runner timestamps are shifted by the probe-derived
+        clock offset; the router's own spans ingest at offset 0.
+        Ingestion dedups by span id, so overlapping passes are safe.
+        """
+        if self.span_buffer is not None:
+            spans, self._own_cursor = self.span_buffer.since(
+                self._own_cursor)
+            self.trace_store.ingest(spans, 0.0, runner="router")
+        for handle in self.handles.values():
+            if handle.state not in ("healthy", "draining", "rejected"):
+                continue
+            try:
+                data = await self._in_executor(handle.fetch_spans)
+            except (urllib.error.URLError, OSError):
+                continue       # probes own liveness; a miss is fine
+            spans = data.get("spans") or ()
+            if spans:
+                self.trace_store.ingest(
+                    spans, handle.clock_offset_s, runner=handle.url)
 
     async def _reroute_orphans(self, dead: RunnerHandle,
                                reason: str) -> None:
@@ -225,7 +272,7 @@ class FleetRouter(HttpServerBase):
             self._release(placement)
             target = await self._forward_submit(
                 key, placement.payload, exclude=(dead.url,),
-                reroute_reason=reason)
+                reroute_reason=reason, obs_ctx=placement.trace)
             if target is None:
                 # no survivor took it; the placement stays pointed at
                 # the dead node and the next poll retries the re-route
@@ -262,7 +309,8 @@ class FleetRouter(HttpServerBase):
 
     def _track(self, key: str, payload: Dict[str, Any],
                handle: RunnerHandle, done: bool,
-               reserved: bool = False) -> _Placement:
+               reserved: bool = False,
+               obs_ctx: Optional[Dict[str, str]] = None) -> _Placement:
         """Record where ``key`` lives.  With ``reserved`` the caller
         already holds one :meth:`_reserve` slot on ``handle``; an
         undone placement adopts it, a done one gives it back."""
@@ -273,6 +321,10 @@ class FleetRouter(HttpServerBase):
         else:
             self._release(placement)
             placement.runner = handle.url
+        if obs_ctx is not None and placement.trace is None:
+            # first writer wins: the job's root context survives every
+            # later reroute/resubmission, keeping one trace id for life
+            placement.trace = obs_ctx
         placement.done = done
         if not done:
             placement.counted = True
@@ -331,12 +383,18 @@ class FleetRouter(HttpServerBase):
 
     async def _forward_submit(self, key: str, payload: Dict[str, Any],
                               exclude: Iterable[str] = (),
-                              reroute_reason: Optional[str] = None):
+                              reroute_reason: Optional[str] = None,
+                              obs_ctx: Optional[Dict[str, str]] = None):
         """Place one job; returns ``(handle, status, data)`` or None.
 
         Tries the sharded target first, then every other routable
         runner once; wire failures mark the runner unhealthy and move
         on (node loss is the router's problem, never the job's).
+
+        ``obs_ctx`` is the job's root span context: the ``fleet.route``
+        span parents onto it, and the context travels to the runner as
+        a ``traceparent`` header -- for reroutes the *original* context
+        is passed back in, so a re-placed job stays on its first trace.
         """
         tried = set(exclude)
         last_refusal = None
@@ -346,12 +404,15 @@ class FleetRouter(HttpServerBase):
                 return last_refusal
             tried.add(target.url)
             self._reserve(target)
-            with obs.span("fleet.route", key=key[:12],
+            with obs.span("fleet.route", parent=obs_ctx, key=key[:12],
                           runner=target.url,
                           rerouted=reroute_reason or "no"):
-                ctx = obs.current_context()
-                headers = ({"X-Repro-Parent": json.dumps(ctx)}
-                           if ctx else None)
+                ctx = obs.current_context() or obs_ctx
+                headers = None
+                if ctx:
+                    traceparent = obs.format_traceparent(ctx)
+                    if traceparent:
+                        headers = {"traceparent": traceparent}
                 try:
                     status, data, _ = await self._in_executor(
                         target.request, "POST", "/v1/jobs", payload,
@@ -366,7 +427,7 @@ class FleetRouter(HttpServerBase):
             if status in (200, 201):
                 placement = self._track(key, payload, target,
                                         done=bool(data.get("done")),
-                                        reserved=True)
+                                        reserved=True, obs_ctx=obs_ctx)
                 if reroute_reason is not None:
                     self._m_reroutes.inc(reason=reroute_reason)
                 self.breaker.record_success()
@@ -401,15 +462,21 @@ class FleetRouter(HttpServerBase):
                          elapsed_s: float) -> None:
         self._m_requests.inc(route=f"fleet.{route}", status=str(status))
         self._m_latency.observe(elapsed_s, route=f"fleet.{route}")
+        self.slo.observe(ok=status < 500, latency_s=elapsed_s)
 
-    def _route(self, method: str, path: str):
+    def _route(self, method: str, path: str, query):
         parts = [p for p in path.split("/") if p]
         if path == "/healthz" and method == "GET":
             return "healthz", self._h_healthz, ()
         if path == "/metrics" and method == "GET":
-            return "metrics", self._h_metrics, ()
+            return "metrics", self._h_metrics, (query.get("local"),)
         if parts[:1] == [protocol.API_VERSION]:
             rest = parts[1:]
+            if (len(rest) == 3 and rest[:2] == ["obs", "traces"]
+                    and method == "GET"):
+                return "obs_trace", self._h_obs_trace, (rest[2],)
+            if rest == ["obs", "summary"] and method == "GET":
+                return "obs_summary", self._h_obs_summary, ()
             if rest in (["apps"], ["modes"]) and method == "GET":
                 return rest[0], self._h_catalog, (rest[0],)
             if rest == ["jobs"] and method == "POST":
@@ -433,6 +500,8 @@ class FleetRouter(HttpServerBase):
         payload = {
             "status": "ok" if ok else "degraded",
             "version": repro.__version__,
+            "now": obs.now(),
+            "slo": self.slo.snapshot(),
             "fleet": {
                 "healthy": len(healthy),
                 "total": len(self.handles),
@@ -447,10 +516,85 @@ class FleetRouter(HttpServerBase):
         }
         return await self._send_json(writer, 200 if ok else 503, payload)
 
-    async def _h_metrics(self, writer, body, headers) -> int:
+    async def _h_metrics(self, writer, body, headers,
+                         local: Optional[str]) -> int:
+        """Fleet-federated Prometheus dump (``?local=1`` skips peers).
+
+        Every reachable runner's ``/metrics`` is merged in with a
+        ``runner="<url>"`` label, so one scrape of the router sees the
+        whole fleet; a runner that fails mid-scrape is simply absent
+        from that pass.
+        """
         text = obs.REGISTRY.to_prometheus()
+        if not local:
+            peers = []
+            for handle in self.handles.values():
+                if handle.state not in ("healthy", "draining",
+                                        "rejected"):
+                    continue
+                try:
+                    peer_text = await self._in_executor(
+                        handle.fetch_text, "/metrics")
+                except (urllib.error.URLError, OSError):
+                    continue
+                peers.append((handle.url, peer_text))
+            if peers:
+                text = obs.federate_metrics(text, peers)
         return await self._send(writer, 200, text.encode("utf-8"),
                                 "text/plain; version=0.0.4")
+
+    # -- fleet observability: stitched traces + summary -----------------
+
+    async def _h_obs_trace(self, writer, body, headers,
+                           job_id: str) -> int:
+        """One whole-fleet Perfetto trace for a routed job."""
+        placement = self._placement_of(job_id)
+        if placement.trace is None:
+            raise ServerError(
+                f"no trace recorded for job {job_id[:12]} "
+                f"(tracing was off when it was placed)",
+                status=404, code="not_found")
+        # pull fresh batches so a just-finished job reads complete
+        await self._collect_spans()
+        trace_id = placement.trace.get("trace_id")
+        spans = self.trace_store.spans(trace_id or "")
+        if not spans:
+            raise ServerError(
+                f"trace {trace_id} has no collected spans yet",
+                status=404, code="not_found")
+        trace = obs.chrome_trace(spans)
+        trace["traceId"] = trace_id
+        trace["jobId"] = job_id
+        return await self._send_json(writer, 200, trace)
+
+    async def _h_obs_summary(self, writer, body, headers) -> int:
+        payload = {
+            "role": "router",
+            "version": repro.__version__,
+            "now": obs.now(),
+            "slo": self.slo.snapshot(),
+            "traces": {
+                "count": len(self.trace_store),
+                "dropped": self.trace_store.dropped,
+            },
+            "spans": {
+                "enabled": self.span_buffer is not None,
+                "buffered": (len(self.span_buffer)
+                             if self.span_buffer is not None else 0),
+                "dropped": (self.span_buffer.dropped
+                            if self.span_buffer is not None else 0),
+            },
+            "fleet": {
+                "healthy": len(self.routable()),
+                "total": len(self.handles),
+                "placements": len(self._placements),
+                "inflight": sum(h.inflight
+                                for h in self.handles.values()),
+                "breaker": self.breaker.snapshot(),
+            },
+            "runners": [h.snapshot() for h in self.handles.values()],
+        }
+        return await self._send_json(writer, 200, payload)
 
     async def _h_catalog(self, writer, body, headers, what: str) -> int:
         status, data = await self._forward_any("GET", f"/v1/{what}")
@@ -490,9 +634,31 @@ class FleetRouter(HttpServerBase):
                 f"fleet admission breaker open after "
                 f"{self.breaker.trips} trip(s)",
                 retry_after_s=self.breaker.cooldown_s))
+        placement = self._placements.get(key)
+        if placement is not None and placement.trace is not None:
+            # resubmit-dedup: the job already has a root span; attach
+            # this placement attempt to the ORIGINAL trace
+            return await self._submit_placed(writer, key, payload,
+                                             placement, placement.trace)
+        # a fresh job opens the fleet-wide root span here at the
+        # router, parented on the client's traceparent when present
+        # (malformed/absent -> a fresh root, never an error)
+        client_ctx = parse_trace_parent(headers)
+        with obs.span("fleet.job", parent=client_ctx, key=key[:12],
+                      app=payload.get("app"),
+                      mode=payload.get("mode")) as root:
+            obs_ctx = (root.context() if isinstance(root, obs.Span)
+                       else client_ctx)
+            return await self._submit_placed(writer, key, payload,
+                                             placement, obs_ctx)
+
+    async def _submit_placed(self, writer, key: str,
+                             payload: Dict[str, Any],
+                             placement: Optional[_Placement],
+                             obs_ctx: Optional[Dict[str, str]]) -> int:
+        """Route one admitted submission (sticky dedup, then anywhere)."""
         # sticky dedup: a key we already placed goes back to its node
         # (whose content-hash dedup makes the resubmission free)
-        placement = self._placements.get(key)
         exclude = ()
         if placement is not None:
             handle = self.handles.get(placement.runner)
@@ -500,14 +666,16 @@ class FleetRouter(HttpServerBase):
                 outcome = await self._forward_submit(
                     key, payload, exclude=[
                         h.url for h in self.handles.values()
-                        if h.url != placement.runner])
+                        if h.url != placement.runner],
+                    obs_ctx=obs_ctx)
                 if outcome is not None:
                     _, status, data, _ = outcome
                     return await self._send_json(writer, status, data)
             exclude = (placement.runner,)
         outcome = await self._forward_submit(
             key, payload,
-            exclude=exclude if placement is not None else ())
+            exclude=exclude if placement is not None else (),
+            obs_ctx=obs_ctx)
         if outcome is None:
             self.breaker.record_failure()
             return await self._send_json(writer, 503, protocol._body(
@@ -570,7 +738,7 @@ class FleetRouter(HttpServerBase):
         self._release(placement)
         await self._forward_submit(
             key, placement.payload, exclude=(placement.runner,),
-            reroute_reason=reason)
+            reroute_reason=reason, obs_ctx=placement.trace)
         return 202, protocol._body(
             "pending", f"job {key[:12]} re-routed after {reason}",
             key=key, status="queued", attempts=0, retry_after_s=1.0)

@@ -36,6 +36,9 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
+from repro.obs.collect import clock_offset
+
 #: consecutive probe failures before a runner is declared unhealthy
 #: (one lost probe is a blip; two is a dead node)
 PROBE_FAILURES_TO_EVICT = 2
@@ -55,6 +58,11 @@ class RunnerHandle:
         #: router-side queue depth: forwards accepted but not terminal
         #: (this is the gauge work stealing compares to the threshold)
         self.inflight = 0
+        #: seconds to ADD to this runner's timestamps to land on the
+        #: local clock (probe round-trip midpoint vs. reported ``now``)
+        self.clock_offset_s = 0.0
+        #: drain cursor into the runner's ``/v1/obs/spans`` buffer
+        self.spans_cursor = 0
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +119,7 @@ class RunnerHandle:
         the node is still alive and will finish what it holds.
         """
         self.last_probe_s = time.time()
+        t_sent = obs.now()
         try:
             status, health, _ = self.request(
                 "GET", "/healthz", timeout_s=timeout_s)
@@ -124,6 +133,13 @@ class RunnerHandle:
         self.consecutive_failures = 0
         self.last_error = None
         self.version = health.get("version")
+        # clock alignment: the runner reports its own `now`; the probe
+        # round-trip midpoint maps it onto the router clock so pulled
+        # span timestamps stitch monotonically across nodes
+        remote_now = health.get("now")
+        if isinstance(remote_now, (int, float)):
+            self.clock_offset_s = clock_offset(
+                t_sent, obs.now(), float(remote_now))
         if expected_version is not None and self.version != expected_version:
             self.state = "rejected"
             self.last_error = (f"version {self.version!r} != router "
@@ -135,6 +151,29 @@ class RunnerHandle:
             self.last_error = f"status={status} health={health.get('status')}"
         return health
 
+    def fetch_spans(self, since: Optional[int] = None,
+                    timeout_s: float = 10.0) -> Dict[str, Any]:
+        """Drain this runner's span buffer past the cursor.
+
+        Advances ``spans_cursor`` on success so the next pull is
+        incremental; raises like :meth:`request` when the node is gone.
+        """
+        cursor = self.spans_cursor if since is None else since
+        status, data, _ = self.request(
+            "GET", f"/v1/obs/spans?since={cursor}", timeout_s=timeout_s)
+        if status == 200 and since is None:
+            self.spans_cursor = int(data.get("next") or cursor)
+        return data if status == 200 else {"spans": [], "next": cursor}
+
+    def fetch_text(self, path: str,
+                   timeout_s: Optional[float] = None) -> str:
+        """GET a non-JSON resource (e.g. ``/metrics``) from the runner."""
+        request = urllib.request.Request(self.url + path,
+                                         method="GET")
+        with urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s) as resp:
+            return resp.read().decode("utf-8")
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "url": self.url,
@@ -143,6 +182,7 @@ class RunnerHandle:
             "inflight": self.inflight,
             "consecutive_failures": self.consecutive_failures,
             "last_error": self.last_error,
+            "clock_offset_s": round(self.clock_offset_s, 6),
         }
 
     def __repr__(self):

@@ -20,6 +20,10 @@ import contextlib
 import os
 from typing import Optional
 
+from repro.obs.collect import (
+    SpanBuffer, TraceStore, align_spans, clock_offset, federate_metrics,
+    format_traceparent, parse_traceparent,
+)
 from repro.obs.export import (
     JsonlSink, ascii_timeline, chrome_trace, read_jsonl, span_depth,
     write_chrome_trace,
@@ -27,6 +31,8 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, get_registry,
 )
+from repro.obs.profiler import StackProfiler
+from repro.obs.slo import SLOTracker
 from repro.obs.span import (
     NULL_SPAN, Span, SpanCollector, SpanEvent, add_sink, adopt_spans,
     current_context, current_span, enabled, event, new_trace_id, now,
@@ -34,10 +40,13 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "SpanBuffer", "TraceStore", "align_spans", "clock_offset",
+    "federate_metrics", "format_traceparent", "parse_traceparent",
     "JsonlSink", "ascii_timeline", "chrome_trace", "read_jsonl",
     "span_depth", "write_chrome_trace",
     "REGISTRY", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry",
+    "StackProfiler", "SLOTracker",
     "NULL_SPAN", "Span", "SpanCollector", "SpanEvent", "add_sink",
     "adopt_spans", "current_context", "current_span", "enabled",
     "event", "new_trace_id", "now", "remove_sink", "span",

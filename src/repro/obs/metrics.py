@@ -63,6 +63,23 @@ class _Metric:
         self.help = help_text
         self.labelnames = tuple(labelnames)
         self._lock = lock
+        #: cardinality guard, set by the owning registry (None = off)
+        self.label_cap: Optional[int] = None
+        self._on_drop: Optional[Callable[[str], None]] = None
+
+    def _admit(self, key: Tuple[str, ...], values: Dict) -> bool:
+        """Whether a new label set may be stored (call with lock held).
+
+        Federation multiplies label sets (every runner URL becomes a
+        label value); past the cap, observations on *new* label sets
+        are dropped and counted rather than growing without bound.
+        """
+        if (key in values or self.label_cap is None
+                or len(values) < self.label_cap):
+            return True
+        if self._on_drop is not None:
+            self._on_drop(self.name)
+        return False
 
     def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
         if set(labels) != set(self.labelnames):
@@ -97,6 +114,8 @@ class Counter(_Metric):
             raise ValueError(f"{self.name}: counters only go up ({n})")
         key = self._key(labels)
         with self._lock:
+            if not self._admit(key, self._values):
+                return
             self._values[key] = self._values.get(key, 0.0) + n
 
     def get(self, **labels: Any) -> float:
@@ -126,11 +145,15 @@ class Gauge(Counter):
     def set(self, value: float, **labels: Any) -> None:
         key = self._key(labels)
         with self._lock:
+            if not self._admit(key, self._values):
+                return
             self._values[key] = float(value)
 
     def inc(self, n: float = 1, **labels: Any) -> None:
         key = self._key(labels)
         with self._lock:
+            if not self._admit(key, self._values):
+                return
             self._values[key] = self._values.get(key, 0.0) + n
 
     def dec(self, n: float = 1, **labels: Any) -> None:
@@ -156,6 +179,8 @@ class Histogram(_Metric):
         with self._lock:
             row = self._values.get(key)
             if row is None:
+                if not self._admit(key, self._values):
+                    return
                 row = [0.0] * (len(self.buckets) + 2)
                 self._values[key] = row
             for i, bound in enumerate(self.buckets):
@@ -205,13 +230,28 @@ class Histogram(_Metric):
                             for key, row in items]}
 
 
+#: where the cardinality guard records what it refused to store
+DROPPED_METRIC = "repro_metrics_dropped_labels_total"
+
+#: default per-metric distinct-label-set cap (fleet federation can
+#: multiply label sets by the runner count; past this, drop + count)
+DEFAULT_LABEL_CAP = 1000
+
+
 class MetricsRegistry:
     """Name -> metric map with idempotent get-or-create accessors."""
 
-    def __init__(self):
+    def __init__(self, label_cap: Optional[int] = DEFAULT_LABEL_CAP):
         self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self.label_cap = label_cap
+
+    def _note_dropped(self, metric_name: str) -> None:
+        self.counter(
+            DROPPED_METRIC,
+            "Observations dropped by the label-cardinality guard.",
+            ("metric",)).inc(metric=metric_name)
 
     # -- get-or-create -------------------------------------------------
     def _get(self, cls, name: str, help_text: str,
@@ -221,6 +261,11 @@ class MetricsRegistry:
             if metric is None:
                 metric = cls(name, help_text, tuple(labelnames),
                              threading.Lock(), **kwargs)
+                if name != DROPPED_METRIC:
+                    # the drop counter itself is exempt: its label
+                    # cardinality is the metric count, already bounded
+                    metric.label_cap = self.label_cap
+                    metric._on_drop = self._note_dropped
                 self._metrics[name] = metric
                 return metric
         if type(metric) is not cls:
@@ -252,6 +297,15 @@ class MetricsRegistry:
         with self._lock:
             if fn not in self._collectors:
                 self._collectors.append(fn)
+
+    def unregister_collector(
+            self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Detach a collector (e.g. an SLO tracker on server shutdown)."""
+        with self._lock:
+            try:
+                self._collectors.remove(fn)
+            except ValueError:
+                pass
 
     def _collect(self) -> None:
         with self._lock:

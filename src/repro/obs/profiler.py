@@ -1,0 +1,120 @@
+"""Opt-in sampling stack profiler (folded-stack / flamegraph output).
+
+A daemon thread wakes ``hz`` times a second, snapshots every thread's
+stack via ``sys._current_frames()`` and folds each stack bottom-up into
+a ``file:func;file:func;...`` key.  :meth:`StackProfiler.folded`
+renders the counts in the classic folded-stack format ("stack count"
+per line) that ``flamegraph.pl`` / speedscope / inferno consume
+directly -- a runner serves it at ``/v1/obs/profile``.
+
+Sampling cost is one C-level dict snapshot plus a frame walk per
+thread per tick; at the default 50 Hz this is well under 1% on a busy
+process (the bench gate in ``benchmarks/test_obs_overhead.py`` holds
+it <= 1.10x on a cold fig5).  The profiler's own sampling thread is
+excluded from its samples.  Enabled per process with
+``REPRO_PROFILE_HZ`` (0 = off, the default).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional
+
+
+def fold_frame(frame) -> str:
+    """Walk a frame's call chain into ``outer;...;inner`` form."""
+    parts: List[str] = []
+    while frame is not None:
+        code = frame.f_code
+        parts.append(f"{os.path.basename(code.co_filename)}"
+                     f":{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class StackProfiler:
+    """Sampling profiler over ``sys._current_frames()`` (thread-safe).
+
+    ``max_stacks`` bounds the distinct-stack table; once full, samples
+    landing on *new* stacks are counted in ``dropped`` instead of
+    growing memory without limit on a long-lived server.
+    """
+
+    def __init__(self, hz: float = 50.0, max_stacks: int = 10000):
+        if hz <= 0:
+            raise ValueError(f"profiler hz must be > 0, got {hz}")
+        self.hz = float(hz)
+        self.max_stacks = max_stacks
+        self._interval = 1.0 / self.hz
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.samples = 0
+        self.dropped = 0
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "StackProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self._interval):
+            self.sample_once(skip_ident=me)
+
+    def sample_once(self, skip_ident: Optional[int] = None) -> int:
+        """Take one sample of every live thread; returns stacks seen."""
+        frames = sys._current_frames()
+        seen = 0
+        with self._lock:
+            for ident, frame in frames.items():
+                if ident == skip_ident:
+                    continue
+                key = fold_frame(frame)
+                if (key not in self._counts
+                        and len(self._counts) >= self.max_stacks):
+                    self.dropped += 1
+                    continue
+                self._counts[key] = self._counts.get(key, 0) + 1
+                seen += 1
+            self.samples += 1
+        return seen
+
+    def folded(self) -> str:
+        """Folded-stack text: one ``stack count`` line per stack."""
+        with self._lock:
+            items = sorted(self._counts.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join(f"{stack} {count}" for stack, count in items)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self.samples = 0
+            self.dropped = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {"hz": self.hz, "running": self.running,
+                    "samples": self.samples,
+                    "stacks": len(self._counts),
+                    "dropped": self.dropped}

@@ -1,0 +1,181 @@
+"""Multi-window SLO burn-rate tracking.
+
+An SLO here is "`target` of requests are *good*", where a request is
+bad when it returned a 5xx **or** exceeded the latency threshold.  The
+error budget is ``1 - target``; the **burn rate** over a window is the
+observed bad fraction divided by that budget:
+
+    burn = bad / (good + bad) / (1 - target)
+
+burn == 1 means the budget is being spent exactly as provisioned; a
+99% target burning at 14 exhausts a 30-day budget in ~2 days.  The
+standard multi-window alerting trick applies: a short window catches
+the spike, a long window proves it is sustained, and only when BOTH
+exceed the threshold is the service flagged *degraded* -- a transient
+blip clears the fast window within minutes, while a real incident
+keeps both hot.
+
+:class:`SLOTracker` keeps per-second good/bad buckets (pruned past the
+longest window, so memory is bounded at ``max_window_s`` entries) and
+publishes ``repro_slo_*`` gauges through a registry collector.  The
+degraded flag is surfaced in ``/healthz`` payloads as advisory data --
+it does NOT flip the top-level health status, because the router parks
+non-``ok`` runners as unroutable and an SLO burn is exactly when
+removing capacity makes things worse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: short window proves "now", long window proves "sustained"
+DEFAULT_WINDOWS: Dict[str, float] = {"fast": 300.0, "slow": 3600.0}
+
+#: burn >= this in BOTH windows => degraded (a 99% SLO burning at 10x
+#: spends a 30-day budget in 3 days -- page-worthy, not blip-worthy)
+DEFAULT_BURN_THRESHOLD = 10.0
+
+
+class SLOTracker:
+    """Rolling good/bad request accounting with windowed burn rates.
+
+    ``now_fn`` is injectable so tests can drive the clock; defaults to
+    ``time.monotonic`` (windows only ever need *relative* time).
+    """
+
+    def __init__(self, name: str, target: float = 0.99,
+                 latency_s: float = 5.0,
+                 windows: Optional[Mapping[str, float]] = None,
+                 burn_threshold: float = DEFAULT_BURN_THRESHOLD,
+                 now_fn: Optional[Callable[[], float]] = None):
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {target}")
+        if latency_s <= 0:
+            raise ValueError(f"SLO latency must be > 0, got {latency_s}")
+        self.name = name
+        self.target = target
+        self.latency_s = latency_s
+        self.windows = dict(DEFAULT_WINDOWS if windows is None
+                            else windows)
+        if not self.windows:
+            raise ValueError("SLOTracker needs at least one window")
+        self.burn_threshold = burn_threshold
+        self._now = now_fn or time.monotonic
+        self._max_window = max(self.windows.values())
+        self._lock = threading.Lock()
+        # whole-second bucket -> [good, bad]
+        self._buckets: Dict[int, list] = {}
+        self.total_good = 0
+        self.total_bad = 0
+        self._registry: Optional[MetricsRegistry] = None
+
+    # -- recording -----------------------------------------------------
+    def observe(self, ok: bool, latency_s: float = 0.0) -> None:
+        """Record one request: bad = error OR over the latency budget."""
+        bad = (not ok) or (latency_s > self.latency_s)
+        sec = int(self._now())
+        with self._lock:
+            row = self._buckets.get(sec)
+            if row is None:
+                row = self._buckets[sec] = [0, 0]
+                self._prune(sec)
+            row[1 if bad else 0] += 1
+            if bad:
+                self.total_bad += 1
+            else:
+                self.total_good += 1
+
+    def _prune(self, now_sec: int) -> None:
+        # called with the lock held, only when a new second opens
+        horizon = now_sec - int(self._max_window) - 1
+        if len(self._buckets) > self._max_window + 2:
+            for sec in [s for s in self._buckets if s < horizon]:
+                del self._buckets[sec]
+
+    # -- reading -------------------------------------------------------
+    def counts(self, window_s: float) -> tuple:
+        """``(good, bad)`` over the trailing ``window_s`` seconds."""
+        horizon = self._now() - window_s
+        good = bad = 0
+        with self._lock:
+            for sec, (g, b) in self._buckets.items():
+                if sec >= horizon:
+                    good += g
+                    bad += b
+        return good, bad
+
+    def burn_rate(self, window: str) -> float:
+        """Bad fraction over the window, in units of the error budget."""
+        good, bad = self.counts(self.windows[window])
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.target)
+
+    @property
+    def degraded(self) -> bool:
+        """True when EVERY window burns at or above the threshold."""
+        return all(self.burn_rate(w) >= self.burn_threshold
+                   for w in self.windows)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state for ``/healthz`` and ``/v1/obs/summary``."""
+        windows = {}
+        for name, seconds in sorted(self.windows.items()):
+            good, bad = self.counts(seconds)
+            windows[name] = {
+                "seconds": seconds,
+                "good": good,
+                "bad": bad,
+                "burn_rate": round(self.burn_rate(name), 4),
+            }
+        return {
+            "name": self.name,
+            "target": self.target,
+            "latency_s": self.latency_s,
+            "burn_threshold": self.burn_threshold,
+            "degraded": self.degraded,
+            "windows": windows,
+            "total_good": self.total_good,
+            "total_bad": self.total_bad,
+        }
+
+    # -- metrics bridge ------------------------------------------------
+    def attach(self, registry: MetricsRegistry) -> "SLOTracker":
+        """Publish ``repro_slo_*`` gauges via a dump-time collector."""
+        self._registry = registry
+        registry.register_collector(self._collect)
+        return self
+
+    def detach(self) -> None:
+        if self._registry is not None:
+            self._registry.unregister_collector(self._collect)
+            self._registry = None
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per SLO window.",
+            ("slo", "window"))
+        degraded = registry.gauge(
+            "repro_slo_degraded",
+            "1 when every burn-rate window exceeds the threshold.",
+            ("slo",))
+        requests = registry.gauge(
+            "repro_slo_window_requests",
+            "Requests observed in the SLO window.",
+            ("slo", "window"))
+        bad_g = registry.gauge(
+            "repro_slo_window_bad",
+            "Bad requests (error or over-latency) in the SLO window.",
+            ("slo", "window"))
+        for window, seconds in self.windows.items():
+            good, bad = self.counts(seconds)
+            burn.set(self.burn_rate(window), slo=self.name, window=window)
+            requests.set(good + bad, slo=self.name, window=window)
+            bad_g.set(bad, slo=self.name, window=window)
+        degraded.set(1.0 if self.degraded else 0.0, slo=self.name)

@@ -38,6 +38,7 @@ import signal
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+import repro
 from repro import api, obs
 from repro.config import ReproConfig
 from repro.flow.serialize import result_to_dict
@@ -104,11 +105,25 @@ class ReproServer(HttpServerBase):
                  config: Optional[ReproConfig] = None):
         self._own_service = service is None
         self.service = service or api.open_service(config)
+        self.config = config if config is not None \
+            else ReproConfig.from_env()
         self.host = host
         self.port = port
         self.max_queue = max_queue
         self.drain_timeout_s = drain_timeout_s
         self.draining = False
+        # fleet-observability surface: a span ring buffer the collector
+        # drains (opt-in via obs_buffer), an SLO burn tracker, and an
+        # opt-in sampling profiler (profile_hz)
+        self.span_buffer: Optional[obs.SpanBuffer] = (
+            obs.SpanBuffer(self.config.obs_buffer)
+            if self.config.obs_buffer > 0 else None)
+        self.slo = obs.SLOTracker(
+            "server", target=self.config.slo_target,
+            latency_s=self.config.slo_latency_s)
+        self.profiler: Optional[obs.StackProfiler] = (
+            obs.StackProfiler(self.config.profile_hz)
+            if self.config.profile_hz > 0 else None)
         self._jobs: Dict[str, _JobState] = {}
         self._inflight = 0                # uncached jobs not yet done
         self._seq = 0                     # global SSE event id
@@ -143,6 +158,11 @@ class ReproServer(HttpServerBase):
         self._idle.set()
         self.service.add_listener(self._on_service_event)
         self.service.set_tracer_factory(self._tracer_for)
+        if self.span_buffer is not None:
+            obs.add_sink(self.span_buffer)
+        self.slo.attach(obs.REGISTRY)
+        if self.profiler is not None:
+            self.profiler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -166,6 +186,11 @@ class ReproServer(HttpServerBase):
             self._fanout(state, "shutdown", {"draining": True})
         self.service.remove_listener(self._on_service_event)
         self.service.set_tracer_factory(None)
+        if self.span_buffer is not None:
+            obs.remove_sink(self.span_buffer)
+        self.slo.detach()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._own_service:
             self.service.close()
 
@@ -262,8 +287,11 @@ class ReproServer(HttpServerBase):
                          elapsed_s: float) -> None:
         self._m_requests.inc(route=route, status=str(status))
         self._m_latency.observe(elapsed_s, route=route)
+        # SLO accounting: server-caused failures burn the budget;
+        # client errors and deliberate shedding (4xx) do not
+        self.slo.observe(ok=status < 500, latency_s=elapsed_s)
 
-    def _route(self, method: str, path: str):
+    def _route(self, method: str, path: str, query):
         parts = [p for p in path.split("/") if p]
         if path == "/healthz" and method == "GET":
             return "healthz", self._h_healthz, ()
@@ -271,6 +299,13 @@ class ReproServer(HttpServerBase):
             return "metrics", self._h_metrics, ()
         if parts[:1] == [protocol.API_VERSION]:
             rest = parts[1:]
+            if rest == ["obs", "spans"] and method == "GET":
+                return "obs_spans", self._h_obs_spans, (
+                    query.get("since", "0"),)
+            if rest == ["obs", "profile"] and method == "GET":
+                return "obs_profile", self._h_obs_profile, ()
+            if rest == ["obs", "summary"] and method == "GET":
+                return "obs_summary", self._h_obs_summary, ()
             if rest == ["apps"] and method == "GET":
                 return "apps", self._h_apps, ()
             if rest == ["modes"] and method == "GET":
@@ -302,6 +337,13 @@ class ReproServer(HttpServerBase):
             "max_queue": self.max_queue,
             "jobs_tracked": len(self._jobs),
         }
+        # advisory fields for the fleet collector: the runner's clock
+        # (for offset measurement) and SLO burn state.  An SLO burn
+        # does NOT flip top-level status -- the router parks non-ok
+        # runners unroutable, and shrinking a burning fleet burns it
+        # harder.
+        health["now"] = obs.now()
+        health["slo"] = self.slo.snapshot()
         breaker_open = health["overload"]["state"] != "closed"
         ok = not breaker_open and not self.draining
         health["status"] = "ok" if ok else "degraded"
@@ -311,6 +353,56 @@ class ReproServer(HttpServerBase):
         text = obs.REGISTRY.to_prometheus()
         return await self._send(writer, 200, text.encode("utf-8"),
                                 "text/plain; version=0.0.4")
+
+    # -- fleet observability surface ------------------------------------
+
+    async def _h_obs_spans(self, writer, body, headers,
+                           since: str) -> int:
+        """Drain finished spans past the collector's cursor."""
+        try:
+            cursor = int(since)
+        except (TypeError, ValueError):
+            raise ServerError(f"bad since cursor {since!r}",
+                              status=400, code="bad_request") from None
+        if self.span_buffer is None:
+            payload = {"enabled": False, "spans": [], "next": 0,
+                       "dropped": 0, "now": obs.now()}
+        else:
+            spans, next_seq = self.span_buffer.since(cursor)
+            payload = {"enabled": True, "spans": spans,
+                       "next": next_seq,
+                       "dropped": self.span_buffer.dropped,
+                       "now": obs.now()}
+        return await self._send_json(writer, 200, payload)
+
+    async def _h_obs_profile(self, writer, body, headers) -> int:
+        """Folded-stack profiler dump (flamegraph.pl input format)."""
+        if self.profiler is None:
+            raise ServerError(
+                "profiler is off (set REPRO_PROFILE_HZ to enable)",
+                status=404, code="not_found")
+        text = self.profiler.folded()
+        return await self._send(writer, 200,
+                                (text + "\n").encode("utf-8"),
+                                "text/plain; charset=utf-8")
+
+    async def _h_obs_summary(self, writer, body, headers) -> int:
+        payload = {
+            "role": "runner",
+            "version": repro.__version__,
+            "now": obs.now(),
+            "slo": self.slo.snapshot(),
+            "spans": {
+                "enabled": self.span_buffer is not None,
+                "buffered": (len(self.span_buffer)
+                             if self.span_buffer is not None else 0),
+                "dropped": (self.span_buffer.dropped
+                            if self.span_buffer is not None else 0),
+            },
+            "profiler": (self.profiler.snapshot()
+                         if self.profiler is not None else None),
+        }
+        return await self._send_json(writer, 200, payload)
 
     async def _h_apps(self, writer, body, headers) -> int:
         return await self._send_json(writer, 200, {"apps": api.list_apps()})

@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from repro.server import protocol
@@ -53,9 +54,11 @@ class HttpServerBase:
         route = "unparsed"
         t0 = time.monotonic()
         try:
-            method, path, headers = await self._read_head(reader)
+            method, target, headers = await self._read_head(reader)
             body = await self._read_body(reader, headers)
-            route, handler, args = self._route(method, path)
+            path, _, raw_query = target.partition("?")
+            query = dict(urllib.parse.parse_qsl(raw_query))
+            route, handler, args = self._route(method, path, query)
             status = await handler(writer, body, headers, *args)
         except ConnectionError:
             status = 0
@@ -74,8 +77,13 @@ class HttpServerBase:
         if status:
             self._observe_request(route, status, time.monotonic() - t0)
 
-    def _route(self, method: str, path: str):
-        """Return ``(route_name, handler, args)`` or raise ServerError."""
+    def _route(self, method: str, path: str, query: Dict[str, str]):
+        """Return ``(route_name, handler, args)`` or raise ServerError.
+
+        ``query`` is the parsed query string; routes that take
+        parameters (e.g. ``/v1/obs/spans?since=N``) thread the values
+        through as handler args.
+        """
         raise NotImplementedError
 
     def _observe_request(self, route: str, status: int,
@@ -100,7 +108,7 @@ class HttpServerBase:
                 break
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        return method, target.split("?", 1)[0], headers
+        return method, target, headers
 
     async def _read_body(self, reader: asyncio.StreamReader,
                          headers: Dict[str, str]) -> bytes:
@@ -141,12 +149,20 @@ class HttpServerBase:
 
 def parse_trace_parent(headers: Dict[str, str]
                        ) -> Optional[Dict[str, str]]:
-    """The ``X-Repro-Parent`` span context, or None.
+    """The caller's span context, or None.
 
-    The router stamps its span context onto forwarded requests as a
-    JSON ``{"trace_id": ..., "span_id": ...}`` header; a malformed
-    value is ignored rather than failing the job.
+    Two encodings are accepted: the W3C-style ``traceparent`` header
+    (``00-<trace_id>-<span_id>-01``, stamped by :class:`ReproClient`
+    and the fleet router) and the older JSON ``X-Repro-Parent``
+    (``{"trace_id": ..., "span_id": ...}``).  ``traceparent`` wins
+    when both are present.  A malformed value is ignored rather than
+    failing the job -- the receiver opens a fresh trace root.
     """
+    from repro.obs.collect import parse_traceparent
+
+    ctx = parse_traceparent(headers.get("traceparent"))
+    if ctx is not None:
+        return ctx
     raw = headers.get("x-repro-parent")
     if not raw:
         return None

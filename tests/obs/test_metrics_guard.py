@@ -1,0 +1,98 @@
+"""MetricsRegistry label-cardinality guard.
+
+An unbounded label value (a job id, a URL with a query string) would
+grow a metric's table forever on a long-lived server; the registry
+caps distinct label sets per metric and counts what it refuses in
+``repro_metrics_dropped_labels_total``.
+"""
+
+from repro.obs.metrics import DROPPED_METRIC, MetricsRegistry
+
+
+def dropped(registry, metric):
+    return registry.counter(
+        DROPPED_METRIC, "", ("metric",)).get(metric=metric)
+
+
+def test_counter_drops_label_sets_past_the_cap():
+    registry = MetricsRegistry(label_cap=2)
+    counter = registry.counter("jobs_total", "", ("app",))
+    counter.inc(app="a")
+    counter.inc(app="b")
+    counter.inc(app="c")               # over the cap: dropped
+    assert counter.get(app="a") == 1 and counter.get(app="b") == 1
+    assert counter.get(app="c") == 0
+    assert dropped(registry, "jobs_total") == 1
+
+
+def test_existing_label_sets_keep_updating_at_the_cap():
+    registry = MetricsRegistry(label_cap=1)
+    counter = registry.counter("hits", "", ("tier",))
+    counter.inc(tier="memory")
+    counter.inc(5, tier="memory")
+    assert counter.get(tier="memory") == 6
+    assert dropped(registry, "hits") == 0
+
+
+def test_gauge_set_and_inc_respect_the_cap():
+    registry = MetricsRegistry(label_cap=1)
+    gauge = registry.gauge("depth", "", ("queue",))
+    gauge.set(3, queue="a")
+    gauge.set(9, queue="b")
+    gauge.inc(queue="b")
+    assert gauge.get(queue="a") == 3
+    assert gauge.get(queue="b") == 0
+    assert dropped(registry, "depth") == 2
+
+
+def test_histogram_observe_respects_the_cap():
+    registry = MetricsRegistry(label_cap=1)
+    histogram = registry.histogram("latency", "", ("route",),
+                                   buckets=(0.1, 1.0))
+    histogram.observe(0.05, route="a")
+    histogram.observe(0.05, route="a")
+    histogram.observe(0.05, route="b")
+    text = registry.to_prometheus()
+    assert 'latency_count{route="a"} 2' in text
+    assert 'route="b"' not in text
+    assert dropped(registry, "latency") == 1
+
+
+def test_unlabeled_metrics_are_never_capped():
+    registry = MetricsRegistry(label_cap=1)
+    counter = registry.counter("plain_total", "")
+    for _ in range(5):
+        counter.inc()
+    assert counter.get() == 5
+
+
+def test_drop_counter_itself_is_exempt_from_the_cap():
+    registry = MetricsRegistry(label_cap=1)
+    for name in ("m1", "m2", "m3"):
+        counter = registry.counter(name, "", ("l",))
+        counter.inc(l="a")
+        counter.inc(l="b")             # each metric overflows once
+    # three distinct label sets on the drop counter, cap is 1 --
+    # but the drop counter is exempt, so nothing is lost silently
+    for name in ("m1", "m2", "m3"):
+        assert dropped(registry, name) == 1
+
+
+def test_cap_is_per_metric_not_global():
+    registry = MetricsRegistry(label_cap=2)
+    a = registry.counter("a_total", "", ("x",))
+    b = registry.counter("b_total", "", ("x",))
+    for value in ("1", "2"):
+        a.inc(x=value)
+        b.inc(x=value)
+    assert a.get(x="1") == 1 and b.get(x="2") == 1
+    assert dropped(registry, "a_total") == 0
+
+
+def test_cap_none_disables_the_guard():
+    registry = MetricsRegistry(label_cap=None)
+    counter = registry.counter("big", "", ("i",))
+    for i in range(50):
+        counter.inc(i=str(i))
+    assert counter.get(i="49") == 1
+    assert DROPPED_METRIC not in registry.to_prometheus()

@@ -1,0 +1,97 @@
+"""StackProfiler: folded stacks, sampling, bounds, lifecycle."""
+
+import sys
+import threading
+import time
+
+from repro.obs.profiler import StackProfiler, fold_frame
+
+
+def here_and_callers():
+    return fold_frame(sys._getframe())
+
+
+def test_fold_frame_walks_outer_to_inner():
+    folded = here_and_callers()
+    parts = folded.split(";")
+    assert parts[-1].endswith(":here_and_callers")
+    assert any(":test_fold_frame_walks_outer_to_inner" in p
+               for p in parts)
+    # callers precede callees
+    assert (parts.index(
+        next(p for p in parts
+             if ":test_fold_frame_walks_outer_to_inner" in p))
+        < len(parts) - 1)
+
+
+def test_sample_once_counts_the_calling_thread():
+    profiler = StackProfiler(hz=50.0)
+    assert profiler.sample_once() >= 1
+    assert profiler.samples == 1
+    folded = profiler.folded()
+    assert ":test_sample_once_counts_the_calling_thread" in folded
+    stack, count = folded.splitlines()[0].rsplit(" ", 1)
+    assert int(count) >= 1 and ";" in stack
+
+
+def test_repeated_samples_accumulate_counts():
+    profiler = StackProfiler(hz=50.0)
+    for _ in range(3):
+        profiler.sample_once()
+    # assert on THIS thread's stack: other live threads (leftover pool
+    # workers, server loops) are sampled too and may outscore it
+    mine = next(line for line in profiler.folded().splitlines()
+                if ":test_repeated_samples_accumulate_counts" in line)
+    assert mine.rsplit(" ", 1)[1] == "3"
+
+
+def test_max_stacks_bounds_the_table():
+    profiler = StackProfiler(hz=50.0, max_stacks=1)
+    profiler.sample_once()
+
+    def elsewhere():
+        profiler.sample_once()
+
+    elsewhere()
+    assert profiler.snapshot()["stacks"] == 1
+    assert profiler.dropped >= 1
+
+
+def test_start_stop_lifecycle_and_background_sampling():
+    profiler = StackProfiler(hz=200.0)
+    assert not profiler.running
+    profiler.start()
+    assert profiler.running
+    profiler.start()                   # idempotent
+    deadline = time.monotonic() + 5.0
+    while profiler.samples == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    profiler.stop()
+    assert not profiler.running
+    assert profiler.samples > 0
+    # the sampler never profiles itself
+    assert "repro-profiler" not in profiler.folded()
+    assert ":_run " not in profiler.folded()
+
+
+def test_sampler_skips_the_given_thread():
+    profiler = StackProfiler(hz=50.0)
+    profiler.sample_once(skip_ident=threading.get_ident())
+    assert ":test_sampler_skips_the_given_thread" \
+        not in profiler.folded()
+
+
+def test_reset_clears_counts():
+    profiler = StackProfiler(hz=50.0)
+    profiler.sample_once()
+    profiler.reset()
+    snap = profiler.snapshot()
+    assert snap["samples"] == 0 and snap["stacks"] == 0
+    assert profiler.folded() == ""
+
+
+def test_rejects_non_positive_hz():
+    import pytest
+
+    with pytest.raises(ValueError):
+        StackProfiler(hz=0.0)

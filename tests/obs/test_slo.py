@@ -1,0 +1,130 @@
+"""SLOTracker: burn-rate math, multi-window degradation, gauges."""
+
+import pytest
+
+from repro.obs.slo import SLOTracker
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+def tracker(**kwargs):
+    kwargs.setdefault("name", "test")
+    kwargs.setdefault("target", 0.99)
+    kwargs.setdefault("windows", {"fast": 60.0, "slow": 600.0})
+    return SLOTracker(**kwargs)
+
+
+def test_burn_rate_is_bad_fraction_over_error_budget():
+    clock = FakeClock()
+    slo = tracker(now_fn=clock)
+    for _ in range(98):
+        slo.observe(ok=True)
+    for _ in range(2):
+        slo.observe(ok=False)
+    # 2% bad against a 1% budget: burning at exactly 2x
+    assert slo.burn_rate("fast") == pytest.approx(2.0)
+    assert slo.burn_rate("slow") == pytest.approx(2.0)
+
+
+def test_slow_latency_burns_budget_like_an_error():
+    slo = tracker(now_fn=FakeClock(), latency_s=1.0)
+    slo.observe(ok=True, latency_s=5.0)    # "succeeded", too slowly
+    assert slo.total_bad == 1 and slo.total_good == 0
+
+
+def test_empty_windows_do_not_burn():
+    slo = tracker(now_fn=FakeClock())
+    assert slo.burn_rate("fast") == 0.0
+    assert not slo.degraded
+
+
+def test_degraded_needs_every_window_hot():
+    clock = FakeClock()
+    slo = tracker(now_fn=clock, burn_threshold=10.0)
+    # an old stretch of pure failure: outside fast, inside slow
+    for _ in range(10):
+        slo.observe(ok=False)
+    clock.advance(120.0)
+    assert slo.burn_rate("slow") >= 10.0
+    assert slo.burn_rate("fast") == 0.0
+    assert not slo.degraded             # the spike already cleared
+    # failures *now* light the fast window too -> real incident
+    for _ in range(10):
+        slo.observe(ok=False)
+    assert slo.degraded
+
+
+def test_fast_window_recovers_as_time_passes():
+    clock = FakeClock()
+    slo = tracker(now_fn=clock)
+    slo.observe(ok=False)
+    assert slo.burn_rate("fast") > 0
+    clock.advance(61.0)
+    assert slo.burn_rate("fast") == 0.0
+    assert slo.burn_rate("slow") > 0    # still inside the slow window
+
+
+def test_buckets_are_pruned_past_the_longest_window():
+    clock = FakeClock()
+    slo = tracker(now_fn=clock, windows={"w": 10.0})
+    for _ in range(30):
+        slo.observe(ok=True)
+        clock.advance(1.0)
+    assert len(slo._buckets) <= 13
+
+
+def test_snapshot_is_json_shaped():
+    import json
+
+    slo = tracker(now_fn=FakeClock())
+    slo.observe(ok=True, latency_s=0.1)
+    slo.observe(ok=False)
+    snap = json.loads(json.dumps(slo.snapshot()))
+    assert snap["name"] == "test" and snap["target"] == 0.99
+    assert snap["total_good"] == 1 and snap["total_bad"] == 1
+    assert set(snap["windows"]) == {"fast", "slow"}
+    assert snap["windows"]["fast"]["bad"] == 1
+    assert isinstance(snap["degraded"], bool)
+
+
+def test_attach_publishes_slo_gauges(registry):
+    from repro.obs.console import metric_sum, parse_prometheus
+
+    slo = tracker(now_fn=FakeClock()).attach(registry)
+    try:
+        for _ in range(6):
+            slo.observe(ok=True)
+        for _ in range(4):
+            slo.observe(ok=False)      # 40% bad: burning at ~40x
+        text = registry.to_prometheus()
+    finally:
+        slo.detach()
+    samples = parse_prometheus(text)
+    assert metric_sum(samples, "repro_slo_burn_rate", slo="test",
+                      window="fast") == pytest.approx(40.0)
+    assert metric_sum(samples, "repro_slo_degraded", slo="test") == 1.0
+    assert metric_sum(samples, "repro_slo_window_requests", slo="test",
+                      window="slow") == 10.0
+    assert metric_sum(samples, "repro_slo_window_bad", slo="test",
+                      window="fast") == 4.0
+    # detach really unhooks: no more updates land
+    slo.observe(ok=False)
+    assert registry.to_prometheus() == text
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"target": 0.0}, {"target": 1.0}, {"target": -1.0},
+    {"latency_s": 0.0}, {"windows": {}},
+])
+def test_constructor_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        tracker(**kwargs)
