@@ -1,0 +1,506 @@
+#!/usr/bin/env python
+"""Chaos scenario runner + invariant checker for the durable fleet.
+
+    PYTHONPATH=src python scripts/chaos_fleet.py                 # all
+    PYTHONPATH=src python scripts/chaos_fleet.py kill_primary --jobs 8
+
+Each scenario boots a real fleet (supervised ``python -m repro serve``
+runners plus ``python -m repro router`` control plane), submits a
+batch of unique jobs, injures the fleet mid-batch with a process
+signal or a seeded fault plan, and then asserts the durability
+invariants the journal + warm-standby design promises:
+
+``terminal_once``     every submitted job reaches exactly one terminal
+                      state (result or taxonomy error; nothing pending)
+``zero_lost``         no submitted job id is forgotten by the fleet
+``no_duplicate_exec`` the runners' ``jobs_run`` counters sum to the
+                      batch size: recovery resubmission never executed
+                      a job twice (content-hash idempotency)
+``failover_happened`` the standby really is the serving primary now
+``stitched_trace``    a failed-over job's ``/v1/obs/traces/{id}`` still
+                      passes the whole-fleet stitched-trace validator
+``rerouted``          the router rerouted work off the partitioned node
+``torn_seen``         replay of the fault-torn journal skipped at least
+                      one torn record (and still recovered the batch)
+
+Scenarios are declarative data (see ``SCENARIOS``): a fleet shape, a
+chaos script of ``(step, ...)`` tuples, and the invariant names to
+check. Exit code 0 when every selected scenario holds every invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+import tempfile
+import time
+import urllib.request
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.abspath(os.path.join(_HERE, os.pardir, "src"))
+if os.path.isdir(_SRC):
+    sys.path.insert(0, _SRC)
+    # the supervised `python -m repro` children need the same path
+    _existing = os.environ.get("PYTHONPATH")
+    os.environ["PYTHONPATH"] = (_SRC if not _existing
+                                else _SRC + os.pathsep + _existing)
+sys.path.insert(0, _HERE)
+
+import validate_trace                                     # noqa: E402
+
+from repro.client import ReproClient                      # noqa: E402
+from repro.fleet import RouterProcess                     # noqa: E402
+from repro.fleet.runner import RunnerProcess, free_port   # noqa: E402
+from repro.server.protocol import JobNotFound             # noqa: E402
+from repro.service.scheduler import (                     # noqa: E402
+    JobError, JobResultPending,
+)
+
+#: wall-clock budget for one scenario's result collection
+COLLECT_TIMEOUT_S = 240.0
+
+
+class InvariantViolation(AssertionError):
+    """A durability invariant did not hold after the chaos script."""
+
+
+def _log(message: str) -> None:
+    print(f"chaos_fleet: {message}", flush=True)
+
+
+# ----------------------------------------------------------------------
+# Fleet harness
+# ----------------------------------------------------------------------
+
+class Fleet:
+    """Two runners + a journaled router (optionally with a standby)."""
+
+    def __init__(self, workdir: str, standby: bool = True,
+                 sim_latency_s: float = 0.4,
+                 router_env=None):
+        self.workdir = workdir
+        self.journal_dir = os.path.join(workdir, "journal")
+        self.router_env = dict(router_env or {})
+        # pre-assign ports so each runner can name the other as its
+        # cache peer (the CI fleet topology)
+        ports = [free_port(), free_port()]
+        urls = [f"http://127.0.0.1:{p}" for p in ports]
+        self.runners = []
+        for i, port in enumerate(ports):
+            cache_dir = os.path.join(workdir, f"cache-{i}")
+            runner = RunnerProcess(
+                cache_dir=cache_dir, workers=1, port=port,
+                env={"REPRO_SIM_LATENCY_S": str(sim_latency_s),
+                     "REPRO_OBS_BUFFER": "4096"},
+                extra_args=["--max-queue", "64",
+                            "--peers", urls[1 - i]])
+            self.runners.append(runner)
+        self.runner_urls = urls
+        for runner in self.runners:
+            runner.wait_ready()
+        self.primary = RouterProcess(
+            self.runner_urls, journal_dir=self.journal_dir,
+            node_name="primary", probe_interval_s=0.3,
+            env=self.router_env)
+        self.primary.wait_ready()
+        self.standby = None
+        if standby:
+            self.standby = RouterProcess(
+                self.runner_urls, journal_dir=self.journal_dir,
+                node_name="standby", standby_of=self.primary.url,
+                probe_interval_s=0.3)
+            self.standby.wait_ready()
+        self.paused = None
+
+    # ------------------------------------------------------------------
+    def endpoints(self):
+        urls = [self.primary.url]
+        if self.standby is not None:
+            urls.append(self.standby.url)
+        return urls
+
+    def serving_url(self) -> str:
+        """The router endpoint that currently answers as primary."""
+        for proc in (self.primary, self.standby):
+            if proc is None or not proc.alive:
+                continue
+            try:
+                with urllib.request.urlopen(proc.url + "/healthz",
+                                            timeout=2.0) as resp:
+                    payload = json.load(resp)
+            except (urllib.error.URLError, OSError, ValueError):
+                continue
+            if payload.get("role") == "primary" \
+                    and not payload.get("fenced"):
+                return proc.url
+        raise InvariantViolation("no live router answers as primary")
+
+    def healthz(self, url: str) -> dict:
+        with urllib.request.urlopen(url + "/healthz",
+                                    timeout=5.0) as resp:
+            return json.load(resp)
+
+    def metrics(self, url: str) -> str:
+        with urllib.request.urlopen(url + "/metrics",
+                                    timeout=5.0) as resp:
+            return resp.read().decode("utf-8")
+
+    def restart_primary(self) -> None:
+        """Boot a fresh primary on the dead one's port + journal."""
+        if self.primary.alive:
+            self.primary.kill()
+        self.primary = RouterProcess(
+            self.runner_urls, port=self.primary.port,
+            journal_dir=self.journal_dir, node_name="primary",
+            probe_interval_s=0.3)
+        self.primary.wait_ready()
+
+    def shutdown(self) -> None:
+        for proc in (self.primary, self.standby, *self.runners):
+            if proc is None:
+                continue
+            try:
+                proc.resume()          # a paused child ignores SIGTERM
+                proc.stop(timeout_s=5.0)
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Chaos steps
+# ----------------------------------------------------------------------
+
+def _busiest_runner(fleet: Fleet):
+    """The runner process holding the most router-side in-flight."""
+    payload = fleet.healthz(fleet.serving_url())
+    runners = (payload.get("fleet") or {}).get("runners") or []
+    busiest = max(runners, key=lambda r: r.get("inflight", 0),
+                  default=None)
+    if busiest is None or busiest.get("inflight", 0) <= 0:
+        raise InvariantViolation(f"no runner holds in-flight work: "
+                                 f"{runners}")
+    by_url = {r.url: r for r in fleet.runners}
+    return by_url[busiest["url"]]
+
+
+def run_step(fleet: Fleet, step, ctx: dict) -> None:
+    name, args = step[0], step[1:]
+    if name == "sleep":
+        time.sleep(args[0])
+    elif name == "await_inflight":
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            payload = fleet.healthz(fleet.serving_url())
+            runners = (payload.get("fleet") or {}).get("runners") or []
+            if sum(r.get("inflight", 0) for r in runners) > 0:
+                return
+            time.sleep(0.1)
+        raise InvariantViolation("no job went in-flight within 30s")
+    elif name == "kill_primary":
+        _log(f"SIGKILL primary router (pid {fleet.primary.proc.pid})")
+        fleet.primary.kill()
+        ctx["primary_killed"] = True
+    elif name == "restart_primary":
+        _log("booting a replacement primary on the same journal")
+        fleet.restart_primary()
+        ctx["primary_restarted"] = True
+    elif name == "pause_busiest":
+        victim = _busiest_runner(fleet)
+        _log(f"SIGSTOP (partition) runner {victim.url}")
+        victim.pause()
+        fleet.paused = victim
+    elif name == "resume_paused":
+        if fleet.paused is not None:
+            _log(f"SIGCONT (heal) runner {fleet.paused.url}")
+            fleet.paused.resume()
+    else:
+        raise ValueError(f"unknown chaos step {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+def _metric_sum(text: str, name: str, **labels) -> float:
+    """Sum every sample of ``name`` whose labels match."""
+    total, seen = 0.0, False
+    pattern = re.compile(rf"^{re.escape(name)}(\{{[^}}]*\}})? (\S+)$")
+    for line in text.splitlines():
+        match = pattern.match(line)
+        if not match:
+            continue
+        labelstr = match.group(1) or ""
+        if any(f'{k}="{v}"' not in labelstr for k, v in labels.items()):
+            continue
+        seen = True
+        total += float(match.group(2))
+    return total if seen else 0.0
+
+
+def check_terminal_once(fleet, client, keys, records, ctx):
+    pending = [k for k in keys if k not in records]
+    if pending:
+        raise InvariantViolation(
+            f"{len(pending)} job(s) never reached a terminal state: "
+            f"{[k[:12] for k in pending]}")
+    # a terminal state must be sticky: re-reading the status cannot
+    # flip a done job back to pending or to a different outcome
+    for key in keys:
+        status = client.status(key)
+        if not status.get("done"):
+            raise InvariantViolation(
+                f"job {key[:12]} answered a result but /v1/jobs says "
+                f"done={status.get('done')} ({status.get('status')})")
+    return f"{len(keys)} job(s), each in exactly one terminal state"
+
+
+def check_zero_lost(fleet, client, keys, records, ctx):
+    lost = set(keys) - set(records)
+    if lost:
+        raise InvariantViolation(
+            f"lost job(s): {sorted(k[:12] for k in lost)}")
+    failed = {k: v for k, (kind, v) in records.items()
+              if kind == "error"}
+    if failed:
+        raise InvariantViolation(
+            f"job(s) ended in a non-success terminal state: "
+            f"{ {k[:12]: str(v) for k, v in failed.items()} }")
+    return f"0 of {len(keys)} job(s) lost"
+
+
+def check_no_duplicate_exec(fleet, client, keys, records, ctx):
+    runs = 0.0
+    for runner in fleet.runners:
+        text = fleet.metrics(runner.url)
+        runs += _metric_sum(text, "repro_service_events_total",
+                            event="jobs_run")
+    if runs != len(keys):
+        raise InvariantViolation(
+            f"runners executed {runs:g} job(s) for a batch of "
+            f"{len(keys)} -- duplicated (or lost) executions")
+    return f"{runs:g} execution(s) for {len(keys)} job(s) (no dups)"
+
+
+def check_failover_happened(fleet, client, keys, records, ctx):
+    if fleet.standby is None:
+        raise InvariantViolation("scenario has no standby to fail to")
+    payload = fleet.healthz(fleet.standby.url)
+    if payload.get("role") != "primary":
+        raise InvariantViolation(
+            f"standby never took over (role={payload.get('role')})")
+    term = (payload.get("journal") or {}).get("term")
+    failovers = _metric_sum(fleet.metrics(fleet.standby.url),
+                            "repro_fleet_failovers_total")
+    if failovers < 1:
+        raise InvariantViolation("repro_fleet_failovers_total is 0 "
+                                 "on the promoted standby")
+    return f"standby promoted to primary (lease term {term})"
+
+
+def check_stitched_trace(fleet, client, keys, records, ctx):
+    url = fleet.serving_url()
+    survivor = ReproClient(url, max_retries=2, backoff_s=0.2)
+    last_error = "no job produced a stitched trace"
+    for key in keys:
+        try:
+            trace = survivor.obs_trace(key)
+        except Exception:
+            continue
+        path = os.path.join(fleet.workdir, f"trace-{key[:12]}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+        try:
+            validate_trace.validate_stitched(path)
+        except SystemExit:
+            last_error = f"job {key[:12]}: stitched validation failed"
+            continue
+        return f"job {key[:12]} stitched trace intact across failover"
+    raise InvariantViolation(last_error)
+
+
+def check_rerouted(fleet, client, keys, records, ctx):
+    reroutes = _metric_sum(fleet.metrics(fleet.serving_url()),
+                           "repro_fleet_reroutes_total")
+    if reroutes < 1:
+        raise InvariantViolation(
+            "router never rerouted off the partitioned runner")
+    return f"{reroutes:g} reroute(s) off the partitioned node"
+
+
+def check_torn_seen(fleet, client, keys, records, ctx):
+    torn = _metric_sum(fleet.metrics(fleet.primary.url),
+                       "repro_journal_torn_records_total")
+    if torn < 1:
+        raise InvariantViolation(
+            "replay saw no torn journal records -- the fault plan "
+            "never fired; raise the rate or the batch size")
+    return f"replay skipped {torn:g} torn record(s) and recovered"
+
+
+INVARIANTS = {
+    "terminal_once": check_terminal_once,
+    "zero_lost": check_zero_lost,
+    "no_duplicate_exec": check_no_duplicate_exec,
+    "failover_happened": check_failover_happened,
+    "stitched_trace": check_stitched_trace,
+    "rerouted": check_rerouted,
+    "torn_seen": check_torn_seen,
+}
+
+
+# ----------------------------------------------------------------------
+# Scenarios (declarative)
+# ----------------------------------------------------------------------
+
+SCENARIOS = {
+    "kill_primary": dict(
+        doc="SIGKILL the primary router mid-batch; the warm standby "
+            "takes over behind the lease with zero lost jobs, zero "
+            "duplicate executions and intact stitched traces.",
+        standby=True,
+        chaos=[("await_inflight",), ("sleep", 1.5), ("kill_primary",)],
+        invariants=("terminal_once", "zero_lost", "no_duplicate_exec",
+                    "failover_happened", "stitched_trace"),
+    ),
+    "partition_runner": dict(
+        doc="SIGSTOP the busiest runner (a netsplit, not a death); "
+            "the router evicts it and reroutes its in-flight work; "
+            "healing the partition later must not corrupt anything.",
+        standby=False,
+        chaos=[("await_inflight",), ("pause_busiest",), ("sleep", 2.0)],
+        post=[("resume_paused",)],
+        invariants=("terminal_once", "zero_lost", "rerouted"),
+    ),
+    "torn_journal": dict(
+        doc="A seeded journal.write fault plan tears records while "
+            "the primary journals; SIGKILL it mid-batch and restart "
+            "on the same journal -- replay must skip the torn records "
+            "and still recover every job.",
+        standby=False,
+        router_env={"REPRO_FAULTS":
+                    "seed=11,rate=0.25,sites=journal.write"},
+        chaos=[("await_inflight",), ("sleep", 1.0), ("kill_primary",),
+               ("restart_primary",)],
+        invariants=("terminal_once", "zero_lost", "torn_seen"),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def collect_results(client: ReproClient, keys, specs,
+                    deadline_s: float):
+    """Poll every job to a terminal answer (result or terminal error).
+
+    ``specs`` maps each job id back to its submit kwargs, so a job the
+    fleet truly lost (torn journal record AND dead runner) can be
+    resubmitted -- the content hash guarantees the same id.
+    """
+    pending = set(keys)
+    records = {}
+    deadline = time.monotonic() + deadline_s
+    while pending and time.monotonic() < deadline:
+        for key in sorted(pending):
+            try:
+                records[key] = ("ok", client.result(key))
+            except JobResultPending:
+                continue
+            except JobNotFound:
+                # a crash tore this job's journal record before the
+                # placement was durable: resubmit (content-hash
+                # idempotent -- a completed job resolves from cache)
+                resubmitted = client.submit("kmeans", "informed",
+                                            **specs[key])
+                assert resubmitted["id"] == key, \
+                    f"resubmit changed the job id for {key[:12]}"
+                continue
+            except JobError as exc:
+                records[key] = ("error", exc)
+            pending.discard(key)
+        if pending:
+            time.sleep(0.2)
+    return records
+
+
+def run_scenario(name: str, jobs: int, keep: bool) -> bool:
+    spec = SCENARIOS[name]
+    workdir = tempfile.mkdtemp(prefix=f"chaos-{name}-")
+    _log(f"=== scenario {name}: {spec['doc']}")
+    fleet = Fleet(workdir, standby=spec.get("standby", False),
+                  router_env=spec.get("router_env"))
+    ok = False
+    try:
+        client = ReproClient(fleet.endpoints(), max_retries=8,
+                             backoff_s=0.3, poll_interval_s=0.1)
+        specs = {}
+        keys = []
+        for i in range(jobs):
+            kwargs = {"intensity_threshold": round(0.25 + i * 0.01, 4)}
+            key = client.submit("kmeans", "informed", **kwargs)["id"]
+            keys.append(key)
+            specs[key] = kwargs
+        if len(set(keys)) != jobs:
+            raise InvariantViolation("submitted job ids not unique")
+        _log(f"submitted {jobs} unique job(s)")
+        ctx: dict = {}
+        for step in spec["chaos"]:
+            run_step(fleet, step, ctx)
+        records = collect_results(client, keys, specs,
+                                  COLLECT_TIMEOUT_S)
+        for step in spec.get("post", ()):
+            run_step(fleet, step, ctx)
+        failures = []
+        for inv in spec["invariants"]:
+            try:
+                note = INVARIANTS[inv](fleet, client, keys, records,
+                                       ctx)
+            except InvariantViolation as exc:
+                failures.append((inv, str(exc)))
+                _log(f"  FAIL {inv}: {exc}")
+            else:
+                _log(f"  ok   {inv}: {note}")
+        ok = not failures
+        _log(f"=== scenario {name}: {'PASS' if ok else 'FAIL'}")
+    finally:
+        fleet.shutdown()
+        if keep:
+            _log(f"artifacts kept at {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                        help=f"subset to run (default: all of "
+                             f"{', '.join(SCENARIOS)})")
+    parser.add_argument("--jobs", type=int, default=12,
+                        help="batch size per scenario (default 12)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep each scenario's workdir (journals, "
+                             "traces, caches) for inspection")
+    args = parser.parse_args(argv)
+    unknown = set(args.scenarios) - set(SCENARIOS)
+    if unknown:
+        parser.error(f"unknown scenario(s) {sorted(unknown)}; "
+                     f"choose from {', '.join(SCENARIOS)}")
+    names = args.scenarios or list(SCENARIOS)
+    failed = [name for name in names
+              if not run_scenario(name, args.jobs, args.keep)]
+    if failed:
+        _log(f"FAILED scenario(s): {', '.join(failed)}")
+        return 1
+    _log(f"all {len(names)} scenario(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,8 @@
                           [--drain-timeout S] [--peers URL,URL]
     python -m repro router [--host H] [--port P] [--runners URL,URL]
                            [--steal-threshold N] [--probe-interval S]
+                           [--journal-dir DIR] [--standby-of URL]
+                           [--node-name NAME]
     python -m repro obs <top|trace> [--server URL] ...
     python -m repro config
     python -m repro service <stats|ls|purge|dead-letter> --cache-dir DIR
@@ -59,6 +61,8 @@ def _config_from_args(args) -> ReproConfig:
         "fleet_peers": getattr(args, "peers", None),
         "fleet_steal_threshold": getattr(args, "steal_threshold", None),
         "fleet_probe_interval_s": getattr(args, "probe_interval", None),
+        "journal_dir": getattr(args, "journal_dir", None),
+        "fleet_standby_of": getattr(args, "standby_of", None),
     })
 
 
@@ -346,7 +350,10 @@ def cmd_router(args) -> int:
         # can only resize it upward from the CLI, never disable tracing
         obs_buffer=cfg.obs_buffer or 4096,
         slo_target=cfg.slo_target,
-        slo_latency_s=cfg.slo_latency_s)
+        slo_latency_s=cfg.slo_latency_s,
+        journal_dir=cfg.journal_dir,
+        node_name=getattr(args, "node_name", None),
+        standby_of=cfg.fleet_standby_of)
     router.run()
     return 0
 
@@ -558,6 +565,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="runner health-probe period "
                              "($REPRO_FLEET_PROBE_INTERVAL)")
+    router.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="write-ahead journal + lease directory; "
+                             "enables crash recovery and failover "
+                             "($REPRO_JOURNAL_DIR)")
+    router.add_argument("--standby-of", default=None, metavar="URL",
+                        help="run as the warm standby of this primary "
+                             "router ($REPRO_FLEET_STANDBY_OF)")
+    router.add_argument("--node-name", default=None, metavar="NAME",
+                        help="journal/lease identity of this router "
+                             "process (default: primary or standby)")
     router.set_defaults(func=cmd_router)
 
     obs_cmd = sub.add_parser(

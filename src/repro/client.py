@@ -21,10 +21,13 @@ import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro import obs
 from repro.flow.serialize import FlowResultRecord, result_from_dict
+from repro.resilience import faults
 from repro.server.protocol import error_from_payload
 from repro.service.scheduler import JobResultPending, JobTimeout
 
@@ -34,7 +37,14 @@ RETRYABLE_CODES = ("overloaded", "busy", "unavailable")
 
 
 class ReproClient:
-    """Talks to one ``python -m repro serve`` (or ``router``) instance.
+    """Talks to ``python -m repro serve`` (or ``router``) endpoints.
+
+    ``base_url`` accepts a single URL, a comma-separated list, or a
+    sequence -- ``"http://primary,http://standby"`` gives the client a
+    failover chain: a connect error (or a retryable refusal, which is
+    what a fenced ex-primary or a pre-takeover standby sheds) rotates
+    to the next endpoint before the retry, so a router failover is
+    invisible to callers beyond one backoff delay.
 
     ``jitter`` spreads every retry delay by a random factor in
     ``[1-jitter, 1+jitter]`` so a shedding server's synchronized
@@ -44,7 +54,8 @@ class ReproClient:
     client raises :class:`JobTimeout` instead of retrying forever.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0,
+    def __init__(self, base_url: Union[str, Sequence[str]],
+                 timeout_s: float = 60.0,
                  max_retries: int = 5, backoff_s: float = 0.25,
                  poll_interval_s: float = 0.2, jitter: float = 0.2,
                  max_wait_s: Optional[float] = None,
@@ -53,7 +64,13 @@ class ReproClient:
             raise ValueError(f"jitter must be in [0, 1), got {jitter}")
         if max_wait_s is not None and not max_wait_s > 0:
             raise ValueError(f"max_wait_s must be > 0, got {max_wait_s}")
-        self.base_url = base_url.rstrip("/")
+        urls = (base_url.split(",") if isinstance(base_url, str)
+                else list(base_url))
+        self.endpoints = [u.strip().rstrip("/") for u in urls
+                          if u and u.strip()]
+        if not self.endpoints:
+            raise ValueError("base_url must name at least one endpoint")
+        self._endpoint_i = 0
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.backoff_s = backoff_s
@@ -67,9 +84,39 @@ class ReproClient:
     # Transport
     # ------------------------------------------------------------------
 
+    @property
+    def base_url(self) -> str:
+        """The endpoint requests currently go to (rotation is sticky:
+        after a failover the working endpoint stays first)."""
+        return self.endpoints[self._endpoint_i]
+
+    @base_url.setter
+    def base_url(self, value: str) -> None:
+        self.endpoints = [value.rstrip("/")]
+        self._endpoint_i = 0
+
+    def _rotate(self) -> None:
+        """Fail over to the next endpoint (no-op with only one)."""
+        if len(self.endpoints) > 1:
+            self._endpoint_i = ((self._endpoint_i + 1)
+                                % len(self.endpoints))
+
     def _request_once(self, method: str, path: str,
                       payload: Optional[Dict[str, Any]] = None
                       ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        mode = faults.inject_wire("net.request")
+        if mode == "drop":
+            raise urllib.error.URLError(
+                f"injected fault: request dropped before send "
+                f"({method} {path})")
+        if mode == "http_500":
+            return 503, {"error": {
+                "code": "unavailable",
+                "message": f"injected fault: synthetic upstream 5xx "
+                           f"({method} {path})",
+                "retry_after_s": 0.1}}, {}
+        if mode == "delay":
+            time.sleep(0.05)
         body = None
         headers = {"Accept": "application/json"}
         # wire-level trace propagation: when the caller runs inside a
@@ -88,14 +135,22 @@ class ReproClient:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout_s) as resp:
                 data = json.loads(resp.read().decode("utf-8") or "{}")
-                return resp.status, data, dict(resp.headers)
+                result = resp.status, data, dict(resp.headers)
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", "replace")
             try:
                 data = json.loads(raw or "{}")
             except json.JSONDecodeError:
                 data = {"error": {"code": "internal", "message": raw}}
-            return exc.code, data, dict(exc.headers or {})
+            result = exc.code, data, dict(exc.headers or {})
+        if mode == "truncated":
+            # the exchange happened; the response is lost -- the same
+            # ambiguity a torn TCP stream leaves, which content-hash
+            # idempotent resubmission absorbs
+            raise urllib.error.URLError(
+                f"injected fault: response truncated after exchange "
+                f"({method} {path})")
+        return result
 
     def _jittered(self, delay: float) -> float:
         """``delay`` spread by the configured jitter factor."""
@@ -126,19 +181,33 @@ class ReproClient:
                 else time.monotonic() + self.max_wait_s)
 
     def _check_budget(self, deadline: Optional[float], delay: float,
-                      what: str) -> None:
-        """Raise :class:`JobTimeout` when sleeping would blow the cap."""
+                      what: str,
+                      last: Optional[JobResultPending] = None) -> None:
+        """Raise :class:`JobTimeout` when sleeping would blow the cap.
+
+        ``last`` is the most recent pending answer, so the timeout
+        reports where the job actually was when the client gave up
+        (mirroring :class:`JobResultPending`) instead of discarding it.
+        """
         if deadline is not None and time.monotonic() + delay > deadline:
             raise JobTimeout(
                 f"{what} exceeded the client retry budget "
                 f"(max_wait_s={self.max_wait_s}); giving up instead of "
-                f"retrying past it")
+                f"retrying past it",
+                status=getattr(last, "status", None),
+                attempts=getattr(last, "attempts", None))
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None,
                  retry: bool = True) -> Dict[str, Any]:
         """One request with transient-error retries; raises the mapped
-        taxonomy exception for any non-2xx (and for 202 pending)."""
+        taxonomy exception for any non-2xx (and for 202 pending).
+
+        Both retry classes rotate the endpoint chain first: a connect
+        error means this endpoint is gone, and a retryable refusal is
+        what a standby (or fenced ex-primary) sheds -- either way the
+        next endpoint is the better bet.
+        """
         attempt = 0
         deadline = self._deadline()
         while True:
@@ -148,6 +217,7 @@ class ReproClient:
             except urllib.error.URLError:
                 if not retry or attempt >= self.max_retries:
                     raise
+                self._rotate()
                 delay = self._jittered(self.backoff_s * (2 ** attempt))
                 self._check_budget(deadline, delay,
                                    f"{method} {path} (connect retries)")
@@ -158,6 +228,7 @@ class ReproClient:
                     if isinstance(data, dict) else None)
             if (code in RETRYABLE_CODES and retry
                     and attempt < self.max_retries):
+                self._rotate()
                 delay = self._retry_delay(status, headers, data, attempt)
                 self._check_budget(deadline, delay,
                                    f"{method} {path} ({code} retries)")
@@ -249,34 +320,88 @@ class ReproClient:
         # with no explicit timeout the client-wide budget still bounds
         # the poll loop -- but as a JobTimeout, not a pending status
         budget = self._deadline() if timeout is None else None
+        last: Optional[JobResultPending] = None
         while True:
             try:
                 return self.result(job_id)
-            except JobResultPending:
+            except JobResultPending as pending:
+                last = pending
                 if deadline is not None and time.monotonic() >= deadline:
                     raise
                 self._check_budget(budget, self.poll_interval_s,
-                                   f"polling {app}/{mode} ({job_id[:12]})")
+                                   f"polling {app}/{mode} ({job_id[:12]})",
+                                   last=last)
                 self._sleep(self.poll_interval_s)
 
     def events(self, job_id: str,
-               timeout: Optional[float] = None
+               timeout: Optional[float] = None,
+               last_event_id: Optional[int] = None
                ) -> Iterator[Tuple[str, Dict[str, Any]]]:
         """Yield ``(event, data)`` from the job's SSE stream until the
-        terminal frame (``done`` / ``shutdown``) closes it."""
-        request = urllib.request.Request(
-            self.base_url + f"/v1/jobs/{job_id}/events",
-            headers={"Accept": "text/event-stream"})
-        with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout_s) as resp:
-            event, data_lines = None, []
-            for raw in resp:
-                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
-                if line.startswith("event:"):
-                    event = line.split(":", 1)[1].strip()
-                elif line.startswith("data:"):
-                    data_lines.append(line.split(":", 1)[1].strip())
-                elif not line and event is not None:
-                    payload = json.loads("\n".join(data_lines) or "{}")
-                    yield event, payload
-                    event, data_lines = None, []
+        terminal frame (``done`` / ``shutdown``) closes it.
+
+        **Resumable**: the server numbers frames with SSE ``id:``
+        lines; when the stream dies early (router restart, failover)
+        the client reconnects -- rotating endpoints -- with a
+        ``Last-Event-ID`` header, so the server replays exactly the
+        missed events instead of the client silently dropping them.
+        Up to ``max_retries`` consecutive dead connections are
+        retried; a stream that makes progress resets the counter.
+        """
+        last = last_event_id
+        failures = 0
+        while True:
+            headers = {"Accept": "text/event-stream"}
+            if last is not None:
+                headers["Last-Event-ID"] = str(last)
+            request = urllib.request.Request(
+                self.base_url + f"/v1/jobs/{job_id}/events",
+                headers=headers)
+            progressed = False
+            try:
+                with urllib.request.urlopen(
+                        request,
+                        timeout=timeout or self.timeout_s) as resp:
+                    event, data_lines, event_id = None, [], None
+                    for raw in resp:
+                        line = raw.decode("utf-8").rstrip("\n")
+                        line = line.rstrip("\r")
+                        if line.startswith("id:"):
+                            event_id = line.split(":", 1)[1].strip()
+                        elif line.startswith("event:"):
+                            event = line.split(":", 1)[1].strip()
+                        elif line.startswith("data:"):
+                            data_lines.append(
+                                line.split(":", 1)[1].strip())
+                        elif not line and event is not None:
+                            payload = json.loads(
+                                "\n".join(data_lines) or "{}")
+                            if event_id is not None:
+                                try:
+                                    last = int(event_id)
+                                except ValueError:
+                                    pass
+                            progressed = True
+                            failures = 0
+                            yield event, payload
+                            if event in ("done", "shutdown"):
+                                return
+                            event, data_lines, event_id = None, [], None
+            except (urllib.error.URLError, ConnectionError,
+                    OSError):
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+            else:
+                # clean EOF without a terminal frame: the upstream
+                # died mid-stream (a SIGKILLed router closes with FIN,
+                # not an error) -- resume where the ids left off
+                failures = 0 if progressed else failures + 1
+                if failures > self.max_retries:
+                    raise urllib.error.URLError(
+                        f"SSE stream for {job_id[:12]} kept closing "
+                        f"without a terminal frame "
+                        f"({failures - 1} resume attempts)")
+            self._rotate()
+            self._sleep(self._jittered(
+                self.backoff_s * (2 ** min(failures, 4))))

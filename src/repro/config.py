@@ -51,6 +51,11 @@ field              env var                 meaning
 ``slo_target``     ``REPRO_SLO_TARGET``    SLO good-request target (0,1)
 ``slo_latency_s``  ``REPRO_SLO_LATENCY_S`` SLO per-request latency
                                            budget in seconds
+``durable``        ``REPRO_DURABLE``       fsync cache/journal writes
+``journal_dir``    ``REPRO_JOURNAL_DIR``   router write-ahead journal
+                                           root (enables recovery)
+``fleet_standby_of``  ``REPRO_FLEET_STANDBY_OF``  primary router URL a
+                                           warm standby tails
 =================  ======================  ==============================
 
 Some subsystems read their env var lazily at call time (the execution
@@ -95,6 +100,9 @@ ENV_VARS = (
     ("profile_hz", "REPRO_PROFILE_HZ"),
     ("slo_target", "REPRO_SLO_TARGET"),
     ("slo_latency_s", "REPRO_SLO_LATENCY_S"),
+    ("durable", "REPRO_DURABLE"),
+    ("journal_dir", "REPRO_JOURNAL_DIR"),
+    ("fleet_standby_of", "REPRO_FLEET_STANDBY_OF"),
 )
 
 
@@ -184,6 +192,15 @@ class ReproConfig:
     #: per-request latency past which a (successful) request still
     #: counts against the SLO error budget
     slo_latency_s: float = 5.0
+    #: fsync cache and journal writes so a SIGKILL/power-loss never
+    #: leaves a half-visible entry (opt-in: slower, crash-consistent)
+    durable: bool = False
+    #: directory the router's write-ahead journal (and lease file)
+    #: lives in; unset disables journaling and crash recovery
+    journal_dir: Optional[str] = None
+    #: primary router base URL this process warm-stands-by for (tails
+    #: the journal, takes over behind the lease on primary death)
+    fleet_standby_of: Optional[str] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -309,6 +326,16 @@ class ReproConfig:
         if raw is not None and raw.strip():
             kwargs["slo_latency_s"] = _parse_float(
                 "REPRO_SLO_LATENCY_S", raw, 0.0)
+        raw = env.get("REPRO_DURABLE")
+        if raw is not None and raw.strip():
+            # opt-in like REPRO_NATIVE: only an explicit "1" enables
+            kwargs["durable"] = raw.strip() == "1"
+        raw = env.get("REPRO_JOURNAL_DIR")
+        if raw:
+            kwargs["journal_dir"] = raw
+        raw = env.get("REPRO_FLEET_STANDBY_OF")
+        if raw:
+            kwargs["fleet_standby_of"] = raw.strip().rstrip("/")
         return cls(**kwargs)
 
     @classmethod

@@ -17,25 +17,39 @@ HTTP:
 - :mod:`repro.fleet.router` -- :class:`FleetRouter`, the front door:
   shard routing with work stealing, node-loss re-routing that never
   consumes job retries, a fleet admission breaker, aggregated
-  ``/healthz`` and router-side ``repro_fleet_*`` metrics.
+  ``/healthz`` and router-side ``repro_fleet_*`` metrics;
+- :mod:`repro.fleet.durable` -- :class:`RouterJournal` (the
+  crash-consistent write-ahead journal behind the placement table),
+  :class:`LeaseFile` (monotonic fencing token) and the shared
+  :func:`apply_record` reducer that replay, warm standbys and tests
+  all fold records through.
 
-Start a fleet on localhost::
+Start a fleet on localhost, with a durable control plane::
 
     python -m repro serve --port 8001 &
     python -m repro serve --port 8002 &
-    python -m repro router --port 8000 \\
-        --runners http://127.0.0.1:8001,http://127.0.0.1:8002
+    python -m repro router --port 8000 --journal-dir .journal \\
+        --runners http://127.0.0.1:8001,http://127.0.0.1:8002 &
+    python -m repro router --port 8010 --journal-dir .journal \\
+        --runners http://127.0.0.1:8001,http://127.0.0.1:8002 \\
+        --standby-of http://127.0.0.1:8000
 
 Clients keep using :class:`repro.client.ReproClient` unchanged -- the
-router speaks the same ``/v1`` wire schema as a single runner.
+router speaks the same ``/v1`` wire schema as a single runner, and the
+client accepts ``"http://primary,http://standby"`` endpoint lists for
+connect-error failover.
 """
 
+from repro.fleet.durable import (
+    FencedOut, LeaseFile, RouterJournal, apply_record,
+)
 from repro.fleet.hashring import HashRing
 from repro.fleet.peers import PeerFetchCache
 from repro.fleet.router import FleetRouter
-from repro.fleet.runner import RunnerHandle, RunnerProcess
+from repro.fleet.runner import RouterProcess, RunnerHandle, RunnerProcess
 
 __all__ = [
-    "FleetRouter", "HashRing", "PeerFetchCache", "RunnerHandle",
-    "RunnerProcess",
+    "FencedOut", "FleetRouter", "HashRing", "LeaseFile",
+    "PeerFetchCache", "RouterJournal", "RouterProcess", "RunnerHandle",
+    "RunnerProcess", "apply_record",
 ]

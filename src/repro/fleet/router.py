@@ -32,6 +32,19 @@ single-node service's admission semantics.
 The probe loop re-admits recovered runners automatically, and rejects
 runners whose ``/healthz`` ``version`` differs from the router's
 (mixed-version fleets corrupt cache-entry compatibility assumptions).
+
+**Durability.**  With ``journal_dir`` set, every placement mutation is
+journaled through :class:`~repro.fleet.durable.RouterJournal` *before*
+the client hears about it, so a router crash mid-batch is recoverable:
+on restart the journal replays, each live placement is reconciled
+against its runner's ``/v1/jobs/{id}``, and anything lost is
+resubmitted (content-hash idempotency makes the replay safe).  A
+**warm standby** (``standby_of``) tails the primary's journal over
+``GET /v1/journal?since=`` and, after ``takeover_after`` consecutive
+tail failures, takes over behind the lease's monotonic fencing token
+-- the stale primary's next journal append raises ``FencedOut`` and it
+demotes itself to shedding 503s (split-brain writes are impossible,
+not just unlikely).  See DESIGN.md §18 for the full protocol.
 """
 
 from __future__ import annotations
@@ -47,9 +60,10 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import repro
 from repro import obs
+from repro.fleet.durable import FencedOut, RouterJournal, apply_record
 from repro.fleet.hashring import HashRing
 from repro.fleet.runner import RunnerHandle
-from repro.resilience import CircuitBreaker
+from repro.resilience import CircuitBreaker, faults
 from repro.server import protocol
 from repro.server.http import HttpServerBase, parse_trace_parent
 from repro.server.protocol import JobNotFound, ServerError
@@ -88,12 +102,39 @@ class FleetRouter(HttpServerBase):
                  breaker_cooldown_s: float = 5.0,
                  obs_buffer: int = 4096,
                  slo_target: float = 0.99,
-                 slo_latency_s: float = 5.0):
+                 slo_latency_s: float = 5.0,
+                 journal: Optional[RouterJournal] = None,
+                 journal_dir: Optional[str] = None,
+                 node_name: Optional[str] = None,
+                 standby_of: Optional[str] = None,
+                 takeover_after: int = 3,
+                 tail_interval_s: float = 0.5):
         urls = [u.rstrip("/") for u in runners]
         if not urls:
             raise ValueError("a fleet router needs at least one runner")
         self.host = host
         self.port = port
+        #: "primary" serves traffic; "standby" tails the primary's
+        #: journal and sheds until takeover.  ``fenced`` marks a
+        #: primary whose lease moved on (it sheds too).
+        self.role = "standby" if standby_of else "primary"
+        self.fenced = False
+        self.node_name = node_name or ("standby" if standby_of
+                                       else "primary")
+        self.journal = journal
+        if self.journal is None and journal_dir:
+            self.journal = RouterJournal(journal_dir,
+                                         name=self.node_name)
+        self.takeover_after = max(1, int(takeover_after))
+        self.tail_interval_s = tail_interval_s
+        self._primary = (RunnerHandle(standby_of) if standby_of
+                         else None)
+        self._tail_cursor = 0
+        self._tail_failures = 0
+        self._tail_task: Optional[asyncio.Task] = None
+        #: the standby's mirror of the primary's folded table (also
+        #: kept when it has no journal of its own)
+        self._mirror: Dict[str, Dict[str, Any]] = {}
         self.steal_threshold = steal_threshold
         self.probe_interval_s = probe_interval_s
         self.forward_timeout_s = forward_timeout_s
@@ -152,6 +193,16 @@ class FleetRouter(HttpServerBase):
             labelnames=("runner",))
         self._m_healthy = reg.gauge(
             "repro_fleet_runners_healthy", "routable runner count")
+        self._m_failovers = reg.counter(
+            "repro_fleet_failovers_total",
+            "standby-to-primary takeovers on this node")
+        self._m_readopts = reg.counter(
+            "repro_fleet_readopts_total",
+            "placements rebuilt by scatter-asking the runners (a "
+            "journal record was torn or never written)")
+        self._m_lease_term = reg.gauge(
+            "repro_fleet_lease_term",
+            "last fencing-lease term this router observed")
         for url in urls:
             self._m_inflight.set(0, runner=url)
         self._m_healthy.set(0)
@@ -161,30 +212,63 @@ class FleetRouter(HttpServerBase):
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Probe the fleet once, bind, and begin serving."""
+        """Recover (journal replay + reconciliation), bind, serve.
+
+        A primary replays its journal *before* binding the socket, so
+        no request ever observes a half-recovered table.  A standby
+        binds immediately (it sheds job traffic anyway) and starts the
+        tail loop instead of the probe loop.
+        """
         self._loop = asyncio.get_running_loop()
         if self.span_buffer is not None:
             obs.add_sink(self.span_buffer)
         self.slo.attach(obs.REGISTRY)
+        if self.role == "standby":
+            if self.journal is not None:
+                # a *restarted* standby replays its own mirror first
+                self._mirror = await self._in_executor(
+                    self.journal.open, False)
+                self._tail_cursor = self.journal.seq
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port)
+            self.port = self._server.sockets[0].getsockname()[1]
+            self._tail_task = self._loop.create_task(self._tail_loop())
+            log.info("fleet standby on http://%s:%d tailing %s "
+                     "(takeover after %d missed tails)",
+                     self.host, self.port, self._primary.url,
+                     self.takeover_after)
+            return
+        table: Dict[str, Dict[str, Any]] = {}
+        if self.journal is not None:
+            table = await self._in_executor(self.journal.open, True)
+            self._m_lease_term.set(self.journal.term)
         await self._probe_all()
+        if table:
+            await self._recover(table)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._probe_task = self._loop.create_task(self._probe_loop())
-        log.info("fleet router on http://%s:%d over %d runner(s)",
-                 self.host, self.port, len(self.handles))
+        log.info("fleet router on http://%s:%d over %d runner(s)%s",
+                 self.host, self.port, len(self.handles),
+                 f" [journal {self.journal.path}, term "
+                 f"{self.journal.term}]" if self.journal else "")
 
     async def shutdown(self) -> None:
         self.draining = True
-        if self._probe_task is not None:
-            self._probe_task.cancel()
-            try:
-                await self._probe_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._probe_task, self._tail_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._probe_task = self._tail_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
         if self.span_buffer is not None:
             obs.remove_sink(self.span_buffer)
         self.slo.detach()
@@ -270,6 +354,12 @@ class FleetRouter(HttpServerBase):
                    if p.runner == dead.url and not p.done]
         for key, placement in orphans:
             self._release(placement)
+            if not isinstance(placement.payload, dict):
+                # scatter-adopted (no recorded spec): nothing to
+                # resubmit with -- drop it; the read path 404s and the
+                # submitter's idempotent resubmit recreates it
+                self._placements.pop(key, None)
+                continue
             target = await self._forward_submit(
                 key, placement.payload, exclude=(dead.url,),
                 reroute_reason=reason, obs_ctx=placement.trace)
@@ -278,6 +368,185 @@ class FleetRouter(HttpServerBase):
                 # the dead node and the next poll retries the re-route
                 log.warning("no survivor accepted orphan %s from %s",
                             key[:12], dead.url)
+
+    # ------------------------------------------------------------------
+    # Durability: journal writes, crash recovery, standby tail/takeover
+    # ------------------------------------------------------------------
+
+    def _journal_place(self, key: str, placement: _Placement,
+                       reroute_reason: Optional[str] = None) -> None:
+        """Journal one (re)placement.  Reroutes carry the full payload
+        too, so a torn ``place`` record still replays to a live entry."""
+        fields: Dict[str, Any] = {
+            "runner": placement.runner, "payload": placement.payload,
+            "trace": placement.trace, "done": placement.done}
+        if reroute_reason is not None:
+            fields["reason"] = reroute_reason
+        self._journal_append(
+            "place" if reroute_reason is None else "reroute",
+            key, **fields)
+
+    def _journal_append(self, op: str, key: str, **fields: Any) -> None:
+        """Append one record, containing every failure mode.
+
+        A torn write (``journal.write`` fault, disk error) loses only
+        that record -- recovery reconciliation plus content-hash
+        idempotency re-resolve whatever it described, so the router
+        keeps serving.  :class:`FencedOut` is the one exception that
+        changes behavior: a newer term exists, so this node demotes
+        itself to shedding rather than racing the new primary.
+        """
+        if self.journal is None or self.role != "primary" or self.fenced:
+            return
+        try:
+            self.journal.append(op, key, **fields)
+        except FencedOut as exc:
+            self.fenced = True
+            self._m_lease_term.set(exc.lease_term)
+            log.error("router fenced out (term %d -> %d): shedding "
+                      "until restarted", exc.own_term, exc.lease_term)
+            obs.event("fleet.fenced", own_term=exc.own_term,
+                      lease_term=exc.lease_term)
+        except (faults.InjectedFault, OSError) as exc:
+            log.warning("journal append %s/%s failed (contained): %s",
+                        op, key[:12], exc)
+            obs.event("fleet.journal_write_failed", op=op,
+                      key=key[:12], error=str(exc))
+
+    async def _recover(self, table: Dict[str, Dict[str, Any]]) -> None:
+        """Reconcile a replayed placement table against the fleet.
+
+        For every undone entry, ask its recorded runner: still
+        running -> re-adopt (inflight accounting restored); finished
+        -> settle; 404/unreachable/unknown -> resubmit to a survivor
+        on the job's ORIGINAL trace.  Content-hash idempotency makes
+        the resubmissions safe -- a job that actually completed
+        resolves from cache or dedup, never runs twice.
+        """
+        with obs.span("journal.recover", records=len(table),
+                      node=self.node_name):
+            adopted = settled = resubmitted = 0
+            for key, entry in table.items():
+                payload = entry.get("payload")
+                if not isinstance(payload, dict):
+                    continue          # torn past recovery; nothing to do
+                placement = _Placement(entry.get("runner") or "",
+                                       payload)
+                placement.trace = entry.get("trace")
+                self._placements[key] = placement
+                if entry.get("done"):
+                    placement.done = True
+                    continue
+                handle = self.handles.get(placement.runner)
+                if handle is not None and handle.routable:
+                    try:
+                        status, data, _ = await self._in_executor(
+                            handle.request, "GET", f"/v1/jobs/{key}",
+                            None, None, self.forward_timeout_s)
+                    except (urllib.error.URLError, OSError) as exc:
+                        self._note_forward_failure(handle, exc)
+                    else:
+                        if status == 200 and isinstance(data, dict):
+                            if data.get("done"):
+                                self._settle(key, placement,
+                                             status=data.get("status"))
+                                settled += 1
+                            else:
+                                placement.counted = True
+                                handle.inflight += 1
+                                self._m_inflight.set(
+                                    handle.inflight, runner=handle.url)
+                                adopted += 1
+                            continue
+                # lost: the runner is gone, amnesiac, or was never
+                # recorded -- resubmit anywhere (idempotent)
+                await self._forward_submit(
+                    key, payload, reroute_reason="recovered",
+                    obs_ctx=placement.trace)
+                resubmitted += 1
+            log.info("journal recovery: %d placement(s) -> %d adopted, "
+                     "%d settled, %d resubmitted", len(table), adopted,
+                     settled, resubmitted)
+            obs.event("fleet.recovered", placements=len(table),
+                      adopted=adopted, settled=settled,
+                      resubmitted=resubmitted)
+
+    async def _tail_loop(self) -> None:
+        """Standby: mirror the primary's journal until it goes dark."""
+        while True:
+            await asyncio.sleep(self.tail_interval_s)
+            try:
+                status, data, _ = await self._in_executor(
+                    self._primary.request, "GET",
+                    f"/v1/journal?since={self._tail_cursor}",
+                    None, None, 10.0)
+            except (urllib.error.URLError, OSError) as exc:
+                self._tail_failures += 1
+                log.warning("journal tail failed (%d/%d): %s",
+                            self._tail_failures, self.takeover_after,
+                            exc)
+                if self._tail_failures >= self.takeover_after:
+                    await self._takeover()
+                    return
+                continue
+            self._tail_failures = 0
+            if status != 200 or not isinstance(data, dict):
+                continue              # primary alive but not serving yet
+            self._apply_tail(data)
+            # pull the primary's own spans too, so the fleet.job root
+            # spans survive the primary: a post-failover stitched
+            # trace must still have its root
+            try:
+                spans = await self._in_executor(
+                    self._primary.fetch_spans)
+            except (urllib.error.URLError, OSError):
+                continue
+            batch = spans.get("spans") or ()
+            if batch:
+                self.trace_store.ingest(batch, 0.0, runner="primary")
+
+    def _apply_tail(self, data: Dict[str, Any]) -> None:
+        """Fold one ``/v1/journal`` answer into the mirror."""
+        if data.get("reset"):
+            placements = data.get("placements") or {}
+            self._mirror = placements
+            if self.journal is not None:
+                self.journal.adopt_snapshot(
+                    placements, int(data.get("next") or 0),
+                    int(data.get("term") or 0))
+        else:
+            for record in data.get("records") or ():
+                if not isinstance(record, dict):
+                    continue
+                if self.journal is not None:
+                    self.journal.append_mirror(record)
+                else:
+                    apply_record(self._mirror, record)
+            if self.journal is not None:
+                self._mirror = self.journal.table
+        self._tail_cursor = int(data.get("next") or self._tail_cursor)
+
+    async def _takeover(self) -> None:
+        """Standby -> primary: fence the old writer, recover, serve."""
+        term = None
+        if self.journal is not None:
+            term = await self._in_executor(self.journal.promote,
+                                           self.node_name)
+            self._m_lease_term.set(term)
+        self.role = "primary"
+        self._m_failovers.inc()
+        log.warning("standby taking over as primary (term %s) after "
+                    "%d missed tails of %s", term,
+                    self._tail_failures, self._primary.url)
+        obs.event("fleet.takeover", term=term,
+                  primary=self._primary.url,
+                  placements=len(self._mirror))
+        table = (self.journal.table if self.journal is not None
+                 else self._mirror)
+        await self._probe_all()
+        if table:
+            await self._recover(dict(table))
+        self._probe_task = self._loop.create_task(self._probe_loop())
 
     # ------------------------------------------------------------------
     # Placement helpers
@@ -356,10 +625,12 @@ class FleetRouter(HttpServerBase):
             handle.inflight = max(0, handle.inflight - 1)
             self._m_inflight.set(handle.inflight, runner=handle.url)
 
-    def _settle(self, placement: _Placement) -> None:
+    def _settle(self, key: str, placement: _Placement,
+                status: Optional[str] = None) -> None:
         if not placement.done:
             placement.done = True
             self._release(placement)
+            self._journal_append("done", key, status=status)
 
     def _note_forward_failure(self, handle: RunnerHandle,
                               exc: BaseException) -> None:
@@ -428,6 +699,8 @@ class FleetRouter(HttpServerBase):
                 placement = self._track(key, payload, target,
                                         done=bool(data.get("done")),
                                         reserved=True, obs_ctx=obs_ctx)
+                self._journal_place(key, placement,
+                                    reroute_reason=reroute_reason)
                 if reroute_reason is not None:
                     self._m_reroutes.inc(reason=reroute_reason)
                 self.breaker.record_success()
@@ -477,6 +750,12 @@ class FleetRouter(HttpServerBase):
                 return "obs_trace", self._h_obs_trace, (rest[2],)
             if rest == ["obs", "summary"] and method == "GET":
                 return "obs_summary", self._h_obs_summary, ()
+            if rest == ["obs", "spans"] and method == "GET":
+                return "obs_spans", self._h_obs_spans, (
+                    query.get("since", "0"),)
+            if rest == ["journal"] and method == "GET":
+                return "journal", self._h_journal, (
+                    query.get("since", "0"),)
             if rest in (["apps"], ["modes"]) and method == "GET":
                 return rest[0], self._h_catalog, (rest[0],)
             if rest == ["jobs"] and method == "POST":
@@ -494,13 +773,37 @@ class FleetRouter(HttpServerBase):
         raise ServerError(f"no route for {method} {path}",
                           status=404, code="not_found")
 
+    def _shed_unless_primary(self) -> None:
+        """Job traffic is a primary-only privilege.
+
+        A standby sheds with a retryable 503 until takeover; a fenced
+        ex-primary sheds forever (a newer term owns the journal) -- in
+        both cases the client's endpoint rotation lands the request on
+        the node that is actually serving.
+        """
+        if self.role == "standby":
+            raise ServerError(
+                f"standby router (tailing {self._primary.url}); "
+                f"not serving jobs until takeover",
+                status=503, code="unavailable")
+        if self.fenced:
+            raise ServerError(
+                "router fenced out by a newer primary; use the "
+                "standby endpoint", status=503, code="unavailable")
+
     async def _h_healthz(self, writer, body, headers) -> int:
         healthy = self.routable()
-        ok = bool(healthy) and not self.draining
+        ok = (bool(healthy) and not self.draining
+              and self.role == "primary" and not self.fenced)
         payload = {
             "status": "ok" if ok else "degraded",
             "version": repro.__version__,
             "now": obs.now(),
+            "role": self.role,
+            "fenced": self.fenced,
+            "node": self.node_name,
+            "journal": (self.journal.stats()
+                        if self.journal is not None else None),
             "slo": self.slo.snapshot(),
             "fleet": {
                 "healthy": len(healthy),
@@ -547,16 +850,25 @@ class FleetRouter(HttpServerBase):
 
     async def _h_obs_trace(self, writer, body, headers,
                            job_id: str) -> int:
-        """One whole-fleet Perfetto trace for a routed job."""
-        placement = self._placement_of(job_id)
-        if placement.trace is None:
+        """One whole-fleet Perfetto trace for a routed job.
+
+        A standby answers from its journal mirror -- the trace context
+        is journaled with the placement, so stitched traces survive
+        the primary that opened them.
+        """
+        placement = self._placements.get(job_id)
+        trace_ctx = placement.trace if placement is not None else (
+            (self._mirror.get(job_id) or {}).get("trace"))
+        if placement is None and trace_ctx is None:
+            raise JobNotFound(f"no job {job_id!r} routed by this fleet")
+        if trace_ctx is None:
             raise ServerError(
                 f"no trace recorded for job {job_id[:12]} "
                 f"(tracing was off when it was placed)",
                 status=404, code="not_found")
         # pull fresh batches so a just-finished job reads complete
         await self._collect_spans()
-        trace_id = placement.trace.get("trace_id")
+        trace_id = trace_ctx.get("trace_id")
         spans = self.trace_store.spans(trace_id or "")
         if not spans:
             raise ServerError(
@@ -570,6 +882,11 @@ class FleetRouter(HttpServerBase):
     async def _h_obs_summary(self, writer, body, headers) -> int:
         payload = {
             "role": "router",
+            "fleet_role": self.role,
+            "fenced": self.fenced,
+            "node": self.node_name,
+            "journal": (self.journal.stats()
+                        if self.journal is not None else None),
             "version": repro.__version__,
             "now": obs.now(),
             "slo": self.slo.snapshot(),
@@ -596,11 +913,49 @@ class FleetRouter(HttpServerBase):
         }
         return await self._send_json(writer, 200, payload)
 
+    async def _h_obs_spans(self, writer, body, headers,
+                           since: str) -> int:
+        """Drain the ROUTER's own span buffer (standbys tail this so
+        the fleet.job root spans survive a primary crash)."""
+        try:
+            cursor = int(since)
+        except (TypeError, ValueError):
+            raise ServerError(f"bad since cursor {since!r}",
+                              status=400, code="bad_request") from None
+        if self.span_buffer is None:
+            payload = {"enabled": False, "spans": [], "next": 0,
+                       "dropped": 0, "now": obs.now()}
+        else:
+            spans, next_seq = self.span_buffer.since(cursor)
+            payload = {"enabled": True, "spans": spans,
+                       "next": next_seq,
+                       "dropped": self.span_buffer.dropped,
+                       "now": obs.now()}
+        return await self._send_json(writer, 200, payload)
+
+    async def _h_journal(self, writer, body, headers,
+                         since: str) -> int:
+        """The standby's tail cursor into this primary's journal."""
+        if self.journal is None:
+            raise ServerError(
+                "this router runs without a journal (--journal-dir)",
+                status=404, code="not_found")
+        try:
+            cursor = int(since)
+        except (TypeError, ValueError):
+            raise ServerError(f"bad since cursor {since!r}",
+                              status=400, code="bad_request") from None
+        payload = self.journal.tail(cursor)
+        payload["role"] = self.role
+        payload["node"] = self.node_name
+        return await self._send_json(writer, 200, payload)
+
     async def _h_catalog(self, writer, body, headers, what: str) -> int:
         status, data = await self._forward_any("GET", f"/v1/{what}")
         return await self._send_json(writer, status, data)
 
     async def _h_jobs(self, writer, body, headers) -> int:
+        self._shed_unless_primary()
         merged: Dict[str, Dict[str, Any]] = {}
         for handle in self.routable():
             try:
@@ -617,6 +972,7 @@ class FleetRouter(HttpServerBase):
                                      {"jobs": list(merged.values())})
 
     async def _h_submit(self, writer, body, headers) -> int:
+        self._shed_unless_primary()
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -696,13 +1052,53 @@ class FleetRouter(HttpServerBase):
         return placement
 
     async def _h_job(self, writer, body, headers, key: str) -> int:
+        self._shed_unless_primary()
         status, data = await self._forward_job_read(key, f"/v1/jobs/{key}")
         return await self._send_json(writer, status, data)
 
     async def _h_result(self, writer, body, headers, key: str) -> int:
+        self._shed_unless_primary()
         status, data = await self._forward_job_read(
             key, f"/v1/jobs/{key}/result")
         return await self._send_json(writer, status, data)
+
+    async def _scatter_adopt(self, key: str) -> Optional[_Placement]:
+        """Rebuild a forgotten placement by asking every runner.
+
+        A torn ``place`` record (crash mid-append) loses a placement
+        the fleet still holds; instead of 404ing a job that is alive,
+        scatter the read and re-adopt -- and re-journal -- wherever it
+        answers.  The adopted placement has no payload (the runner's
+        job record carries only app/mode), so it can serve reads but
+        not resubmissions; if its runner later dies too, the read path
+        drops it and the client's idempotent resubmit is the backstop.
+        """
+        for handle in self.routable():
+            try:
+                status, data, _ = await self._in_executor(
+                    handle.request, "GET", f"/v1/jobs/{key}",
+                    None, None, self.forward_timeout_s)
+            except (urllib.error.URLError, OSError) as exc:
+                self._note_forward_failure(handle, exc)
+                continue
+            if status != 200 or not isinstance(data, dict):
+                continue
+            placement = _Placement(handle.url, None)
+            placement.done = bool(data.get("done"))
+            self._placements[key] = placement
+            if not placement.done:
+                placement.counted = True
+                handle.inflight += 1
+                self._m_inflight.set(handle.inflight, runner=handle.url)
+            self._m_readopts.inc()
+            log.warning("re-adopted unjournaled job %s from %s "
+                        "(done=%s)", key[:12], handle.url,
+                        placement.done)
+            obs.event("fleet.readopted", key=key[:12],
+                      runner=handle.url, done=placement.done)
+            self._journal_place(key, placement)
+            return placement
+        return None
 
     async def _forward_job_read(self, key: str, path: str):
         """Read job state from its runner, healing lost placements.
@@ -711,7 +1107,11 @@ class FleetRouter(HttpServerBase):
         triggers a resubmission to a survivor and answers ``202
         pending`` -- the polling client never observes the failover.
         """
-        placement = self._placement_of(key)
+        placement = self._placements.get(key)
+        if placement is None:
+            placement = await self._scatter_adopt(key)
+        if placement is None:
+            raise JobNotFound(f"no job {key!r} routed by this fleet")
         handle = self.handles.get(placement.runner)
         reason = None
         if handle is None or handle.state == "unhealthy":
@@ -731,11 +1131,24 @@ class FleetRouter(HttpServerBase):
                     # the runner restarted and lost its job table
                     reason = "lost_state"
                 else:
-                    if status == 200 or bool(data.get("done")) or (
-                            code not in (None, "pending")):
-                        self._settle(placement)
+                    done_now = (bool(data.get("done"))
+                                if isinstance(data, dict) else False)
+                    if status == 200 and path.endswith("/result"):
+                        done_now = True    # a ready result is terminal
+                    if done_now or code not in (None, "pending"):
+                        self._settle(key, placement,
+                                     status=(data.get("status")
+                                             if isinstance(data, dict)
+                                             else None))
                     return status, data
         self._release(placement)
+        if not isinstance(placement.payload, dict):
+            # a scatter-adopted placement has no spec to resubmit;
+            # forget it so the caller's idempotent resubmit can land
+            self._placements.pop(key, None)
+            raise JobNotFound(
+                f"job {key!r} lost with its runner and no recorded "
+                f"payload to resubmit; resubmit it (idempotent)")
         await self._forward_submit(
             key, placement.payload, exclude=(placement.runner,),
             reroute_reason=reason, obs_ctx=placement.trace)
@@ -745,6 +1158,7 @@ class FleetRouter(HttpServerBase):
 
     async def _h_events(self, writer, body, headers, key: str) -> int:
         """Byte-pipe the runner's SSE stream through to the client."""
+        self._shed_unless_primary()
         placement = self._placement_of(key)
         parsed = urllib.parse.urlsplit(placement.runner)
         try:
@@ -755,9 +1169,16 @@ class FleetRouter(HttpServerBase):
                 f"runner {placement.runner} unreachable for event "
                 f"stream", status=502, code="unavailable") from None
         try:
+            # a reconnecting client's resume cursor rides through to
+            # the runner, which replays only the missed events
+            resume = ""
+            last_id = headers.get("last-event-id")
+            if last_id:
+                resume = f"Last-Event-ID: {last_id}\r\n"
             request = (f"GET /v1/jobs/{key}/events HTTP/1.1\r\n"
                        f"Host: {parsed.netloc}\r\n"
                        f"Accept: text/event-stream\r\n"
+                       f"{resume}"
                        f"Connection: close\r\n\r\n")
             upstream_w.write(request.encode("latin-1"))
             await upstream_w.drain()

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.collect import clock_offset
+from repro.resilience import faults
 
 #: consecutive probe failures before a runner is declared unhealthy
 #: (one lost probe is a blip; two is a dead node)
@@ -84,7 +85,26 @@ class RunnerHandle:
         ``urllib.error.URLError`` (or ``OSError``) when the node is
         unreachable -- the router maps that to node loss, never to a
         job failure.
+
+        The ``net.request`` wire-fault site fires here: a *drop*
+        raises before the request is sent, a *truncation* raises after
+        the exchange completed (so the runner may have acted -- the
+        exact ambiguity a torn TCP stream has), *http_500* answers a
+        synthetic retryable refusal, and *delay* stalls then proceeds.
         """
+        mode = faults.inject_wire("net.request")
+        if mode == "drop":
+            raise urllib.error.URLError(
+                f"injected fault: request dropped before send "
+                f"({method} {path})")
+        if mode == "http_500":
+            return 503, {"error": {
+                "code": "unavailable",
+                "message": f"injected fault: synthetic upstream 5xx "
+                           f"({method} {path})",
+                "retry_after_s": 0.1}}, {}
+        if mode == "delay":
+            time.sleep(0.05)
         body = None
         send_headers = {"Accept": "application/json"}
         send_headers.update(headers or {})
@@ -98,14 +118,19 @@ class RunnerHandle:
             with urllib.request.urlopen(
                     request, timeout=timeout_s or self.timeout_s) as resp:
                 data = json.loads(resp.read().decode("utf-8") or "{}")
-                return resp.status, data, dict(resp.headers)
+                result = resp.status, data, dict(resp.headers)
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", "replace")
             try:
                 data = json.loads(raw or "{}")
             except json.JSONDecodeError:
                 data = {"error": {"code": "internal", "message": raw}}
-            return exc.code, data, dict(exc.headers or {})
+            result = exc.code, data, dict(exc.headers or {})
+        if mode == "truncated":
+            raise urllib.error.URLError(
+                f"injected fault: response truncated after exchange "
+                f"({method} {path})")
+        return result
 
     # ------------------------------------------------------------------
     def probe(self, expected_version: Optional[str] = None,
@@ -260,6 +285,18 @@ class RunnerProcess:
             self.proc.send_signal(signal.SIGKILL)
         self.proc.wait(timeout=10)
 
+    def pause(self) -> None:
+        """SIGSTOP: the partition chaos primitive -- the process is
+        alive but answers nothing, exactly what a netsplit looks like
+        from the router's side of the socket."""
+        if self.alive:
+            self.proc.send_signal(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        """SIGCONT: heal the simulated partition."""
+        if self.alive:
+            self.proc.send_signal(signal.SIGCONT)
+
     def stop(self, timeout_s: float = 15.0) -> None:
         """SIGTERM and wait: the polite shutdown (drains in-flight)."""
         if self.alive:
@@ -276,3 +313,42 @@ class RunnerProcess:
     def __exit__(self, *exc):
         self.stop()
         return False
+
+
+class RouterProcess(RunnerProcess):
+    """One supervised local ``python -m repro router`` child.
+
+    Same supervision surface as :class:`RunnerProcess` (``wait_ready``
+    / ``kill`` / ``pause`` / ``stop``) but boots the control plane:
+    chaos scenarios SIGKILL the *router* mid-batch and expect the
+    journal + standby to carry every job to exactly one terminal
+    state.  ``standby_of`` boots the node as a warm standby tailing
+    the given primary.
+    """
+
+    def __init__(self, runners: List[str], port: Optional[int] = None,
+                 journal_dir: Optional[str] = None,
+                 node_name: Optional[str] = None,
+                 standby_of: Optional[str] = None,
+                 probe_interval_s: float = 1.0,
+                 env: Optional[Dict[str, str]] = None,
+                 extra_args: Optional[List[str]] = None):
+        self.port = port or free_port()
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.cache_dir = None
+        argv = [sys.executable, "-m", "repro", "router",
+                "--host", "127.0.0.1", "--port", str(self.port),
+                "--runners", ",".join(runners),
+                "--probe-interval", str(probe_interval_s)]
+        if journal_dir:
+            argv += ["--journal-dir", journal_dir]
+        if node_name:
+            argv += ["--node-name", node_name]
+        if standby_of:
+            argv += ["--standby-of", standby_of]
+        argv += list(extra_args or [])
+        child_env = dict(os.environ)
+        child_env.update(env or {})
+        self.proc = subprocess.Popen(
+            argv, env=child_env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)

@@ -26,14 +26,15 @@ from repro.resilience.breaker import (
 )
 from repro.resilience.deadletter import DEAD_LETTER_DIRNAME, DeadLetterQueue
 from repro.resilience.faults import (
-    FaultPlan, InjectedFault, KNOWN_SITES, active_plan, clear_plan,
-    configure_from_env, current_plan, inject, install_plan,
+    FaultPlan, InjectedFault, KNOWN_SITES, WIRE_MODES, active_plan,
+    clear_plan, configure_from_env, current_plan, inject, inject_wire,
+    install_plan,
 )
 
 __all__ = [
     "CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker", "STATE_VALUES",
     "DEAD_LETTER_DIRNAME", "DeadLetterQueue",
-    "FaultPlan", "InjectedFault", "KNOWN_SITES", "active_plan",
-    "clear_plan", "configure_from_env", "current_plan", "inject",
-    "install_plan",
+    "FaultPlan", "InjectedFault", "KNOWN_SITES", "WIRE_MODES",
+    "active_plan", "clear_plan", "configure_from_env", "current_plan",
+    "inject", "inject_wire", "install_plan",
 ]

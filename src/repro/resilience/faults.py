@@ -31,7 +31,22 @@ Sites wired through the stack (see README "Resilience"):
 ``exec.compiled``   compiled engine faults (interpreter fallback +
                     breaker accounting)
 ``profile.disk``    profile-cache disk tier read/write fails (miss)
+``net.request``     HTTP request between fleet processes misbehaves
+                    (:func:`inject_wire`: drop / delay / http_500 /
+                    truncated, mode chosen from the same hash word)
+``journal.write``   router journal append torn mid-record (the bytes
+                    a crash mid-write leaves behind)
+``cache.fsync``     durable fsync (cache entry or journal batch) fails
 ==================  ====================================================
+
+Single-shot sites *raise* :class:`InjectedFault` from :func:`inject`.
+The wire site is richer: :func:`inject_wire` returns one of
+:data:`WIRE_MODES` (or None), and the transport call site acts it out
+-- a drop never sends the request, a truncation sends it and then
+loses the response (so the side effect may have happened: exactly the
+ambiguity real networks have, which content-hash idempotency absorbs).
+The mode comes from a different byte range of the same SHA-256 word
+that decides firing, so one seed fixes the full (fire, mode) schedule.
 
 Every fired fault increments ``repro_faults_injected_total{site=...}``
 and attaches a ``fault.injected`` event to the current span, so chaos
@@ -57,7 +72,11 @@ _FAULTS_TOTAL = obs.REGISTRY.counter(
 KNOWN_SITES = (
     "cache.read", "cache.write", "worker.exec", "worker.crash",
     "exec.compiled", "profile.disk",
+    "net.request", "journal.write", "cache.fsync",
 )
+
+#: how a fired ``net.request`` fault manifests on the wire
+WIRE_MODES = ("drop", "delay", "http_500", "truncated")
 
 
 class InjectedFault(RuntimeError):
@@ -96,32 +115,62 @@ class FaultPlan:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def _word(self, site: str, index: int) -> int:
+        blob = f"{self.seed}:{site}:{index}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
     def would_fire(self, site: str, index: int) -> bool:
         """The pure (seed, site, index) -> bool decision."""
         if self.rate <= 0.0:
             return False
-        blob = f"{self.seed}:{site}:{index}".encode("utf-8")
-        word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
-        return word / 2.0 ** 64 < self.rate
+        return self._word(site, index) / 2.0 ** 64 < self.rate
 
-    def check(self, site: str) -> None:
-        """Count one invocation of ``site``; raise when the plan fires."""
+    def wire_mode(self, site: str, index: int) -> str:
+        """The pure (seed, site, index) -> manifestation decision.
+
+        Reads a different byte range of the hash word than
+        :meth:`would_fire`, so the fire threshold and the mode choice
+        are independent coordinates of one deterministic schedule.
+        """
+        return WIRE_MODES[(self._word(site, index) >> 16)
+                          % len(WIRE_MODES)]
+
+    def _count_and_decide(self, site: str) -> Optional[int]:
+        """Count one invocation; the fired index, or None."""
         if self.sites is not None and site not in self.sites:
-            return
+            return None
         with self._lock:
             index = self._counts.get(site, 0)
             self._counts[site] = index + 1
             if self.max_faults is not None \
                     and self.fired >= self.max_faults:
-                return
-            fire = self.would_fire(site, index)
-            if fire:
-                self.fired += 1
-        if fire:
-            _FAULTS_TOTAL.inc(site=site)
-            obs.event("fault.injected", site=site, index=index,
-                      seed=self.seed)
-            raise InjectedFault(site, index, self.seed)
+                return None
+            if not self.would_fire(site, index):
+                return None
+            self.fired += 1
+        return index
+
+    def check(self, site: str) -> None:
+        """Count one invocation of ``site``; raise when the plan fires."""
+        index = self._count_and_decide(site)
+        if index is None:
+            return
+        _FAULTS_TOTAL.inc(site=site)
+        obs.event("fault.injected", site=site, index=index,
+                  seed=self.seed)
+        raise InjectedFault(site, index, self.seed)
+
+    def check_wire(self, site: str) -> Optional[str]:
+        """Count one invocation of ``site``; the wire mode if it fires
+        (the call site acts the mode out), else None."""
+        index = self._count_and_decide(site)
+        if index is None:
+            return None
+        mode = self.wire_mode(site, index)
+        _FAULTS_TOTAL.inc(site=site)
+        obs.event("fault.injected", site=site, index=index,
+                  seed=self.seed, mode=mode)
+        return mode
 
     def counts(self) -> Dict[str, int]:
         """Invocations seen per site (testing/reporting)."""
@@ -198,6 +247,19 @@ def inject(site: str) -> None:
     if _plan is None:
         return
     _plan.check(site)
+
+
+def inject_wire(site: str) -> Optional[str]:
+    """Wire-fault chokepoint: the mode to act out, or None.
+
+    Unlike :func:`inject` this never raises -- the transport call site
+    owns the semantics (drop before the request, truncate after it),
+    because *where* the failure lands relative to the side effect is
+    the interesting part of a network fault.
+    """
+    if _plan is None:
+        return None
+    return _plan.check_wire(site)
 
 
 class active_plan:

@@ -534,13 +534,26 @@ class ReproServer(HttpServerBase):
 
     async def _h_events(self, writer, body, headers, key: str) -> int:
         state = self._state_of(key)
+        # SSE resume: a reconnecting client sends Last-Event-ID (the
+        # ``id:`` of the last frame it saw); replay only what it
+        # missed.  Event seqs are globally monotone, so the filter is
+        # a plain comparison.  A malformed header degrades to a full
+        # replay -- never an error on a reconnect path.
+        after = None
+        raw_last = headers.get("last-event-id")
+        if raw_last:
+            try:
+                after = int(raw_last.strip())
+            except ValueError:
+                after = None
         head = ["HTTP/1.1 200 OK",
                 "Content-Type: text/event-stream",
                 "Cache-Control: no-cache",
                 "Connection: close"]
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
         queue: asyncio.Queue = asyncio.Queue()
-        replay = list(state.history)
+        replay = [record for record in state.history
+                  if after is None or record[0] > after]
         state.subscribers.append(queue)
         self._m_sse.inc()
         try:

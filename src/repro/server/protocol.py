@@ -124,7 +124,9 @@ def error_to_payload(exc: BaseException) -> Tuple[int, Dict[str, Any]]:
         return 503, _body("quarantined", str(exc), key=exc.key,
                           crashes=exc.crashes)
     if isinstance(exc, JobTimeout):
-        return 504, _body("timeout", str(exc))
+        return 504, _body("timeout", str(exc),
+                          status=getattr(exc, "status", None),
+                          attempts=getattr(exc, "attempts", None))
     if isinstance(exc, JobCancelled):
         return 409, _body("cancelled", str(exc))
     if isinstance(exc, JobFailed):
@@ -156,7 +158,13 @@ def error_from_payload(status: int,
         return JobQuarantined(message, key=error.get("key", ""),
                               crashes=int(error.get("crashes", 0)))
     if code == "timeout":
-        return JobTimeout(message)
+        # the message already embeds any status/attempts detail;
+        # restore the structured fields without re-appending it
+        exc = JobTimeout(message)
+        exc.status = error.get("status")
+        attempts = error.get("attempts")
+        exc.attempts = int(attempts) if attempts is not None else None
+        return exc
     if code == "cancelled":
         return JobCancelled(message)
     if code == "failed":

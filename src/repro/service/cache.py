@@ -27,9 +27,14 @@ silently deleted), logged with the offending path, and counted in
 then reported as a miss so the caller re-runs and re-caches.
 
 Writes are atomic (temp file + ``os.replace``) so a parallel reader
-never sees a half-written entry.  The ``cache.read`` / ``cache.write``
-fault-injection sites let chaos tests drive the corruption and
-write-failure paths deterministically (:mod:`repro.resilience.faults`).
+never sees a half-written entry.  With ``REPRO_DURABLE=1`` each write
+additionally fsyncs the temp file *before* the rename (and the
+directory after), upgrading "no torn entry visible" to "no committed
+entry lost on power failure" -- the same knob that puts the router
+journal into fsync mode.  The ``cache.read`` / ``cache.write`` /
+``cache.fsync`` fault-injection sites let chaos tests drive the
+corruption and write-failure paths deterministically
+(:mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
@@ -57,6 +62,32 @@ from repro.resilience import faults
 #: bump when the serialized result schema or flow semantics change
 #: (2: entries carry a ``crc32`` integrity checksum)
 CACHE_FORMAT_VERSION = 2
+
+
+def _durable() -> bool:
+    """``REPRO_DURABLE=1``: fsync writes (checked per call so tests
+    and long-lived services can flip it without re-importing)."""
+    return os.environ.get("REPRO_DURABLE", "").strip() == "1"
+
+
+def _fsync_handle(fh) -> None:
+    """Push ``fh`` to stable storage (the ``cache.fsync`` fault site)."""
+    faults.inject("cache.fsync")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def _fsync_dirname(path: str) -> None:
+    try:
+        fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 #: sibling directory corrupt entries are moved into (never a key shard:
 #: :meth:`ResultCache.keys` skips dot-directories)
@@ -194,7 +225,14 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
+                if _durable():
+                    # sync BEFORE the rename: a crash between the two
+                    # leaves either no entry or a complete one, never
+                    # a renamed-but-empty file after power loss
+                    _fsync_handle(fh)
             os.replace(tmp, path)
+            if _durable():
+                _fsync_dirname(path)
         except BaseException:
             self._discard(tmp)
             raise
@@ -236,7 +274,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
+                if _durable():
+                    _fsync_handle(fh)
             os.replace(tmp, path)
+            if _durable():
+                _fsync_dirname(path)
         except BaseException:
             self._discard(tmp)
             raise

@@ -100,7 +100,23 @@ class JobFailed(JobError):
 
 
 class JobTimeout(JobError):
-    """Every allowed attempt exceeded its time budget."""
+    """Every allowed attempt exceeded its time budget.
+
+    When the timeout comes from a *client-side* wait budget
+    (``ReproClient.max_wait_s``), ``status``/``attempts`` carry the
+    job's last observed telemetry -- mirroring
+    :class:`JobResultPending` -- so the message says where the job was
+    when the client gave up, not just that it did.
+    """
+
+    def __init__(self, message: str, status: Optional[str] = None,
+                 attempts: Optional[int] = None):
+        if status is not None or attempts is not None:
+            message += (f" (last observed status={status}, "
+                        f"attempts={attempts})")
+        super().__init__(message)
+        self.status = status
+        self.attempts = attempts
 
 
 class JobCancelled(JobError):

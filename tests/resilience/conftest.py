@@ -1,0 +1,23 @@
+"""Wire-level chaos tests borrow the live HTTP server fixture."""
+
+import pytest
+
+from tests.server.conftest import LiveServer
+
+
+@pytest.fixture
+def live_server_factory():
+    servers = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("port", 0)
+        server = LiveServer(**kwargs)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        try:
+            server.stop()
+        except Exception:              # noqa: BLE001 - chaos kills nodes
+            pass

@@ -1,0 +1,140 @@
+"""Wire faults: seeded (fire, mode) schedule and transport semantics.
+
+``inject_wire`` decides *whether* a request misbehaves and *how* from
+one SHA-256 word, so a chaos seed replays the exact storm.  The live
+tests prove the client and router transports act each mode out -- and
+that retries plus idempotent submission absorb a storm end to end.
+"""
+
+import urllib.error
+
+import pytest
+
+from repro.client import ReproClient
+from repro.config import ReproConfig
+from repro.fleet.runner import RunnerHandle
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultPlan, WIRE_MODES, active_plan, inject_wire,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_global_plan():
+    previous = faults.current_plan()
+    faults.clear_plan()
+    yield
+    faults.install_plan(previous)
+
+
+# ----------------------------------------------------------------------
+# The (fire, mode) schedule
+# ----------------------------------------------------------------------
+
+class TestSchedule:
+    def test_mode_is_deterministic_per_seed_site_index(self):
+        plan = FaultPlan(seed=7, rate=1.0)
+        modes = [plan.wire_mode("net.request", i) for i in range(64)]
+        again = FaultPlan(seed=7, rate=1.0)
+        assert modes == [again.wire_mode("net.request", i)
+                         for i in range(64)]
+        # 64 draws cover the whole mode alphabet
+        assert set(modes) == set(WIRE_MODES)
+
+    def test_mode_decorrelated_from_fire_decision(self):
+        """Fired invocations must not all land on one mode -- the mode
+        reads different bytes of the hash word than the threshold."""
+        plan = FaultPlan(seed=3, rate=0.5)
+        fired_modes = {plan.wire_mode("net.request", i)
+                       for i in range(200)
+                       if plan.would_fire("net.request", i)}
+        assert len(fired_modes) >= 3
+
+    def test_check_wire_counts_and_respects_max(self):
+        plan = FaultPlan(seed=0, rate=1.0, max_faults=2)
+        modes = [plan.check_wire("net.request") for _ in range(5)]
+        assert sum(m is not None for m in modes) == 2
+        assert plan.counts() == {"net.request": 5}
+        assert plan.fired == 2
+
+    def test_check_wire_respects_sites_filter(self):
+        plan = FaultPlan(seed=0, rate=1.0, sites=("journal.write",))
+        assert plan.check_wire("net.request") is None
+        assert "net.request" not in plan.counts()
+
+    def test_inject_wire_is_noop_without_plan(self):
+        assert inject_wire("net.request") is None
+
+    def test_spec_round_trips_wire_storms(self):
+        plan = FaultPlan.from_spec("seed=9,rate=0.25,sites=net.request")
+        assert plan.spec() == "seed=9,rate=0.25,sites=net.request"
+        assert plan.sites == frozenset({"net.request"})
+
+
+# ----------------------------------------------------------------------
+# Transport semantics (no server needed for drop / http_500)
+# ----------------------------------------------------------------------
+
+def forced(mode, seed=0):
+    """A plan whose first ``net.request`` invocation fires ``mode``."""
+    for candidate in range(500):
+        plan = FaultPlan(seed=candidate, rate=1.0,
+                         sites=("net.request",), max_faults=1)
+        if plan.wire_mode("net.request", 0) == mode:
+            return plan
+    raise AssertionError(f"no seed under 500 yields {mode}")
+
+
+class TestTransport:
+    def test_drop_raises_before_any_send(self):
+        handle = RunnerHandle("http://127.0.0.1:9")   # nothing listens
+        with active_plan(forced("drop")):
+            with pytest.raises(urllib.error.URLError, match="dropped"):
+                handle.request("GET", "/healthz")
+
+    def test_http_500_is_a_retryable_refusal(self):
+        handle = RunnerHandle("http://127.0.0.1:9")
+        with active_plan(forced("http_500")):
+            status, data, _ = handle.request("GET", "/healthz")
+        assert status == 503
+        assert data["error"]["code"] == "unavailable"
+        assert data["error"]["retry_after_s"] > 0
+
+    def test_client_drop_consumes_a_retry_then_succeeds(
+            self, live_server_factory):
+        server = live_server_factory(config=ReproConfig(workers=1))
+        client = ReproClient(server.url, backoff_s=0.01, max_retries=3)
+        with active_plan(forced("drop")) as plan:
+            apps = client.apps()       # retried: the drop is invisible
+        assert apps and plan.fired == 1
+
+    def test_truncation_loses_the_response_not_the_side_effect(
+            self, live_server_factory):
+        """The torn-TCP ambiguity: the submit lands on the server even
+        though the caller saw an error -- and the idempotent resubmit
+        converges on the same job instead of running it twice."""
+        server = live_server_factory(config=ReproConfig(workers=1))
+        bare = ReproClient(server.url, max_retries=0)
+        payload = {"app": "kmeans", "mode": "informed", "scale": 1.23}
+        with active_plan(forced("truncated")):
+            with pytest.raises(urllib.error.URLError,
+                               match="truncated"):
+                bare._request_once("POST", "/v1/jobs", payload)
+        # the exchange happened: the job exists server-side
+        status, again, _ = bare._request_once("POST", "/v1/jobs",
+                                              payload)
+        assert status == 200               # dedup, not a second run
+        assert any(j["id"] == again["id"] for j in bare.jobs())
+
+    def test_storm_is_absorbed_by_retries(self, live_server_factory):
+        """A sustained 25% wire storm on every hop: the client's
+        rotation + backoff still lands the flow."""
+        server = live_server_factory(config=ReproConfig(workers=1))
+        client = ReproClient(server.url, backoff_s=0.01,
+                             poll_interval_s=0.05, max_retries=8)
+        with active_plan(FaultPlan(seed=11, rate=0.25,
+                                   sites=("net.request",))) as plan:
+            record = client.run_flow("kmeans", "informed", scale=1.27,
+                                     timeout=120)
+        assert record.app_name == "kmeans"
+        assert plan.fired >= 1             # the storm actually fired

@@ -170,3 +170,18 @@ def test_max_wait_caps_run_flow_polling():
                             max_wait_s=0.5)
     with pytest.raises(JobResultPending):
         client.run_flow("kmeans", timeout=0.0)
+
+
+def test_budget_timeout_reports_where_the_job_was():
+    pending = (202, {"error": {"code": "pending", "message": "running",
+                               "key": "k", "status": "running",
+                               "attempts": 3}}, {})
+    client = ScriptedClient([(201, {"id": "k"}, {})] + [pending] * 50,
+                            poll_interval_s=30.0, max_wait_s=0.5)
+    with pytest.raises(JobTimeout) as excinfo:
+        client.run_flow("kmeans")
+    # the timeout carries the job's last observed telemetry, so the
+    # message says where the job was when the client gave up
+    assert excinfo.value.status == "running"
+    assert excinfo.value.attempts == 3
+    assert "last observed status=running" in str(excinfo.value)

@@ -219,3 +219,56 @@ def test_graceful_shutdown_drains_inflight(live_server_factory,
     state = server.server._jobs[job_id]
     assert state.status == "succeeded"
     assert server.server._inflight == 0
+
+
+# ----------------------------------------------------------------------
+# SSE resume: Last-Event-ID replays exactly the missed frames
+# ----------------------------------------------------------------------
+
+def _sse_frames(base_url, job_id, last_event_id=None):
+    """Raw SSE exchange; returns ``[(id, event), ...]``."""
+    import urllib.request
+
+    headers = {"Accept": "text/event-stream"}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    request = urllib.request.Request(
+        f"{base_url}/v1/jobs/{job_id}/events", headers=headers)
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        text = resp.read().decode("utf-8").strip()
+    frames = []
+    for block in text.split("\n\n") if text else ():
+        fields = dict(line.split(": ", 1)
+                      for line in block.splitlines() if ": " in line)
+        frames.append((int(fields["id"]), fields["event"]))
+    return frames
+
+
+def test_sse_ids_are_monotone_and_resume_skips_seen_frames(client):
+    job_id = client.submit("kmeans", "informed")["id"]
+    client.run_flow("kmeans", "informed", timeout=120)
+    full = _sse_frames(client.base_url, job_id)
+    ids = [seq for seq, _ in full]
+    assert ids == sorted(ids) and len(set(ids)) == len(ids)
+    assert full[-1][1] == "done"
+    # resuming after the second frame replays exactly the remainder
+    cursor = full[1][0]
+    assert _sse_frames(client.base_url, job_id, cursor) == full[2:]
+    # a cursor at the end replays nothing
+    assert _sse_frames(client.base_url, job_id, full[-1][0]) == []
+
+
+def test_sse_malformed_last_event_id_degrades_to_full_replay(client):
+    job_id = client.submit("kmeans", "informed")["id"]
+    client.run_flow("kmeans", "informed", timeout=120)
+    full = _sse_frames(client.base_url, job_id)
+    assert _sse_frames(client.base_url, job_id, "not-a-number") == full
+
+
+def test_client_events_resume_from_cursor(client):
+    job_id = client.submit("kmeans", "informed")["id"]
+    client.run_flow("kmeans", "informed", timeout=120)
+    full = _sse_frames(client.base_url, job_id)
+    names = [name for name, _ in client.events(
+        job_id, last_event_id=full[0][0])]
+    assert names == [event for _, event in full[1:]]

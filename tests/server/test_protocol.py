@@ -126,3 +126,17 @@ def test_job_payload_rejects_non_object():
 def test_job_payload_requires_app():
     with pytest.raises(JobValidationError, match="app"):
         job_from_payload({"mode": "informed"})
+
+
+def test_timeout_round_trips_last_observed_state():
+    exc = JobTimeout("poll budget blown", status="running", attempts=2)
+    status, payload = error_to_payload(exc)
+    assert status == 504
+    error = payload["error"]
+    assert error["status"] == "running" and error["attempts"] == 2
+    rebuilt = error_from_payload(status, payload)
+    assert isinstance(rebuilt, JobTimeout)
+    assert rebuilt.status == "running" and rebuilt.attempts == 2
+    # the detail rides in the message once, not once per hop
+    assert str(rebuilt) == str(exc)
+    assert str(rebuilt).count("last observed") == 1

@@ -116,3 +116,65 @@ class TestStatsAndMaintenance:
         assert cache.size_bytes() > 0
         assert cache.purge() == 2
         assert len(cache) == 0
+
+
+class TestDurableWrites:
+    """``REPRO_DURABLE=1``: fsync before rename, no half-visible entry."""
+
+    def test_durable_put_fsyncs_before_the_rename(
+            self, tmp_path, kmeans_informed, monkeypatch):
+        import repro.service.cache as cache_mod
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setenv("REPRO_DURABLE", "1")
+        monkeypatch.setattr(cache_mod.os, "fsync",
+                            lambda fd: (synced.append(fd),
+                                        real_fsync(fd))[1])
+        cache = ResultCache(str(tmp_path))
+        key = put_result(cache, kmeans_informed,
+                         FlowJob("kmeans", "informed"))
+        # entry fsync + directory fsync
+        assert len(synced) >= 2
+        assert cache.get(key) is not None
+
+    def test_non_durable_put_never_fsyncs(
+            self, tmp_path, kmeans_informed, monkeypatch):
+        import repro.service.cache as cache_mod
+
+        monkeypatch.delenv("REPRO_DURABLE", raising=False)
+        monkeypatch.setattr(
+            cache_mod.os, "fsync",
+            lambda fd: (_ for _ in ()).throw(
+                AssertionError("fsync outside REPRO_DURABLE=1")))
+        cache = ResultCache(str(tmp_path))
+        key = put_result(cache, kmeans_informed,
+                         FlowJob("kmeans", "informed"))
+        assert cache.get(key) is not None
+
+    def test_crash_before_rename_leaves_no_entry(
+            self, tmp_path, kmeans_informed, monkeypatch):
+        """The torn-write crash point: the ``cache.fsync`` fault fires
+        between the temp write and the rename -- the entry must be
+        entirely absent, never half-visible."""
+        import pytest
+
+        from repro.resilience import faults
+        from repro.resilience.faults import FaultPlan, InjectedFault
+
+        monkeypatch.setenv("REPRO_DURABLE", "1")
+        cache = ResultCache(str(tmp_path))
+        job = FlowJob("kmeans", "informed")
+        plan = FaultPlan(seed=0, rate=1.0, sites=("cache.fsync",),
+                         max_faults=1)
+        with faults.active_plan(plan):
+            with pytest.raises(InjectedFault):
+                put_result(cache, kmeans_informed, job)
+        # nothing published, and the torn temp file was discarded
+        assert cache.get(job.key()) is None
+        leftovers = [name for _, _, files in os.walk(str(tmp_path))
+                     for name in files]
+        assert leftovers == []
+        # the very next write (fault budget spent) publishes atomically
+        key = put_result(cache, kmeans_informed, job)
+        assert cache.get(key).app_name == "kmeans"

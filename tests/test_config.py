@@ -112,7 +112,9 @@ def test_apply_round_trips_through_environ():
 def test_env_dict_names_every_documented_var():
     values = ReproConfig(cache_dir="/c", trace_dir="/t", faults="x:1",
                          fleet_runners="http://a:1",
-                         fleet_peers="http://b:2").env_dict()
+                         fleet_peers="http://b:2",
+                         journal_dir="/j",
+                         fleet_standby_of="http://p:3").env_dict()
     assert set(values) == {var for _, var in ENV_VARS}
 
 
